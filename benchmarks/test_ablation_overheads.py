@@ -1,0 +1,72 @@
+"""Ablation: launch-overhead magnitudes behind the Fig 3 CDP gains.
+
+DESIGN.md calls out two calibration constants the CDP results hinge on:
+the host launch overhead (what non-CDP pays per kernel) and the device
+launch overhead (what CDP pays per child).  This bench sweeps both for
+SW — the benchmark whose CDP gain is purely launch-driven — and checks
+the paper's qualitative statement that "a bigger input size can
+alleviate these overheads".
+"""
+
+from conftest import once
+
+from repro.core.report import format_table
+from repro.core.runner import run_benchmark
+from repro.data.datasets import DatasetSize
+from repro.sim.config import GPUConfig
+
+CONFIG = GPUConfig(num_sms=16)
+
+
+def sweep() -> list[dict]:
+    rows = []
+    for host_cycles in (500, 2000, 8000):
+        for cdp_cycles in (300, 600, 2400):
+            cfg = CONFIG.with_(
+                host_launch_cycles=host_cycles,
+                cdp_launch_cycles=cdp_cycles,
+            )
+            base = run_benchmark("SW", config=cfg).device_time()
+            cdp = run_benchmark("SW", cdp=True, config=cfg).device_time()
+            rows.append({
+                "host_launch": host_cycles,
+                "cdp_launch": cdp_cycles,
+                "noncdp": base,
+                "cdp": cdp,
+                "cdp_gain": round(1 - cdp / base, 3),
+            })
+    return rows
+
+
+def input_scaling() -> list[dict]:
+    """Bigger inputs amortize the CDP overheads (paper, Sec II-B)."""
+    rows = []
+    cfg = CONFIG.with_(cdp_launch_cycles=2400)  # expensive device launches
+    for size in (DatasetSize.SMALL, DatasetSize.MEDIUM):
+        base = run_benchmark("SW", size=size, config=cfg).device_time()
+        cdp = run_benchmark("SW", cdp=True, size=size, config=cfg).device_time()
+        rows.append({
+            "input": size.value,
+            "cdp_gain": round(1 - cdp / base, 3),
+        })
+    return rows
+
+
+def test_ablation_launch_overheads(benchmark, emit):
+    rows = once(benchmark, sweep)
+    emit("ablation_launch_overheads", format_table(rows))
+    gains = {(r["host_launch"], r["cdp_launch"]): r["cdp_gain"] for r in rows}
+    # CDP gains grow with host overhead and shrink with device overhead.
+    assert gains[(8000, 600)] > gains[(2000, 600)] > gains[(500, 600)]
+    assert gains[(2000, 300)] > gains[(2000, 2400)]
+    # When device launches are pricier than host launches, CDP loses.
+    assert gains[(500, 2400)] < 0
+
+
+def test_ablation_input_amortizes_cdp_overhead(benchmark, emit):
+    rows = once(benchmark, input_scaling)
+    emit("ablation_cdp_input_scaling", format_table(rows))
+    small, medium = rows[0]["cdp_gain"], rows[1]["cdp_gain"]
+    # "A bigger input size can alleviate these overheads and result in
+    # better performance."
+    assert medium > small

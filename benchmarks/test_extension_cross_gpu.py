@@ -1,0 +1,48 @@
+"""Extension: cross-GPU comparison (the architecture-development use case).
+
+The paper positions the suite as a basis for GPU architecture research;
+this bench runs a benchmark subset on three device presets (RTX 3070
+baseline, RTX 3090-class, A100-class) and checks that the bigger
+memory systems pay off where the characterization says they should.
+"""
+
+from conftest import once
+
+from repro.core.report import format_table
+from repro.core.runner import run_benchmark
+from repro.sim.config import a100_config, rtx3070_baseline, rtx3090_config
+
+PRESETS = [
+    ("rtx3070", rtx3070_baseline()),
+    ("rtx3090", rtx3090_config()),
+    ("a100", a100_config()),
+]
+
+SUBSET = ["SW", "GKSW", "PairHMM", "NvB"]
+
+
+def sweep() -> list[dict]:
+    rows = []
+    for abbr in SUBSET:
+        row = {"benchmark": abbr}
+        for name, config in PRESETS:
+            stats = run_benchmark(abbr, config=config)
+            row[name] = stats.device_time()
+        row["a100_speedup"] = round(row["rtx3070"] / row["a100"], 3)
+        rows.append(row)
+    return rows
+
+
+def test_extension_cross_gpu(benchmark, emit):
+    rows = once(benchmark, sweep)
+    emit("extension_cross_gpu", format_table(rows))
+    by_name = {r["benchmark"]: r for r in rows}
+    # The bandwidth-bound kernel gains the most from the A100-class
+    # memory system (more partitions, faster DRAM, 10x the L2).
+    assert by_name["GKSW"]["a100_speedup"] == max(
+        r["a100_speedup"] for r in rows
+    )
+    assert by_name["GKSW"]["a100_speedup"] > 1.2
+    # Nothing regresses meaningfully on the bigger parts.
+    for row in rows:
+        assert row["a100"] <= row["rtx3070"] * 1.1, row["benchmark"]

@@ -1,0 +1,23 @@
+"""Fig 2: CPU vs GPU vs GPU+CDP for SW, NW, STAR.
+
+Paper: GPUs achieve up to ~20x over the CPU; STAR's CDP version more
+than halves the GPU time again.
+"""
+
+from conftest import once
+
+from repro.bench import fig2_cpu_gpu
+from repro.core.report import format_table
+
+
+def test_fig02_cpu_gpu(benchmark, paper_config, emit):
+    rows = once(benchmark, lambda: fig2_cpu_gpu(paper_config))
+    emit("fig02_cpu_gpu", format_table(rows))
+    by_name = {r["benchmark"]: r for r in rows}
+    # Every GPU implementation beats the CPU baseline.
+    assert all(r["gpu_speedup"] > 1.0 for r in rows)
+    # The best GPU speedup is in the paper's ~20x ballpark.
+    assert 10 < max(r["gpu_speedup"] for r in rows) < 30
+    # STAR-CDP more than halves STAR's GPU time.
+    star = by_name["STAR"]
+    assert star["gpu_cdp_cycles"] < star["gpu_cycles"] / 2

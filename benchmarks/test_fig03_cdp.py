@@ -1,0 +1,23 @@
+"""Fig 3: kernel execution time, CDP vs non-CDP.
+
+Paper: CDP improves kernel execution time by up to 59%, 14% on average.
+"""
+
+import statistics
+
+from conftest import once
+
+from repro.bench import fig3_cdp
+from repro.core.report import format_table
+
+
+def test_fig03_cdp(benchmark, paper_config, emit):
+    rows = once(benchmark, lambda: fig3_cdp(paper_config))
+    emit("fig03_cdp", format_table(rows))
+    improvements = [r["improvement"] for r in rows]
+    # Average in the paper's neighbourhood (paper: 14%).
+    assert 0.05 < statistics.mean(improvements) < 0.30
+    # A single large winner around the paper's 59% maximum.
+    assert 0.45 < max(improvements) < 0.70
+    # No benchmark regresses badly.
+    assert min(improvements) > -0.15

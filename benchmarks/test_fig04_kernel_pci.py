@@ -1,0 +1,24 @@
+"""Fig 4: kernel vs PCI (cudaMemcpy) invocation counts and times.
+
+Paper: SW/NW launch far more kernels than memcpys; GASAL2 is the
+opposite; PCI time is significant across the suite.
+"""
+
+from conftest import once
+
+from repro.bench import fig4_kernel_pci
+from repro.core.report import format_table
+
+
+def test_fig04_kernel_pci(benchmark, paper_config, emit):
+    rows = once(benchmark, lambda: fig4_kernel_pci(paper_config))
+    emit("fig04_kernel_pci", format_table(rows))
+    by_name = {r["benchmark"]: r for r in rows}
+    for abbr in ("SW", "NW"):
+        assert by_name[abbr]["kernel_count"] > by_name[abbr]["pci_count"]
+    for abbr in ("GG", "GL", "GKSW", "GSG"):
+        assert by_name[abbr]["pci_count"] > by_name[abbr]["kernel_count"]
+    # Data movement is a significant share of end-to-end time.
+    total_pci = sum(r["pci_cycles"] for r in rows)
+    total_kernel = sum(r["kernel_cycles"] for r in rows)
+    assert total_pci > 0.2 * total_kernel

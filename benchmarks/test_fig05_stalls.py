@@ -1,0 +1,26 @@
+"""Fig 5: pipeline-stall breakdown.
+
+Paper: long memory latency dominates (up to 95%); NvB and NvB-CDP are
+dominated (>90%) by "functional done" kernel-switch time.
+"""
+
+from conftest import once
+
+from repro.bench import fig5_stalls
+from repro.core.report import format_table
+
+
+def test_fig05_stalls(benchmark, paper_config, emit):
+    rows = once(benchmark, lambda: fig5_stalls(paper_config))
+    emit("fig05_stalls", format_table(rows))
+    by_name = {r["benchmark"]: r for r in rows}
+    # Memory latency is the dominant cause for the memory-bound kernels.
+    assert by_name["PairHMM"].get("long_memory_latency", 0) > 0.6
+    assert by_name["GKSW"].get("long_memory_latency", 0) > 0.6
+    # NvB (both variants): functional done dominates.
+    assert by_name["NvB"].get("functional_done", 0) > 0.5
+    assert by_name["NvB-CDP"].get("functional_done", 0) > 0.5
+    # Breakdown fractions are normalized.
+    for row in rows:
+        total = sum(v for k, v in row.items() if k != "benchmark")
+        assert abs(total - 1.0) < 1e-6

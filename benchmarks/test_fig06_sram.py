@@ -1,0 +1,24 @@
+"""Fig 6: SRAM structure utilization (registers / shared / constant).
+
+Paper: registers are the most utilized SRAM; constant memory the
+least; only NW, CLUSTER and PairHMM use shared memory.
+"""
+
+import statistics
+
+from conftest import once
+
+from repro.bench import fig6_sram
+from repro.core.report import format_table
+
+
+def test_fig06_sram(benchmark, paper_config, emit):
+    rows = once(benchmark, lambda: fig6_sram(paper_config))
+    emit("fig06_sram", format_table(rows))
+    regs = statistics.mean(r["registers"] for r in rows)
+    shared = statistics.mean(r["shared_memory"] for r in rows)
+    const = statistics.mean(r["constant"] for r in rows)
+    assert regs > shared
+    assert regs > const
+    users = {r["benchmark"] for r in rows if r["shared_memory"] > 0}
+    assert users == {"NW", "CLUSTER", "PairHMM"}

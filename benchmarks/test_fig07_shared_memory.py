@@ -1,0 +1,19 @@
+"""Fig 7: execution time with vs without shared memory.
+
+Paper: dropping shared memory costs NW 1.88x and PairHMM 36.92x.
+"""
+
+from conftest import once
+
+from repro.bench import fig7_shared_memory
+from repro.core.report import format_table
+
+
+def test_fig07_shared_memory(benchmark, paper_config, emit):
+    rows = once(benchmark, lambda: fig7_shared_memory(paper_config))
+    emit("fig07_shared_memory", format_table(rows))
+    by_name = {r["benchmark"]: r for r in rows}
+    # NW: small-integer factor (paper 1.88x; model ~2-3x).
+    assert 1.3 < by_name["NW"]["slowdown_without"] < 4.0
+    # PairHMM: tens of x (paper 36.92x).
+    assert 20.0 < by_name["PairHMM"]["slowdown_without"] < 60.0

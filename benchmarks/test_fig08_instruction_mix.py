@@ -1,0 +1,24 @@
+"""Fig 8: dynamic instruction-class distribution.
+
+Paper: integer instructions exceed 60% overall, followed by load/store
+and floating point; special-function instructions are rare.
+"""
+
+import statistics
+
+from conftest import once
+
+from repro.bench import fig8_instruction_mix
+from repro.core.report import format_table
+
+
+def test_fig08_instruction_mix(benchmark, paper_config, emit):
+    rows = once(benchmark, lambda: fig8_instruction_mix(paper_config))
+    emit("fig08_instruction_mix", format_table(rows))
+    ints = statistics.mean(r.get("int", 0.0) for r in rows)
+    assert ints > 0.55
+    for row in rows:
+        assert row.get("sfu", 0.0) < 0.05
+    # PairHMM is the floating-point-heavy outlier.
+    pairhmm = next(r for r in rows if r["benchmark"] == "PairHMM")
+    assert pairhmm.get("fp", 0.0) > 0.4

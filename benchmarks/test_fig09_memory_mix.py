@@ -1,0 +1,21 @@
+"""Fig 9: memory-instruction distribution by space.
+
+Paper: GASAL2 kernels are local-memory dominant; NW and PairHMM are
+>95% shared; the rest lean on global/local.
+"""
+
+from conftest import once
+
+from repro.bench import fig9_memory_mix
+from repro.core.report import format_table
+
+
+def test_fig09_memory_mix(benchmark, paper_config, emit):
+    rows = once(benchmark, lambda: fig9_memory_mix(paper_config))
+    emit("fig09_memory_mix", format_table(rows))
+    by_name = {r["benchmark"]: r for r in rows}
+    for abbr in ("GG", "GL", "GSG", "GG-CDP", "GL-CDP", "GSG-CDP"):
+        assert by_name[abbr].get("local", 0.0) > 0.85, abbr
+    for abbr in ("NW", "PairHMM"):
+        assert by_name[abbr].get("shared", 0.0) > 0.85, abbr
+    assert by_name["NvB"].get("global", 0.0) > 0.9

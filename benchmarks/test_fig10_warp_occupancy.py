@@ -1,0 +1,24 @@
+"""Fig 10: warp occupancy (active lanes per issued warp).
+
+Paper: NW and the GASAL2 kernels issue >60% fully occupied warps;
+CLUSTER is dominated by W1-4; STAR runs half-warps; STAR-CDP is the
+outlier with >80% of warps under 5 lanes; NW-CDP reaches 100%.
+"""
+
+from conftest import once
+
+from repro.bench import fig10_warp_occupancy
+from repro.core.report import format_table
+
+
+def test_fig10_warp_occupancy(benchmark, paper_config, emit):
+    rows = once(benchmark, lambda: fig10_warp_occupancy(paper_config))
+    emit("fig10_warp_occupancy", format_table(rows))
+    by_name = {r["benchmark"]: r for r in rows}
+    for abbr in ("NW", "GG", "GL", "GSG"):
+        assert by_name[abbr]["W29-32"] > 0.6, abbr
+    assert by_name["CLUSTER"]["W1-4"] > 0.5
+    assert by_name["STAR-CDP"]["W1-4"] > 0.8
+    assert by_name["NW-CDP"]["W29-32"] > 0.95
+    # STAR's lockstep kernel runs on half warps.
+    assert by_name["STAR"]["W13-16"] > 0.5

@@ -1,0 +1,32 @@
+"""Fig 12: IPC speedup across L1/L2 cache configurations.
+
+Paper: tiny caches degrade performance; growing them helps a few
+benchmarks by <=10%; GKSW benefits the most (7x non-CDP, 2.7x CDP at
+4MB L1 + 128MB L2).
+"""
+
+from conftest import once
+
+from repro.bench import fig12_cache_speedup
+from repro.core.report import format_table
+
+
+def test_fig12_cache_sweep(benchmark, cache_sweep, emit):
+    rows = once(benchmark, lambda: fig12_cache_speedup(cache_sweep))
+    emit("fig12_cache_speedup", format_table(rows))
+    huge = {
+        r["benchmark"]: r["speedup"]
+        for r in rows if r["l1_bytes"] == 4 * 1024 * 1024
+    }
+    tiny = {
+        r["benchmark"]: r["speedup"]
+        for r in rows if r["l1_bytes"] == 0
+    }
+    # GKSW gains the most from giant caches; its CDP variant less so.
+    assert max(huge, key=huge.get) in ("GKSW", "GKSW-CDP")
+    assert huge["GKSW"] > 2.0
+    # Everything else stays within ~15% of baseline.
+    others = [v for k, v in huge.items() if "GKSW" not in k]
+    assert all(0.85 < v < 1.15 for v in others)
+    # Removing the L1 hurts at least some benchmarks.
+    assert min(tiny.values()) < 0.9

@@ -1,0 +1,37 @@
+"""Fig 13: L1 miss rates across cache sizes.
+
+Paper: most miss rates barely move with size; SW and most GASAL2
+kernels have very low L1 miss rates; PairHMM and NvB stay high at
+every size.
+"""
+
+import statistics
+
+from conftest import once
+
+from repro.bench import fig13_l1_miss
+from repro.core.report import format_table
+
+BASE_L1 = 128 * 1024
+
+
+def test_fig13_l1_miss(benchmark, cache_sweep, emit):
+    rows = once(benchmark, lambda: fig13_l1_miss(cache_sweep))
+    emit("fig13_l1_miss", format_table(rows))
+    base = {
+        r["benchmark"]: r["l1_miss_rate"]
+        for r in rows if r["l1_bytes"] == BASE_L1
+    }
+    # SW and the non-traceback GASAL2 kernels: very low L1 miss.
+    for abbr in ("SW", "GG", "GL", "GSG"):
+        assert base[abbr] < 0.3, abbr
+    # PairHMM and NvB: high, and insensitive to L1 size.
+    for abbr in ("PairHMM", "NvB"):
+        series = [
+            r["l1_miss_rate"] for r in rows
+            if r["benchmark"] == abbr and r["l1_bytes"] > 0
+        ]
+        assert min(series) > 0.6, abbr
+        assert max(series) - min(series) < 0.2, abbr
+    # Average miss rate in a plausible band around the paper's ~30%.
+    assert 0.2 < statistics.mean(base.values()) < 0.6

@@ -1,0 +1,28 @@
+"""Fig 14: L2 miss rates across cache sizes.
+
+Paper: NW, PairHMM and NvB keep very high L2 miss rates even with a
+large L2; GASAL2 reaches up to ~95% misses at small L2 sizes.
+"""
+
+from conftest import once
+
+from repro.bench import fig14_l2_miss
+from repro.core.report import format_table
+
+
+def test_fig14_l2_miss(benchmark, cache_sweep, emit):
+    rows = once(benchmark, lambda: fig14_l2_miss(cache_sweep))
+    emit("fig14_l2_miss", format_table(rows))
+    base = {
+        r["benchmark"]: r["l2_miss_rate"]
+        for r in rows if r["l2_bytes"] == 4 * 1024 * 1024
+    }
+    small = {
+        r["benchmark"]: r["l2_miss_rate"]
+        for r in rows if r["l2_bytes"] == 512 * 1024
+    }
+    # High L2 miss rates for the paper's high-miss group.
+    for abbr in ("NW", "PairHMM", "NvB", "NvB-CDP"):
+        assert base[abbr] > 0.35, abbr
+    # GKSW misses hard at small L2 sizes.
+    assert small["GKSW"] > 0.8

@@ -1,0 +1,26 @@
+"""Fig 15: perfect (zero-latency) memory system.
+
+Paper: STAR and CLUSTER gain nothing; GG/GL gain ~25%; GKSW gains up
+to 5x; the suite averages ~27%.
+"""
+
+from conftest import once
+
+from repro.bench import fig15_perfect_memory
+from repro.core.report import format_table
+
+
+def test_fig15_perfect_memory(benchmark, paper_config, emit):
+    rows = once(benchmark, lambda: fig15_perfect_memory(paper_config))
+    emit("fig15_perfect_memory", format_table(rows))
+    by_name = {r["benchmark"]: r["speedup"] for r in rows}
+    # Compute/divergence-bound kernels barely move.
+    assert by_name["STAR"] < 1.2
+    assert by_name["CLUSTER"] < 1.2
+    # GG/GL in the ~25% band.
+    assert 1.1 < by_name["GG"] < 1.6
+    assert 1.1 < by_name["GL"] < 1.7
+    # GKSW is the big winner (paper: up to 5x).
+    assert by_name["GKSW"] > 3.0
+    # Perfect memory never hurts.
+    assert min(by_name.values()) >= 0.95

@@ -1,0 +1,26 @@
+"""Fig 16: FR-FCFS vs FIFO vs OoO-128 memory controllers.
+
+Paper: no significant changes overall; FIFO costs the bandwidth-bound
+GASAL2 kernels (GL, GKSW) up to ~15%.
+"""
+
+from conftest import once
+
+from repro.bench import fig16_mem_controller
+from repro.core.report import format_table
+
+
+def test_fig16_mem_controller(benchmark, paper_config, emit):
+    rows = once(benchmark, lambda: fig16_mem_controller(paper_config))
+    emit("fig16_mem_controller", format_table(rows))
+    for row in rows:
+        fifo_slowdown = row["fifo"] / row["frfcfs"]
+        ooo_delta = abs(row["ooo128"] / row["frfcfs"] - 1.0)
+        # OoO-128 behaves like FR-FCFS.
+        assert ooo_delta < 0.02, row["benchmark"]
+        # FIFO never helps meaningfully and never exceeds ~50% damage.
+        assert 0.85 < fifo_slowdown < 1.5, row["benchmark"]
+    # The GASAL2 kernels are the FIFO-sensitive ones.
+    by_name = {r["benchmark"]: r for r in rows}
+    gksw = by_name["GKSW"]["fifo"] / by_name["GKSW"]["frfcfs"]
+    assert gksw > 1.02

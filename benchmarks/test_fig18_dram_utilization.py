@@ -1,0 +1,28 @@
+"""Fig 18: DRAM utilization (data-pin cycles over execution time).
+
+Paper: most applications show low utilization; GKSW, GKSW-CDP, NvB and
+NvB-CDP are the memory-intensive exceptions.
+"""
+
+from conftest import once
+
+from repro.bench import fig18_dram_utilization
+from repro.core.report import format_table
+
+
+def test_fig18_dram_utilization(benchmark, paper_config, emit):
+    rows = once(benchmark, lambda: fig18_dram_utilization(paper_config))
+    emit("fig18_dram_utilization", format_table(rows))
+    by_name = {r["benchmark"]: r["utilization"] for r in rows}
+    # GKSW (+CDP) tops the chart by a wide margin.
+    assert by_name["GKSW"] > 0.3
+    assert by_name["GKSW-CDP"] > 0.3
+    low_group = [v for k, v in by_name.items() if "GKSW" not in k]
+    assert all(v < 0.3 for v in low_group)
+    # And NvB sits above the low group's typical level.
+    rest = sorted(
+        v for k, v in by_name.items()
+        if "GKSW" not in k and "NvB" not in k
+    )
+    median_rest = rest[len(rest) // 2]
+    assert by_name["NvB"] > median_rest

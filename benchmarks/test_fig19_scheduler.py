@@ -1,0 +1,25 @@
+"""Fig 19: warp-scheduler sensitivity (LRR / GTO / OLD / 2LV).
+
+Paper: no big differences; NvB improves slightly over LRR; GTO and
+OLD do better on PairHMM-CDP.
+"""
+
+from conftest import once
+
+from repro.bench import fig19_scheduler
+from repro.core.report import format_table
+
+
+def test_fig19_scheduler(benchmark, paper_config, emit):
+    rows = once(benchmark, lambda: fig19_scheduler(paper_config))
+    emit("fig19_scheduler", format_table(rows))
+    for row in rows:
+        for sched in ("gto", "old", "2lv"):
+            # "No big differences in performance among these schedulers."
+            assert 0.8 < row[f"norm_{sched}"] < 1.25, (
+                row["benchmark"], sched
+            )
+    by_name = {r["benchmark"]: r for r in rows}
+    # GTO/OLD at least match LRR on PairHMM-CDP.
+    assert by_name["PairHMM-CDP"]["norm_gto"] >= 0.99
+    assert by_name["PairHMM-CDP"]["norm_old"] >= 0.99

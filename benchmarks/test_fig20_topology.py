@@ -1,0 +1,26 @@
+"""Fig 20: interconnect topology (normalized to the local crossbar).
+
+Paper: most applications lose slightly on the alternative topologies;
+the mesh hurts the most due to its hop count.
+"""
+
+import statistics
+
+from conftest import once
+
+from repro.bench import fig20_topology
+from repro.core.report import format_table
+
+
+def test_fig20_topology(benchmark, paper_config, emit):
+    rows = once(benchmark, lambda: fig20_topology(paper_config))
+    emit("fig20_topology", format_table(rows))
+    for row in rows:
+        for topo in ("mesh", "fattree", "butterfly"):
+            # Slight decrease for most: never a big win, bounded loss.
+            assert row[f"norm_{topo}"] < 1.05, (row["benchmark"], topo)
+            assert row[f"norm_{topo}"] > 0.5, (row["benchmark"], topo)
+    # On average the mesh is the worst of the alternatives.
+    mesh = statistics.mean(r["norm_mesh"] for r in rows)
+    fattree = statistics.mean(r["norm_fattree"] for r in rows)
+    assert mesh <= fattree + 0.02

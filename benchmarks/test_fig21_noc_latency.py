@@ -1,0 +1,28 @@
+"""Fig 21: added router latency (+4/+8/+16 cycles) on a mesh.
+
+Paper: average degradation of 36%/60%/78%; CDP variants are more
+sensitive because of their higher parallelism.  The reproduction
+recovers the monotonic shape at roughly half magnitude (see
+EXPERIMENTS.md).
+"""
+
+import statistics
+
+from conftest import once
+
+from repro.bench import fig21_noc_latency
+from repro.core.report import format_table
+
+
+def test_fig21_noc_latency(benchmark, paper_config, emit):
+    rows = once(benchmark, lambda: fig21_noc_latency(paper_config))
+    emit("fig21_noc_latency", format_table(rows))
+    means = {
+        d: statistics.mean(r[f"norm_delay{d}"] for r in rows)
+        for d in (4, 8, 16)
+    }
+    # Monotonic degradation with added latency.
+    assert means[4] > means[8] > means[16]
+    # Significant at +16 (paper: -78%; model: roughly half).
+    assert means[16] < 0.75
+    assert means[4] < 0.95

@@ -1,0 +1,28 @@
+"""Fig 22: interconnect channel width 8/16/32/40B on a mesh.
+
+Paper: ~10% degradation at 32B, drastic decreases at 16B and 8B (34%
+average at 8B).  The reproduction recovers the monotonic shape at a
+reduced magnitude (see EXPERIMENTS.md).
+"""
+
+import statistics
+
+from conftest import once
+
+from repro.bench import fig22_noc_bandwidth
+from repro.core.report import format_table
+
+
+def test_fig22_noc_bandwidth(benchmark, paper_config, emit):
+    rows = once(benchmark, lambda: fig22_noc_bandwidth(paper_config))
+    emit("fig22_noc_bandwidth", format_table(rows))
+    means = {
+        w: statistics.mean(r[f"norm_bw{w}"] for r in rows)
+        for w in (8, 16, 32)
+    }
+    # Monotonic degradation as the channel narrows.
+    assert means[32] > means[16] > means[8]
+    # Noticeable at 8B.
+    assert means[8] < 0.92
+    # 32B stays within ~10% of the 40B baseline on average.
+    assert means[32] > 0.88

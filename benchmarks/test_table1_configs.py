@@ -1,0 +1,16 @@
+"""Table I: the hardware configuration space."""
+
+from conftest import once
+
+from repro.bench import table1_configs
+from repro.core.report import format_table
+
+
+def test_table1_configs(benchmark, emit):
+    rows = once(benchmark, table1_configs)
+    emit("table1_configs", format_table(rows))
+    assert any(r["configuration"] == "L1 Cache" for r in rows)
+    baseline_l1 = next(
+        r for r in rows if r["configuration"] == "L1 Cache"
+    )["baseline"]
+    assert baseline_l1 == 128 * 1024

@@ -1,0 +1,14 @@
+"""Table II: the interconnect configuration space."""
+
+from conftest import once
+
+from repro.bench import table2_configs
+from repro.core.report import format_table
+
+
+def test_table2_noc_configs(benchmark, emit):
+    rows = once(benchmark, table2_configs)
+    emit("table2_noc_configs", format_table(rows))
+    topo = next(r for r in rows if r["configuration"] == "Topology")
+    assert topo["baseline"] == "xbar"
+    assert set(topo["sweep"]) == {"xbar", "mesh", "fattree", "butterfly"}

@@ -1,0 +1,79 @@
+"""Architecture exploration: sweep hardware knobs for one kernel.
+
+The use-case the paper motivates: use the benchmark suite to steer GPU
+architecture research.  This example takes GKSW (the suite's most
+memory-sensitive kernel) and sweeps cache sizes, DRAM controllers, and
+interconnect widths, printing the sensitivity the paper's Figs 12, 16
+and 22 report.
+
+Run:  python examples/architecture_exploration.py
+"""
+
+from repro.core import baseline_config, format_table
+from repro.core.config_presets import (
+    CACHE_SWEEP,
+    MEM_CONTROLLERS,
+    NOC_BANDWIDTH_SWEEP,
+    with_cache_sizes,
+    with_controller,
+    with_topology,
+)
+from repro.core.runner import run_benchmark
+
+BENCH = "GKSW"
+BASE = baseline_config(num_sms=16)
+
+
+def sweep_caches() -> None:
+    rows = []
+    baseline_time = None
+    for l1, l2 in CACHE_SWEEP:
+        cfg = with_cache_sizes(BASE, l1, l2)
+        stats = run_benchmark(BENCH, config=cfg)
+        if (l1, l2) == (128 * 1024, 4 * 1024 * 1024):
+            baseline_time = stats.device_time()
+        rows.append({
+            "L1": f"{l1 // 1024}KB",
+            "L2": f"{l2 // 1024}KB",
+            "cycles": stats.device_time(),
+            "l1_miss": round(stats.l1.miss_rate, 2),
+            "l2_miss": round(stats.l2.miss_rate, 2),
+        })
+    for row in rows:
+        row["speedup"] = round(baseline_time / row["cycles"], 2)
+    print(f"Cache sweep for {BENCH} (Fig 12/13/14):")
+    print(format_table(rows))
+
+
+def sweep_controllers() -> None:
+    rows = []
+    for controller in MEM_CONTROLLERS:
+        stats = run_benchmark(BENCH, config=with_controller(BASE, controller))
+        rows.append({
+            "controller": controller,
+            "cycles": stats.device_time(),
+            "dram_efficiency": round(stats.dram.efficiency, 3),
+            "row_hit_rate": round(stats.dram.row_hit_rate, 3),
+        })
+    print(f"\nMemory-controller sweep for {BENCH} (Fig 16/17):")
+    print(format_table(rows))
+
+
+def sweep_noc() -> None:
+    rows = []
+    for width in NOC_BANDWIDTH_SWEEP:
+        cfg = with_topology(BASE, "mesh", channel_bytes=width)
+        stats = run_benchmark(BENCH, config=cfg)
+        rows.append({
+            "channel": f"{width}B",
+            "cycles": stats.device_time(),
+            "noc_avg_latency": round(stats.noc.average_latency, 1),
+        })
+    print(f"\nInterconnect bandwidth sweep for {BENCH} on a mesh (Fig 22):")
+    print(format_table(rows))
+
+
+if __name__ == "__main__":
+    sweep_caches()
+    sweep_controllers()
+    sweep_noc()

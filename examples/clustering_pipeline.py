@@ -1,0 +1,70 @@
+"""Gene-sequence clustering with nGIA filters, plus its GPU profile.
+
+Builds a mixture of sequence families, clusters them greedily, shows
+how much work the pre-filter and short-word filter removed, then runs
+the CLUSTER benchmark (and its CDP variant) on the same workload.
+
+Run:  python examples/clustering_pipeline.py
+"""
+
+from repro.core import baseline_config, format_table
+from repro.data.synth import random_dna, sequence_family
+from repro.data.workloads import ClusterWorkload
+from repro.genomics.cluster import greedy_cluster
+from repro.genomics.sequence import Sequence
+from repro.kernels import build_application
+from repro.sim import GPUSimulator
+
+
+def build_sequences():
+    sequences = []
+    for family in range(4):
+        sequences.extend(
+            sequence_family(8, 150, divergence=0.03, seed=family,
+                            name_prefix=f"fam{family}_")
+        )
+    # A few unrelated singletons.
+    for i in range(4):
+        sequences.append(Sequence(f"single{i}", random_dna(150, seed=50 + i)))
+    return sequences
+
+
+def functional_clustering(sequences):
+    result = greedy_cluster(sequences, identity=0.88, word_length=5)
+    rows = [
+        {
+            "cluster": i,
+            "representative": c.representative.name,
+            "members": c.size,
+        }
+        for i, c in enumerate(result.clusters)
+    ]
+    print(format_table(rows))
+    print(f"\n{result.num_clusters} clusters from {len(sequences)} sequences")
+    print(f"pre-filter rejections:   {result.prefilter_rejections}")
+    print(f"short-word rejections:   {result.short_word_rejections}")
+    print(f"alignments actually run: {result.alignments_run}")
+    print(f"filters removed {100 * result.filter_ratio():.0f}% of "
+          "candidate comparisons")
+    return result
+
+
+def simulate_cluster(sequences):
+    workload = ClusterWorkload(tuple(sequences), identity=0.88, word_length=5)
+    config = baseline_config(num_sms=16)
+    print("\nGPU characterization (CLUSTER benchmark):")
+    for cdp in (False, True):
+        app = build_application("CLUSTER", cdp=cdp, workload=workload)
+        stats = GPUSimulator(config).run_application(app)
+        occ = stats.occupancy_fractions()
+        print(f"  {app.name:12s} device_time={stats.device_time():>7d} "
+              f"W1-4={100 * occ['W1-4']:.0f}% "
+              f"W29-32={100 * occ['W29-32']:.0f}%")
+    print("(CDP recovers warp occupancy by launching full-width "
+          "children for the surviving alignments)")
+
+
+if __name__ == "__main__":
+    sequences = build_sequences()
+    functional_clustering(sequences)
+    simulate_cluster(sequences)

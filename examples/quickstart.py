@@ -1,0 +1,57 @@
+"""Quickstart: align sequences, then characterize a kernel on the GPU model.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import BenchmarkSuite, baseline_config, format_breakdown
+from repro.genomics.align import needleman_wunsch, smith_waterman
+from repro.genomics.scoring import ScoringScheme
+
+
+def alignment_demo() -> None:
+    """The functional layer: real alignments with real results."""
+    scheme = ScoringScheme.dna_default()
+
+    global_aln = needleman_wunsch("GATTACAGATTACA", "GATCAGATTACA", scheme)
+    print("Global alignment (Needleman-Wunsch):")
+    print(f"  {global_aln.aligned_query}")
+    print(f"  {global_aln.aligned_target}")
+    print(f"  score={global_aln.score} cigar={global_aln.cigar}")
+
+    local_aln = smith_waterman("TTTTGATTACATTTT", "CCCGATTACACCC", scheme)
+    print("\nLocal alignment (Smith-Waterman):")
+    print(f"  found {local_aln.aligned_query!r} at query "
+          f"{local_aln.query_start}..{local_aln.query_end}")
+
+
+def simulation_demo() -> None:
+    """The architecture layer: run the NW benchmark on the GPU model."""
+    # A smaller machine keeps the demo instant; drop num_sms for the
+    # paper's full 78-SM RTX 3070 baseline.
+    suite = BenchmarkSuite(baseline_config(num_sms=16))
+
+    print("\nTable III properties for NW:")
+    props = suite.properties("NW")
+    print(f"  grid={props.grid} cta={props.cta} "
+          f"CTA/core={props.cta_per_core_model} (limited by {props.limiter})")
+
+    stats = suite.run("NW")
+    print(f"\nSimulated NW: {stats.instructions} instructions over "
+          f"{stats.cycles} cycles (IPC {stats.ipc:.2f})")
+    print(f"  kernel launches={stats.kernel_launches} "
+          f"memcpys={stats.memcpy_calls}")
+    print(f"  L1 miss rate {stats.l1.miss_rate:.2f}, "
+          f"L2 miss rate {stats.l2.miss_rate:.2f}")
+
+    print("\nPipeline stall breakdown (Fig 5 for NW):")
+    print(format_breakdown(stats.stall_breakdown()))
+
+    cdp = suite.run("NW", cdp=True)
+    gain = 1 - cdp.device_time() / stats.device_time()
+    print(f"\nCDP variant improves kernel-side time by {100 * gain:.1f}% "
+          "(Fig 3)")
+
+
+if __name__ == "__main__":
+    alignment_demo()
+    simulation_demo()

@@ -1,0 +1,545 @@
+"""Every table and figure of the paper as a runnable experiment.
+
+Conventions:
+
+- Each function accepts a ``config`` (default: the RTX 3070 baseline)
+  and returns a list of row dicts ready for
+  :func:`repro.core.report.format_table`.
+- Benchmarks default to the SMALL datasets so a full figure finishes
+  in seconds; pass ``size=DatasetSize.MEDIUM``/``LARGE`` to scale up.
+- Per-figure benchmark subsets match the paper (Fig 2 uses SW/NW/STAR;
+  Fig 7 uses NW/PairHMM; everything else runs the full suite with CDP
+  variants).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+from repro.core.config_presets import (
+    CACHE_SWEEP,
+    CTA_SCALING,
+    MEM_CONTROLLERS,
+    NOC_BANDWIDTH_SWEEP,
+    NOC_LATENCY_SWEEP,
+    SCHEDULERS,
+    TOPOLOGIES,
+    baseline_config,
+    scale_cta_resources,
+    with_cache_sizes,
+    with_controller,
+    with_topology,
+)
+from repro.core.runner import run_benchmark, variant_name
+from repro.core.suite import BenchmarkSuite
+from repro.cpu.timing import cpu_cycles
+from repro.data.datasets import DatasetSize, dataset_for
+from repro.kernels import BENCHMARKS, benchmark_names
+from repro.sim.config import GPUConfig
+from repro.sim.stats import OCCUPANCY_BUCKETS
+
+
+def suite_variants() -> list[tuple[str, bool]]:
+    """All 20 (benchmark, cdp) variants in Table III order."""
+    return [(abbr, cdp) for abbr in benchmark_names() for cdp in (False, True)]
+
+
+def _run_all(config: GPUConfig, size: DatasetSize):
+    """Run every variant once; returns {variant_name: RunStats}."""
+    return {
+        variant_name(abbr, cdp): run_benchmark(abbr, cdp=cdp, size=size, config=config)
+        for abbr, cdp in suite_variants()
+    }
+
+
+# ---------------------------------------------------------------------------
+# Tables
+# ---------------------------------------------------------------------------
+
+def table1_configs() -> list[dict]:
+    """Table I: the hardware configuration space (baseline bolded)."""
+    from repro.core import config_presets as presets
+
+    base = baseline_config()
+    return [
+        {"configuration": "Shader Cores", "baseline": base.num_sms,
+         "sweep": [base.num_sms]},
+        {"configuration": "Warp Size", "baseline": base.warp_size,
+         "sweep": [base.warp_size]},
+        {"configuration": "Registers / Core",
+         "baseline": base.registers_per_sm, "sweep": presets.REGISTER_SWEEP},
+        {"configuration": "CTAs / Core", "baseline": base.max_ctas_per_sm,
+         "sweep": presets.CTA_SWEEP},
+        {"configuration": "Threads / Core",
+         "baseline": base.max_threads_per_sm, "sweep": presets.THREAD_SWEEP},
+        {"configuration": "Shared Memory / Core (KB)",
+         "baseline": base.shared_mem_per_sm // 1024,
+         "sweep": presets.SHARED_MEM_SWEEP_KB},
+        {"configuration": "L1 Cache", "baseline": base.l1.size_bytes,
+         "sweep": [l1 for l1, _ in CACHE_SWEEP]},
+        {"configuration": "L2 Cache", "baseline": base.l2.size_bytes,
+         "sweep": [l2 for _, l2 in CACHE_SWEEP]},
+        {"configuration": "Memory Controller",
+         "baseline": base.dram.controller, "sweep": MEM_CONTROLLERS},
+        {"configuration": "Scheduler", "baseline": base.scheduler,
+         "sweep": SCHEDULERS},
+    ]
+
+
+def table2_configs() -> list[dict]:
+    """Table II: the interconnect configuration space."""
+    base = baseline_config()
+    return [
+        {"configuration": "Topology", "baseline": base.noc.topology,
+         "sweep": TOPOLOGIES},
+        {"configuration": "Routing Mechanism", "baseline": "per topology",
+         "sweep": ["dimension order", "destination tag",
+                   "nearest common ancestor"]},
+        {"configuration": "Routing delay", "baseline": base.noc.router_delay,
+         "sweep": NOC_LATENCY_SWEEP},
+        {"configuration": "Flit size (Bytes)",
+         "baseline": base.noc.channel_bytes, "sweep": NOC_BANDWIDTH_SWEEP},
+    ]
+
+
+def table3_properties(config: GPUConfig | None = None) -> list[dict]:
+    """Table III: benchmark properties plus the model's CTA/core."""
+    suite = BenchmarkSuite(config or baseline_config())
+    return [asdict(suite.properties(abbr)) for abbr in suite.names()]
+
+
+# ---------------------------------------------------------------------------
+# Figures
+# ---------------------------------------------------------------------------
+
+def fig2_cpu_gpu(
+    config: GPUConfig | None = None, size: DatasetSize = DatasetSize.SMALL
+) -> list[dict]:
+    """Fig 2: CPU vs GPU vs GPU+CDP for SW, NW, STAR (normalized to CPU)."""
+    config = config or baseline_config()
+    rows = []
+    for abbr in ("SW", "NW", "STAR"):
+        workload = dataset_for(abbr, size)
+        cpu = cpu_cycles(abbr, workload)
+        gpu = run_benchmark(
+            abbr, cdp=False, size=size, config=config, workload=workload
+        ).device_time()
+        gpu_cdp = run_benchmark(
+            abbr, cdp=True, size=size, config=config, workload=workload
+        ).device_time()
+        rows.append({
+            "benchmark": abbr,
+            "cpu_cycles": cpu,
+            "gpu_cycles": gpu,
+            "gpu_cdp_cycles": gpu_cdp,
+            "gpu_norm": gpu / cpu,
+            "gpu_cdp_norm": gpu_cdp / cpu,
+            "gpu_speedup": cpu / gpu,
+            "gpu_cdp_speedup": cpu / gpu_cdp,
+        })
+    return rows
+
+
+def fig3_cdp(
+    config: GPUConfig | None = None, size: DatasetSize = DatasetSize.SMALL
+) -> list[dict]:
+    """Fig 3: kernel execution time, CDP vs non-CDP, per benchmark."""
+    config = config or baseline_config()
+    rows = []
+    for abbr in benchmark_names():
+        base = run_benchmark(abbr, cdp=False, size=size, config=config)
+        cdp = run_benchmark(abbr, cdp=True, size=size, config=config)
+        rows.append({
+            "benchmark": abbr,
+            "noncdp_cycles": base.device_time(),
+            "cdp_cycles": cdp.device_time(),
+            "improvement": 1.0 - cdp.device_time() / base.device_time(),
+        })
+    return rows
+
+
+def fig4_kernel_pci(
+    config: GPUConfig | None = None, size: DatasetSize = DatasetSize.SMALL
+) -> list[dict]:
+    """Fig 4: kernel/PCI call counts and total/average times."""
+    config = config or baseline_config()
+    rows = []
+    for abbr, cdp in suite_variants():
+        stats = run_benchmark(abbr, cdp=cdp, size=size, config=config)
+        launches = stats.kernel_launches + stats.device_launches
+        rows.append({
+            "benchmark": variant_name(abbr, cdp),
+            "kernel_count": launches,
+            "pci_count": stats.memcpy_calls,
+            "kernel_cycles": stats.kernel_cycles,
+            "pci_cycles": stats.pci_cycles,
+            "avg_kernel_cycles": stats.kernel_cycles / max(1, launches),
+            "avg_pci_cycles": stats.pci_cycles / max(1, stats.memcpy_calls),
+        })
+    return rows
+
+
+def fig5_stalls(
+    config: GPUConfig | None = None, size: DatasetSize = DatasetSize.SMALL
+) -> list[dict]:
+    """Fig 5: pipeline-stall breakdown per benchmark."""
+    config = config or baseline_config()
+    rows = []
+    for abbr, cdp in suite_variants():
+        stats = run_benchmark(abbr, cdp=cdp, size=size, config=config)
+        row = {"benchmark": variant_name(abbr, cdp)}
+        row.update(stats.stall_breakdown())
+        rows.append(row)
+    return rows
+
+
+def fig6_sram(config: GPUConfig | None = None) -> list[dict]:
+    """Fig 6: register / shared / constant utilization per benchmark."""
+    config = config or baseline_config()
+    suite = BenchmarkSuite(config)
+    from repro.kernels import build_application
+    from repro.sim.occupancy import occupancy_report
+
+    rows = []
+    for abbr in suite.names():
+        app = build_application(abbr)
+        kernel = getattr(app, "kernel", None)
+        if kernel is None:
+            for op in app.host_program():
+                if hasattr(op, "launch"):
+                    kernel = op.launch.kernel
+                    break
+        report = occupancy_report(config, kernel)
+        rows.append({
+            "benchmark": abbr,
+            "registers": report.register_utilization,
+            "shared_memory": report.shared_utilization,
+            "constant": report.constant_utilization,
+            "ctas_per_core": report.ctas_per_sm,
+            "limiter": report.limiter,
+        })
+    return rows
+
+
+def fig7_shared_memory(
+    config: GPUConfig | None = None, size: DatasetSize = DatasetSize.SMALL
+) -> list[dict]:
+    """Fig 7: NW and PairHMM with vs without shared memory."""
+    config = config or baseline_config()
+    rows = []
+    for abbr in ("NW", "PairHMM"):
+        with_smem = run_benchmark(
+            abbr, size=size, config=config, use_shared=True
+        ).device_time()
+        without = run_benchmark(
+            abbr, size=size, config=config, use_shared=False
+        ).device_time()
+        rows.append({
+            "benchmark": abbr,
+            "with_shared_cycles": with_smem,
+            "without_shared_cycles": without,
+            "slowdown_without": without / with_smem,
+        })
+    return rows
+
+
+def fig8_instruction_mix(
+    config: GPUConfig | None = None, size: DatasetSize = DatasetSize.SMALL
+) -> list[dict]:
+    """Fig 8: dynamic instruction-class distribution."""
+    config = config or baseline_config()
+    rows = []
+    for abbr, cdp in suite_variants():
+        stats = run_benchmark(abbr, cdp=cdp, size=size, config=config)
+        row = {"benchmark": variant_name(abbr, cdp)}
+        row.update(stats.op_fractions())
+        rows.append(row)
+    return rows
+
+
+def fig9_memory_mix(
+    config: GPUConfig | None = None, size: DatasetSize = DatasetSize.SMALL
+) -> list[dict]:
+    """Fig 9: memory-space distribution of memory instructions."""
+    config = config or baseline_config()
+    rows = []
+    for abbr, cdp in suite_variants():
+        stats = run_benchmark(abbr, cdp=cdp, size=size, config=config)
+        row = {"benchmark": variant_name(abbr, cdp)}
+        row.update(stats.mem_fractions())
+        rows.append(row)
+    return rows
+
+
+def fig10_warp_occupancy(
+    config: GPUConfig | None = None, size: DatasetSize = DatasetSize.SMALL
+) -> list[dict]:
+    """Fig 10: warp-occupancy histogram (W1-4 .. W29-32)."""
+    config = config or baseline_config()
+    rows = []
+    for abbr, cdp in suite_variants():
+        stats = run_benchmark(abbr, cdp=cdp, size=size, config=config)
+        row = {"benchmark": variant_name(abbr, cdp)}
+        row.update(stats.occupancy_fractions())
+        rows.append(row)
+    return rows
+
+
+def fig11_cta_sweep(
+    config: GPUConfig | None = None,
+    size: DatasetSize = DatasetSize.SMALL,
+    benchmarks: list[str] | None = None,
+    num_sms: int = 4,
+) -> list[dict]:
+    """Fig 11: speedup when CTA/core (and linked resources) scale.
+
+    Resident-CTA capacity only binds when grids oversubscribe the
+    machine, so this sweep runs on a small ``num_sms`` device (the
+    paper's 32K-scale inputs oversubscribe all 78 SMs; the SMALL
+    datasets would leave them idle).  PairHMM uses the MEDIUM batch for
+    the same reason — its CTA demand must exceed baseline capacity for
+    the paper's PairHMM-CDP scaling trend to be visible.
+    """
+    config = (config or baseline_config()).with_(num_sms=num_sms)
+    rows = []
+    for abbr, cdp in suite_variants():
+        if benchmarks and abbr not in benchmarks:
+            continue
+        bench_size = DatasetSize.MEDIUM if abbr == "PairHMM" else size
+        base_time = None
+        row = {"benchmark": variant_name(abbr, cdp)}
+        for factor in CTA_SCALING:
+            cfg = scale_cta_resources(config, factor)
+            time = run_benchmark(
+                abbr, cdp=cdp, size=bench_size, config=cfg
+            ).device_time()
+            if factor == 1.0:
+                base_time = time
+            row[f"x{factor}"] = time
+        for factor in CTA_SCALING:
+            row[f"speedup_x{factor}"] = base_time / row[f"x{factor}"]
+        rows.append(row)
+    return rows
+
+
+def cache_sweep_results(
+    config: GPUConfig | None = None,
+    size: DatasetSize = DatasetSize.SMALL,
+    benchmarks: list[str] | None = None,
+) -> list[dict]:
+    """Shared sweep behind Figs 12-14: one row per (variant, cache pair)."""
+    config = config or baseline_config()
+    rows = []
+    for abbr, cdp in suite_variants():
+        if benchmarks and abbr not in benchmarks:
+            continue
+        for l1_bytes, l2_bytes in CACHE_SWEEP:
+            cfg = with_cache_sizes(config, l1_bytes, l2_bytes)
+            stats = run_benchmark(abbr, cdp=cdp, size=size, config=cfg)
+            rows.append({
+                "benchmark": variant_name(abbr, cdp),
+                "l1_bytes": l1_bytes,
+                "l2_bytes": l2_bytes,
+                "cycles": stats.device_time(),
+                "ipc": stats.ipc,
+                "l1_miss_rate": stats.l1.miss_rate,
+                "l2_miss_rate": stats.l2.miss_rate,
+            })
+    return rows
+
+
+def _baseline_key(row: dict) -> bool:
+    return row["l1_bytes"] == 128 * 1024 and row["l2_bytes"] == 4 * 1024 * 1024
+
+
+def fig12_cache_speedup(sweep: list[dict] | None = None, **kwargs) -> list[dict]:
+    """Fig 12: IPC speedup per cache configuration vs the baseline."""
+    sweep = sweep or cache_sweep_results(**kwargs)
+    baselines = {
+        row["benchmark"]: row["ipc"] for row in sweep if _baseline_key(row)
+    }
+    return [
+        {
+            "benchmark": row["benchmark"],
+            "l1_bytes": row["l1_bytes"],
+            "l2_bytes": row["l2_bytes"],
+            "speedup": row["ipc"] / baselines[row["benchmark"]]
+            if baselines[row["benchmark"]]
+            else 0.0,
+        }
+        for row in sweep
+    ]
+
+
+def fig13_l1_miss(sweep: list[dict] | None = None, **kwargs) -> list[dict]:
+    """Fig 13: L1 miss rate per cache configuration."""
+    sweep = sweep or cache_sweep_results(**kwargs)
+    return [
+        {k: row[k] for k in ("benchmark", "l1_bytes", "l2_bytes", "l1_miss_rate")}
+        for row in sweep
+    ]
+
+
+def fig14_l2_miss(sweep: list[dict] | None = None, **kwargs) -> list[dict]:
+    """Fig 14: L2 miss rate per cache configuration."""
+    sweep = sweep or cache_sweep_results(**kwargs)
+    return [
+        {k: row[k] for k in ("benchmark", "l1_bytes", "l2_bytes", "l2_miss_rate")}
+        for row in sweep
+    ]
+
+
+def fig15_perfect_memory(
+    config: GPUConfig | None = None, size: DatasetSize = DatasetSize.SMALL
+) -> list[dict]:
+    """Fig 15: speedup with a zero-latency memory system."""
+    config = config or baseline_config()
+    rows = []
+    for abbr, cdp in suite_variants():
+        base = run_benchmark(abbr, cdp=cdp, size=size, config=config)
+        perfect = run_benchmark(
+            abbr, cdp=cdp, size=size, config=config.with_(perfect_memory=True)
+        )
+        rows.append({
+            "benchmark": variant_name(abbr, cdp),
+            "baseline_cycles": base.device_time(),
+            "perfect_cycles": perfect.device_time(),
+            "speedup": base.device_time() / perfect.device_time(),
+        })
+    return rows
+
+
+def fig16_mem_controller(
+    config: GPUConfig | None = None, size: DatasetSize = DatasetSize.SMALL
+) -> list[dict]:
+    """Fig 16: FR-FCFS vs FIFO vs OoO-128 memory controllers."""
+    config = config or baseline_config()
+    rows = []
+    for abbr, cdp in suite_variants():
+        row = {"benchmark": variant_name(abbr, cdp)}
+        times = {}
+        for controller in MEM_CONTROLLERS:
+            cfg = with_controller(config, controller)
+            times[controller] = run_benchmark(
+                abbr, cdp=cdp, size=size, config=cfg
+            ).device_time()
+            row[controller] = times[controller]
+        for controller in MEM_CONTROLLERS:
+            row[f"norm_{controller}"] = times["frfcfs"] / times[controller]
+        rows.append(row)
+    return rows
+
+
+def fig17_dram_efficiency(
+    config: GPUConfig | None = None, size: DatasetSize = DatasetSize.SMALL
+) -> list[dict]:
+    """Fig 17: DRAM efficiency per benchmark and controller."""
+    config = config or baseline_config()
+    rows = []
+    for abbr, cdp in suite_variants():
+        row = {"benchmark": variant_name(abbr, cdp)}
+        for controller in MEM_CONTROLLERS:
+            cfg = with_controller(config, controller)
+            stats = run_benchmark(abbr, cdp=cdp, size=size, config=cfg)
+            row[controller] = stats.dram.efficiency
+        rows.append(row)
+    return rows
+
+
+def fig18_dram_utilization(
+    config: GPUConfig | None = None, size: DatasetSize = DatasetSize.SMALL
+) -> list[dict]:
+    """Fig 18: fraction of execution time the DRAM pins move data."""
+    config = config or baseline_config()
+    rows = []
+    for abbr, cdp in suite_variants():
+        stats = run_benchmark(abbr, cdp=cdp, size=size, config=config)
+        rows.append({
+            "benchmark": variant_name(abbr, cdp),
+            "utilization": stats.dram_utilization(),
+        })
+    return rows
+
+
+def fig19_scheduler(
+    config: GPUConfig | None = None, size: DatasetSize = DatasetSize.SMALL
+) -> list[dict]:
+    """Fig 19: warp-scheduler sensitivity (normalized to LRR)."""
+    config = config or baseline_config()
+    rows = []
+    for abbr, cdp in suite_variants():
+        row = {"benchmark": variant_name(abbr, cdp)}
+        times = {}
+        for sched in SCHEDULERS:
+            cfg = config.with_(scheduler=sched)
+            times[sched] = run_benchmark(
+                abbr, cdp=cdp, size=size, config=cfg
+            ).device_time()
+            row[sched] = times[sched]
+        for sched in SCHEDULERS:
+            row[f"norm_{sched}"] = times["lrr"] / times[sched]
+        rows.append(row)
+    return rows
+
+
+def fig20_topology(
+    config: GPUConfig | None = None, size: DatasetSize = DatasetSize.SMALL
+) -> list[dict]:
+    """Fig 20: interconnect topology (normalized to the local crossbar)."""
+    config = config or baseline_config()
+    rows = []
+    for abbr, cdp in suite_variants():
+        row = {"benchmark": variant_name(abbr, cdp)}
+        times = {}
+        for topology in TOPOLOGIES:
+            cfg = with_topology(config, topology)
+            times[topology] = run_benchmark(
+                abbr, cdp=cdp, size=size, config=cfg
+            ).device_time()
+            row[topology] = times[topology]
+        for topology in TOPOLOGIES:
+            row[f"norm_{topology}"] = times["xbar"] / times[topology]
+        rows.append(row)
+    return rows
+
+
+def fig21_noc_latency(
+    config: GPUConfig | None = None, size: DatasetSize = DatasetSize.SMALL
+) -> list[dict]:
+    """Fig 21: router latency +0/4/8/16 cycles on a mesh."""
+    config = config or baseline_config()
+    rows = []
+    for abbr, cdp in suite_variants():
+        row = {"benchmark": variant_name(abbr, cdp)}
+        times = {}
+        for delay in NOC_LATENCY_SWEEP:
+            cfg = with_topology(config, "mesh", router_delay=delay)
+            times[delay] = run_benchmark(
+                abbr, cdp=cdp, size=size, config=cfg
+            ).device_time()
+            row[f"delay{delay}"] = times[delay]
+        for delay in NOC_LATENCY_SWEEP:
+            row[f"norm_delay{delay}"] = times[0] / times[delay]
+        rows.append(row)
+    return rows
+
+
+def fig22_noc_bandwidth(
+    config: GPUConfig | None = None, size: DatasetSize = DatasetSize.SMALL
+) -> list[dict]:
+    """Fig 22: channel width 8/16/32/40B on a mesh (normalized to 40B)."""
+    config = config or baseline_config()
+    rows = []
+    for abbr, cdp in suite_variants():
+        row = {"benchmark": variant_name(abbr, cdp)}
+        times = {}
+        for width in NOC_BANDWIDTH_SWEEP:
+            cfg = with_topology(config, "mesh", channel_bytes=width)
+            times[width] = run_benchmark(
+                abbr, cdp=cdp, size=size, config=cfg
+            ).device_time()
+            row[f"bw{width}"] = times[width]
+        for width in NOC_BANDWIDTH_SWEEP:
+            row[f"norm_bw{width}"] = times[40] / times[width]
+        rows.append(row)
+    return rows

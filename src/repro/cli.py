@@ -1,0 +1,368 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+list
+    Table III: the ten benchmarks and their properties.
+run ABBR
+    Run one benchmark on the GPU model and print its characterization.
+suite
+    Run every benchmark (with CDP variants) and print a summary table.
+figure NAME
+    Regenerate one of the paper's tables/figures (e.g. ``fig3``).
+dataset ABBR
+    Write a benchmark's synthetic input dataset to FASTA/FASTQ files.
+align QUERY TARGET
+    Align two sequences from the command line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core import (
+    BenchmarkSuite,
+    baseline_config,
+    format_breakdown,
+    format_kernel_profile,
+    format_table,
+)
+from repro.data.datasets import DatasetSize
+from repro.kernels import benchmark_names
+
+
+def _size(value: str) -> DatasetSize:
+    return DatasetSize(value)
+
+
+def _add_machine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--sms", type=int, default=None,
+        help="number of SMs (default: the paper's 78)",
+    )
+    parser.add_argument(
+        "--size", type=_size, default=DatasetSize.SMALL,
+        choices=list(DatasetSize), help="dataset scale",
+    )
+    parser.add_argument(
+        "--config", default=None, metavar="FILE",
+        help="simulator config file (see repro.sim.configfile)",
+    )
+
+
+def _config(args):
+    if getattr(args, "config", None):
+        from repro.sim.configfile import load_config
+
+        config = load_config(args.config)
+        if args.sms is not None:
+            config = config.with_(num_sms=args.sms)
+        return config
+    overrides = {}
+    if args.sms is not None:
+        overrides["num_sms"] = args.sms
+    return baseline_config(**overrides)
+
+
+def cmd_list(args) -> int:
+    suite = BenchmarkSuite(_config(args))
+    rows = []
+    for abbr in suite.names():
+        props = suite.properties(abbr)
+        rows.append({
+            "abbr": props.abbr,
+            "name": props.full_name,
+            "grid": props.grid[0],
+            "cta": props.cta[0],
+            "shared": "yes" if props.uses_shared else "no",
+            "cta/core": props.cta_per_core_model,
+            "limiter": props.limiter,
+        })
+    print(format_table(rows))
+    return 0
+
+
+def cmd_run(args) -> int:
+    if args.benchmark not in benchmark_names():
+        print(f"unknown benchmark {args.benchmark!r}; "
+              f"choose from {benchmark_names()}", file=sys.stderr)
+        return 2
+    suite = BenchmarkSuite(_config(args), size=args.size)
+    stats = suite.run(args.benchmark, cdp=args.cdp)
+    name = suite.variant_name(args.benchmark, args.cdp)
+    print(f"{name}: {stats.instructions} instructions, "
+          f"{stats.cycles} kernel cycles (IPC {stats.ipc:.3f})")
+    print(f"kernel launches: {stats.kernel_launches} host"
+          f" + {stats.device_launches} device; "
+          f"memcpys: {stats.memcpy_calls}")
+    print(f"device time: {stats.device_time()} cycles; "
+          f"PCI time: {stats.pci_cycles} cycles")
+    print(f"L1 miss {stats.l1.miss_rate:.3f}  L2 miss {stats.l2.miss_rate:.3f}  "
+          f"DRAM util {stats.dram_utilization():.3f}")
+    print("\nStall breakdown:")
+    print(format_breakdown(stats.stall_breakdown()))
+    if args.profile:
+        print("\nPer-kernel profile:")
+        print(format_kernel_profile(stats))
+    return 0
+
+
+def cmd_suite(args) -> int:
+    suite = BenchmarkSuite(_config(args), size=args.size)
+    results = suite.run_all(cdp_variants=not args.no_cdp)
+    rows = []
+    for name, stats in results.items():
+        rows.append({
+            "benchmark": name,
+            "device_time": stats.device_time(),
+            "ipc": round(stats.ipc, 3),
+            "launches": stats.kernel_launches + stats.device_launches,
+            "l1_miss": round(stats.l1.miss_rate, 3),
+            "l2_miss": round(stats.l2.miss_rate, 3),
+            "top_stall": max(stats.stall_breakdown(),
+                             key=stats.stall_breakdown().get)
+            if stats.stalls else "-",
+        })
+    print(format_table(rows))
+    return 0
+
+
+def cmd_roofline(args) -> int:
+    from repro.core import roofline_report
+    from repro.core.runner import run_suite
+
+    config = _config(args)
+    benchmarks = args.benchmarks or None
+    results = run_suite(
+        benchmarks, cdp_variants=not args.no_cdp,
+        size=args.size, config=config,
+    )
+    print(format_table(roofline_report(results, config)))
+    return 0
+
+
+def cmd_figure(args) -> int:
+    from repro import bench
+
+    name = args.name.lower()
+    candidates = [
+        attr for attr in dir(bench)
+        if attr.startswith((f"{name}_", name)) and not attr.endswith("_")
+    ]
+    exact = [c for c in candidates if c == name or c.startswith(f"{name}_")]
+    if not exact:
+        known = sorted(
+            a for a in dir(bench) if a.startswith(("fig", "table"))
+        )
+        print(f"unknown figure {args.name!r}; known: {known}",
+              file=sys.stderr)
+        return 2
+    func = getattr(bench, exact[0])
+    kwargs = {}
+    if name.startswith("fig"):
+        kwargs["config"] = _config(args)
+    rows = func(**kwargs)
+    if args.chart:
+        from repro.core.report import format_bar_chart
+
+        label = next(iter(rows[0]))
+        numeric = [
+            key for key, value in rows[0].items()
+            if key != label and isinstance(value, (int, float))
+        ]
+        print(format_bar_chart(rows, label, numeric[:4]))
+    else:
+        print(format_table(rows))
+    return 0
+
+
+def cmd_dataset(args) -> int:
+    from repro.data import write_fasta, write_fastq
+    from repro.data.datasets import dataset_for
+    from repro.data.workloads import (
+        BatchAlignmentWorkload,
+        ClusterWorkload,
+        MSAWorkload,
+        PairHMMWorkload,
+        PairwiseWorkload,
+        ReadMappingWorkload,
+    )
+    from repro.genomics.sequence import DNA, Sequence
+
+    workload = dataset_for(args.benchmark, args.size)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    def save_fasta(name, sequences):
+        path = out / f"{args.benchmark.lower()}_{name}.fasta"
+        write_fasta(sequences, path)
+        written.append(path)
+
+    if isinstance(workload, PairwiseWorkload):
+        save_fasta("pair", [workload.query, workload.target])
+    elif isinstance(workload, BatchAlignmentWorkload):
+        save_fasta("queries", workload.queries)
+        save_fasta("targets", workload.targets)
+    elif isinstance(workload, (MSAWorkload, ClusterWorkload)):
+        save_fasta("sequences", workload.sequences)
+    elif isinstance(workload, PairHMMWorkload):
+        save_fasta("reads", [
+            Sequence(f"read{i}", r, DNA)
+            for i, r in enumerate(workload.reads)
+        ])
+        save_fasta("haplotypes", [
+            Sequence(f"hap{i}", h, DNA)
+            for i, h in enumerate(workload.haplotypes)
+        ])
+    elif isinstance(workload, ReadMappingWorkload):
+        save_fasta("reference", [workload.reference])
+        path = out / f"{args.benchmark.lower()}_reads.fastq"
+        write_fastq(workload.reads, path)
+        written.append(path)
+    for path in written:
+        print(path)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Capture a benchmark's first kernel launch to a trace file."""
+    from repro.kernels import build_application
+    from repro.sim.launch import HostLaunch as HostLaunchOp
+    from repro.sim.tracefile import capture_trace
+
+    app = build_application(args.benchmark, size=args.size)
+    for op in app.host_program():
+        if isinstance(op, HostLaunchOp):
+            capture_trace(op.launch, args.out)
+            print(f"captured {op.launch.kernel.name} "
+                  f"({op.launch.num_ctas} CTAs) -> {args.out}")
+            return 0
+    print("application never launched a kernel", file=sys.stderr)
+    return 1
+
+
+def cmd_replay(args) -> int:
+    """Re-simulate a captured trace file."""
+    from repro.sim import GPUSimulator
+    from repro.sim.launch import Application as AppBase, HostLaunch as HL
+    from repro.sim.tracefile import load_trace
+
+    launch = load_trace(Path(args.trace))
+
+    class ReplayApp(AppBase):
+        name = f"replay:{launch.kernel.name}"
+
+        def host_program(self):
+            yield HL(launch)
+
+    stats = GPUSimulator(_config(args)).run_application(ReplayApp())
+    print(f"replayed {launch.kernel.name}: {stats.instructions} "
+          f"instructions, {stats.kernel_cycles} cycles "
+          f"(IPC {stats.ipc:.3f})")
+    print(format_breakdown(stats.stall_breakdown()))
+    return 0
+
+
+def cmd_align(args) -> int:
+    from repro.genomics.align import (
+        banded_global,
+        needleman_wunsch,
+        semi_global,
+        smith_waterman,
+    )
+
+    aligners = {
+        "global": needleman_wunsch,
+        "local": smith_waterman,
+        "semiglobal": semi_global,
+        "banded": lambda q, t: banded_global(q, t, band=args.band),
+    }
+    result = aligners[args.mode](args.query.upper(), args.target.upper())
+    print(result.aligned_query)
+    print("".join(
+        "|" if a == b and a != "-" else " "
+        for a, b in zip(result.aligned_query, result.aligned_target)
+    ))
+    print(result.aligned_target)
+    print(f"score={result.score} cigar={result.cigar} "
+          f"identity={result.identity():.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Genomics-GPU benchmark suite (ISPASS 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="Table III benchmark properties")
+    _add_machine_args(p_list)
+    p_list.set_defaults(func=cmd_list)
+
+    p_run = sub.add_parser("run", help="run one benchmark")
+    p_run.add_argument("benchmark")
+    p_run.add_argument("--cdp", action="store_true",
+                       help="run the CDP variant")
+    p_run.add_argument("--profile", action="store_true",
+                       help="print an nvprof-style per-kernel profile")
+    _add_machine_args(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_suite = sub.add_parser("suite", help="run the whole suite")
+    p_suite.add_argument("--no-cdp", action="store_true",
+                         help="skip the CDP variants")
+    _add_machine_args(p_suite)
+    p_suite.set_defaults(func=cmd_suite)
+
+    p_roof = sub.add_parser("roofline", help="roofline analysis of the suite")
+    p_roof.add_argument("benchmarks", nargs="*",
+                        help="benchmark subset (default: all)")
+    p_roof.add_argument("--no-cdp", action="store_true")
+    _add_machine_args(p_roof)
+    p_roof.set_defaults(func=cmd_roofline)
+
+    p_fig = sub.add_parser("figure", help="regenerate a table/figure")
+    p_fig.add_argument("name", help="e.g. fig3, fig12, table3")
+    p_fig.add_argument("--chart", action="store_true",
+                       help="render as grouped bars instead of a table")
+    _add_machine_args(p_fig)
+    p_fig.set_defaults(func=cmd_figure)
+
+    p_data = sub.add_parser("dataset", help="export a synthetic dataset")
+    p_data.add_argument("benchmark")
+    p_data.add_argument("--out", default="datasets")
+    _add_machine_args(p_data)
+    p_data.set_defaults(func=cmd_dataset)
+
+    p_trace = sub.add_parser("trace", help="capture a kernel trace file")
+    p_trace.add_argument("benchmark")
+    p_trace.add_argument("--out", default="kernel.trace")
+    _add_machine_args(p_trace)
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_replay = sub.add_parser("replay", help="re-simulate a trace file")
+    p_replay.add_argument("trace")
+    _add_machine_args(p_replay)
+    p_replay.set_defaults(func=cmd_replay)
+
+    p_align = sub.add_parser("align", help="align two sequences")
+    p_align.add_argument("query")
+    p_align.add_argument("target")
+    p_align.add_argument("--mode", default="global",
+                         choices=["global", "local", "semiglobal", "banded"])
+    p_align.add_argument("--band", type=int, default=32)
+    p_align.set_defaults(func=cmd_align)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,102 @@
+"""Roofline-style performance analysis of benchmark runs.
+
+Classifies each benchmark as compute- or bandwidth-bound from its run
+statistics, following the classic roofline methodology:
+
+- *operational intensity* = issued instructions per DRAM byte moved;
+- the machine's *ridge point* = peak issue rate / peak DRAM bandwidth;
+- below the ridge the kernel is bandwidth-bound, above it
+  compute-bound, and the attainable-throughput bound follows the
+  roofline formula ``min(peak_compute, intensity * peak_bw)``.
+
+This is the style of analysis the paper's characterization supports —
+e.g. its observation that GKSW and NvB are "more memory intensive"
+(Fig 18) drops out of the intensity column directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.config import GPUConfig
+from repro.sim.stats import RunStats
+
+#: 128-byte lines per DRAM transaction.
+LINE_BYTES = 128
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One benchmark's position under the roofline."""
+
+    benchmark: str
+    instructions: int
+    dram_bytes: int
+    intensity: float  # instructions per DRAM byte
+    achieved_ipc: float
+    bound: str  # "compute" | "bandwidth"
+    attainable_ipc: float
+    efficiency: float  # achieved / attainable
+
+    def as_row(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "intensity": round(self.intensity, 3),
+            "ipc": round(self.achieved_ipc, 3),
+            "attainable": round(self.attainable_ipc, 3),
+            "bound": self.bound,
+            "efficiency": round(self.efficiency, 3),
+        }
+
+
+def machine_peaks(config: GPUConfig) -> tuple[float, float]:
+    """(peak IPC, peak DRAM bytes/cycle) of a configuration."""
+    peak_ipc = float(config.num_sms)  # one issue slot per SM per cycle
+    bytes_per_cycle = (
+        config.num_mem_partitions
+        * LINE_BYTES
+        / config.dram.burst_cycles
+    )
+    return peak_ipc, bytes_per_cycle
+
+
+def roofline_point(
+    name: str, stats: RunStats, config: GPUConfig
+) -> RooflinePoint:
+    """Place one run under the configuration's roofline."""
+    peak_ipc, peak_bw = machine_peaks(config)
+    dram_bytes = stats.dram.requests * LINE_BYTES
+    if dram_bytes == 0:
+        intensity = float("inf")
+    else:
+        intensity = stats.instructions / dram_bytes
+    attainable = (
+        peak_ipc
+        if intensity == float("inf")
+        else min(peak_ipc, intensity * peak_bw)
+    )
+    ridge = peak_ipc / peak_bw
+    bound = "compute" if intensity >= ridge else "bandwidth"
+    achieved = stats.ipc
+    return RooflinePoint(
+        benchmark=name,
+        instructions=stats.instructions,
+        dram_bytes=dram_bytes,
+        intensity=intensity,
+        achieved_ipc=achieved,
+        bound=bound,
+        attainable_ipc=attainable,
+        efficiency=achieved / attainable if attainable else 0.0,
+    )
+
+
+def roofline_report(
+    results: dict[str, RunStats], config: GPUConfig
+) -> list[dict]:
+    """Roofline rows for a dict of named runs (most intense first)."""
+    points = [
+        roofline_point(name, stats, config)
+        for name, stats in results.items()
+    ]
+    points.sort(key=lambda p: p.intensity)
+    return [p.as_row() for p in points]

@@ -1,0 +1,106 @@
+"""Configuration presets: the Table I / Table II sweep space.
+
+Bolded Table I values are the baseline (returned by
+:func:`baseline_config`); the sweep lists here drive the Fig 11-22
+harnesses in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.sim.config import CacheConfig, DRAMConfig, GPUConfig, NoCConfig
+
+
+def baseline_config(**overrides) -> GPUConfig:
+    """The RTX 3070 baseline (bolded Table I column).
+
+    ``overrides`` replace top-level :class:`GPUConfig` fields, e.g.
+    ``baseline_config(num_sms=16)`` for faster test runs.
+    """
+    return GPUConfig(**overrides)
+
+
+#: Table I register-file sweep (registers per core).
+REGISTER_SWEEP = [16384, 32768, 65536, 131072, 262144]
+
+#: Table I CTAs-per-core sweep.
+CTA_SWEEP = [8, 16, 32, 64, 128]
+
+#: Table I threads-per-core sweep.
+THREAD_SWEEP = [384, 768, 1536, 3072, 6144]
+
+#: Table I shared-memory sweep (KB per core).
+SHARED_MEM_SWEEP_KB = [32, 64, 100, 256, 512]
+
+#: Fig 11 CTA scaling factors (25% .. 200% of baseline).
+CTA_SCALING = [0.25, 0.5, 1.0, 1.5, 2.0]
+
+#: Fig 12/13/14 cache sweep: (L1 bytes, L2 bytes) pairs from Sec IV-G.
+CACHE_SWEEP = [
+    (0, 128 * 1024),
+    (32 * 1024, 512 * 1024),
+    (128 * 1024, 4 * 1024 * 1024),  # baseline
+    (256 * 1024, 8 * 1024 * 1024),
+    (512 * 1024, 16 * 1024 * 1024),
+    (4 * 1024 * 1024, 128 * 1024 * 1024),
+]
+
+#: Fig 16 memory-controller policies.
+MEM_CONTROLLERS = ["frfcfs", "fifo", "ooo128"]
+
+#: Fig 19 warp schedulers.
+SCHEDULERS = ["lrr", "gto", "old", "2lv"]
+
+#: Fig 20 interconnect topologies (baseline first).
+TOPOLOGIES = ["xbar", "mesh", "fattree", "butterfly"]
+
+#: Fig 21 added router latencies (cycles), on a mesh.
+NOC_LATENCY_SWEEP = [0, 4, 8, 16]
+
+#: Fig 22 channel widths (bytes), on a mesh; 40B is the baseline.
+NOC_BANDWIDTH_SWEEP = [8, 16, 32, 40]
+
+
+def with_cache_sizes(config: GPUConfig, l1_bytes: int, l2_bytes: int) -> GPUConfig:
+    """A config with resized L1/L2 (associativity and lines preserved)."""
+    l1 = replace(config.l1, size_bytes=l1_bytes)
+    l2 = replace(config.l2, size_bytes=l2_bytes)
+    return config.with_(l1=l1, l2=l2)
+
+
+def with_controller(config: GPUConfig, controller: str) -> GPUConfig:
+    """A config using the given DRAM scheduling policy."""
+    return config.with_(dram=replace(config.dram, controller=controller))
+
+
+def with_topology(
+    config: GPUConfig,
+    topology: str,
+    router_delay: int | None = None,
+    channel_bytes: int | None = None,
+) -> GPUConfig:
+    """A config with interconnect changes (Figs 20-22)."""
+    noc = config.noc
+    changes: dict = {"topology": topology}
+    if router_delay is not None:
+        changes["router_delay"] = router_delay
+    if channel_bytes is not None:
+        changes["channel_bytes"] = channel_bytes
+    return config.with_(noc=replace(noc, **changes))
+
+
+def scale_cta_resources(config: GPUConfig, factor: float) -> GPUConfig:
+    """Fig 11: scale CTAs/core together with its linked resources.
+
+    The paper notes that changing CTAs per core requires scaling
+    shared memory, threads, and registers accordingly.
+    """
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    return config.with_(
+        max_ctas_per_sm=max(1, int(config.max_ctas_per_sm * factor)),
+        max_threads_per_sm=max(32, int(config.max_threads_per_sm * factor)),
+        registers_per_sm=max(1024, int(config.registers_per_sm * factor)),
+        shared_mem_per_sm=max(4096, int(config.shared_mem_per_sm * factor)),
+    )

@@ -1,0 +1,119 @@
+"""Plain-text table/series formatting for harness output.
+
+The benchmark harnesses print the same rows/series the paper's tables
+and figures report; these helpers keep that output aligned and
+diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None
+) -> str:
+    """Render dict rows as an aligned text table.
+
+    ``columns`` fixes the column order; by default the first row's key
+    order is used.
+    """
+    if not rows:
+        return "(empty table)"
+    columns = list(columns or rows[0].keys())
+    cells = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells))
+        for i, col in enumerate(columns)
+    ]
+    lines = [
+        "  ".join(col.ljust(w) for col, w in zip(columns, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_kernel_profile(stats) -> str:
+    """nvprof-style per-kernel summary from a run's kernel timeline.
+
+    One row per kernel name: invocation count, total/average/min/max
+    duration in cycles, and whether launches came from the host or the
+    device (CDP) — the view the paper collects with nvprof/Nsight.
+    """
+    timeline = getattr(stats, "kernel_timeline", None)
+    if not timeline:
+        return "(no kernels executed)"
+    groups: dict[str, list[dict]] = {}
+    for record in timeline:
+        groups.setdefault(record["kernel"], []).append(record)
+    rows = []
+    for name, records in sorted(
+        groups.items(),
+        key=lambda kv: -sum(r["end"] - r["start"] for r in kv[1]),
+    ):
+        durations = [r["end"] - r["start"] for r in records]
+        origins = {r["origin"] for r in records}
+        rows.append({
+            "kernel": name,
+            "calls": len(records),
+            "total_cycles": sum(durations),
+            "avg": round(sum(durations) / len(durations), 1),
+            "min": min(durations),
+            "max": max(durations),
+            "launch": "/".join(sorted(origins)),
+        })
+    return format_table(rows)
+
+
+def format_bar_chart(
+    rows: Sequence[Mapping[str, object]],
+    label: str,
+    values: Sequence[str],
+    width: int = 40,
+    normalize: bool = False,
+) -> str:
+    """Render rows as horizontal grouped bars (the paper's figure style).
+
+    One group per row (labelled by ``rows[i][label]``), one bar per
+    column in ``values``.  Bars share a common scale; ``normalize``
+    rescales each value by the chart maximum regardless of sign.
+    """
+    if not rows:
+        return "(empty chart)"
+    numeric = [
+        [float(row.get(col, 0.0) or 0.0) for col in values] for row in rows
+    ]
+    peak = max((abs(v) for group in numeric for v in group), default=0.0)
+    if peak == 0.0:
+        peak = 1.0
+    label_w = max(len(str(row.get(label, ""))) for row in rows)
+    col_w = max(len(col) for col in values)
+    lines = []
+    for row, group in zip(rows, numeric):
+        lines.append(str(row.get(label, "")))
+        for col, value in zip(values, group):
+            frac = abs(value) / peak
+            bar = "#" * max(1 if value else 0, int(round(frac * width)))
+            shown = f"{value:.3f}" if normalize else f"{value:g}"
+            lines.append(f"  {col.ljust(col_w)} |{bar.ljust(width)}| {shown}")
+    return "\n".join(lines)
+
+
+def format_breakdown(breakdown: Mapping[str, float], width: int = 40) -> str:
+    """Render a fraction dict as labelled percentage bars."""
+    if not breakdown:
+        return "(no data)"
+    label_w = max(len(k) for k in breakdown)
+    lines = []
+    for key, frac in sorted(breakdown.items(), key=lambda kv: -kv[1]):
+        bar = "#" * int(round(frac * width))
+        lines.append(f"{key.ljust(label_w)}  {100 * frac:6.2f}%  {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Run benchmarks on the simulator and collect statistics."""
+
+from __future__ import annotations
+
+from repro.data.datasets import DatasetSize
+from repro.kernels import benchmark_names, build_application
+from repro.sim.config import GPUConfig
+from repro.sim.gpu import GPUSimulator
+from repro.sim.stats import RunStats
+
+
+def variant_name(abbr: str, cdp: bool) -> str:
+    """Display name: ``NW`` or ``NW-CDP``."""
+    return f"{abbr}-CDP" if cdp else abbr
+
+
+def run_benchmark(
+    abbr: str,
+    cdp: bool = False,
+    size: DatasetSize = DatasetSize.SMALL,
+    config: GPUConfig | None = None,
+    workload=None,
+    **options,
+) -> RunStats:
+    """Run one benchmark to completion and return its statistics.
+
+    A fresh simulator is built per call, so results are independent
+    and deterministic for fixed inputs.
+    """
+    app = build_application(abbr, cdp=cdp, size=size, workload=workload, **options)
+    simulator = GPUSimulator(config or GPUConfig())
+    return simulator.run_application(app)
+
+
+def run_suite(
+    benchmarks: list[str] | None = None,
+    cdp_variants: bool = True,
+    size: DatasetSize = DatasetSize.SMALL,
+    config: GPUConfig | None = None,
+) -> dict[str, RunStats]:
+    """Run the whole suite; keys are variant names (``NW``, ``NW-CDP``...)."""
+    results: dict[str, RunStats] = {}
+    for abbr in benchmarks or benchmark_names():
+        results[variant_name(abbr, False)] = run_benchmark(
+            abbr, cdp=False, size=size, config=config
+        )
+        if cdp_variants:
+            results[variant_name(abbr, True)] = run_benchmark(
+                abbr, cdp=True, size=size, config=config
+            )
+    return results

@@ -1,0 +1,5 @@
+"""Scalar CPU baseline cost model (the Fig 2 comparison)."""
+
+from repro.cpu.timing import CPUModel, cpu_cycles
+
+__all__ = ["CPUModel", "cpu_cycles"]

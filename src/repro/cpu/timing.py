@@ -1,0 +1,89 @@
+"""Scalar CPU cost model — the Fig 2 baseline.
+
+The paper's Fig 2 compares CPU implementations against GPU and GPU+CDP
+for SW, NW and STAR on Lonestar 6 and reports relative times (GPU up
+to ~20x faster; STAR's CDP version more than 2x faster again).  We
+model the CPU as a scalar core executing the same algorithm the GPU
+kernels model, with a per-unit cycle cost calibrated against published
+CPU/GPU gaps:
+
+- pairwise DP (SW/NW): ``CELL_CYCLES`` cycles per DP cell — an affine
+  gap cell is ~12 scalar ops on a superscalar core at IPC ~2.5.
+- STAR: ``ROW_CYCLES`` per banded DP row over all pairs, matching the
+  work unit the STAR kernel trace models.
+
+Cycle counts are directly comparable to the simulator's device cycles
+(same nominal clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.workloads import (
+    BatchAlignmentWorkload,
+    MSAWorkload,
+    PairHMMWorkload,
+    PairwiseWorkload,
+)
+
+#: Scalar cycles per pairwise-DP cell (SW / NW / GASAL2-style kernels).
+CELL_CYCLES = 5.0
+
+#: Scalar cycles per banded DP row in the STAR work model.
+ROW_CYCLES = 55.0
+
+#: Scalar cycles per Pair-HMM DP cell (three FP states).
+HMM_CELL_CYCLES = 18.0
+
+
+@dataclass(frozen=True)
+class CPUModel:
+    """CPU baseline with adjustable constants (defaults calibrated)."""
+
+    cell_cycles: float = CELL_CYCLES
+    row_cycles: float = ROW_CYCLES
+    hmm_cell_cycles: float = HMM_CELL_CYCLES
+
+    def pairwise(self, workload: PairwiseWorkload) -> int:
+        """Cycles for a full-matrix pairwise alignment."""
+        return int(workload.cells * self.cell_cycles)
+
+    def batch(self, workload: BatchAlignmentWorkload) -> int:
+        """Cycles for a GASAL2-style batch, pair after pair."""
+        return int(workload.total_cells * self.cell_cycles)
+
+    def center_star(self, workload: MSAWorkload) -> int:
+        """Cycles for both STAR phases (all-pairs + align-to-center)."""
+        seqs = workload.sequences
+        k = len(seqs)
+        rows = 0
+        for a in range(k):
+            for b in range(a + 1, k):
+                rows += min(len(seqs[a]), len(seqs[b]))
+        for i in range(1, k):
+            rows += min(len(seqs[0]), len(seqs[i]))
+        return int(rows * self.row_cycles)
+
+    def pairhmm(self, workload: PairHMMWorkload) -> int:
+        """Cycles for the full likelihood batch."""
+        cells = sum(
+            len(read) * len(hap)
+            for read in workload.reads
+            for hap in workload.haplotypes
+        )
+        return int(cells * self.hmm_cell_cycles)
+
+
+def cpu_cycles(abbr: str, workload) -> int:
+    """CPU cycles for a benchmark workload (Fig 2 baselines)."""
+    model = CPUModel()
+    if abbr in ("SW", "NW"):
+        return model.pairwise(workload)
+    if abbr == "STAR":
+        return model.center_star(workload)
+    if abbr in ("GG", "GL", "GKSW", "GSG"):
+        return model.batch(workload)
+    if abbr == "PairHMM":
+        return model.pairhmm(workload)
+    raise ValueError(f"no CPU baseline model for benchmark {abbr!r}")

@@ -1,0 +1,51 @@
+"""Datasets for the benchmark suite: file I/O and synthetic generators.
+
+The paper's inputs (hg19 + SRR493095 reads, protein.txt,
+query_batch.fasta, testData.fasta) are proprietary-scale downloads; per
+the reproduction plan they are replaced by synthetic generators with
+controlled length, divergence, and error-rate knobs
+(:mod:`repro.data.synth`), exposed through the registry in
+:mod:`repro.data.datasets` at S/M/L scales.
+"""
+
+from repro.data.fasta import read_fasta, write_fasta, parse_fasta
+from repro.data.fastq import FastqRecord, read_fastq, write_fastq, parse_fastq
+from repro.data.synth import (
+    random_dna,
+    random_protein,
+    mutate,
+    sequence_family,
+    sample_reads,
+)
+from repro.data.datasets import DatasetSize, dataset_for
+from repro.data.workloads import (
+    PairwiseWorkload,
+    BatchAlignmentWorkload,
+    MSAWorkload,
+    ClusterWorkload,
+    PairHMMWorkload,
+    ReadMappingWorkload,
+)
+
+__all__ = [
+    "read_fasta",
+    "write_fasta",
+    "parse_fasta",
+    "FastqRecord",
+    "read_fastq",
+    "write_fastq",
+    "parse_fastq",
+    "random_dna",
+    "random_protein",
+    "mutate",
+    "sequence_family",
+    "sample_reads",
+    "DatasetSize",
+    "dataset_for",
+    "PairwiseWorkload",
+    "BatchAlignmentWorkload",
+    "MSAWorkload",
+    "ClusterWorkload",
+    "PairHMMWorkload",
+    "ReadMappingWorkload",
+]

@@ -1,0 +1,221 @@
+"""Dataset registry: the Table III inputs at S/M/L scales.
+
+The paper ships fixed inputs (32K-base pairs for SW/NW, protein.txt for
+STAR, query_batch.fasta for GASAL2, testData.fasta for CLUSTER, the
+128x128 synthetic set for PairHMM, hg19 + SRR493095 for NvB) "of
+different sizes".  Each entry here synthesizes the same-shaped workload
+deterministically; ``SMALL`` keeps full-suite simulation interactive,
+``LARGE`` approaches the paper's scales where Python run time allows.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+
+from repro.data.synth import random_dna, mutate, sample_reads, sequence_family
+from repro.data.workloads import (
+    BatchAlignmentWorkload,
+    ClusterWorkload,
+    MSAWorkload,
+    PairHMMWorkload,
+    PairwiseWorkload,
+    ReadMappingWorkload,
+)
+from repro.genomics.sequence import DNA, Sequence
+
+
+class DatasetSize(enum.Enum):
+    """Input scale; the paper provides "input datasets of different sizes"."""
+
+    SMALL = "small"
+    MEDIUM = "medium"
+    LARGE = "large"
+
+
+#: (pairwise length) per size for SW/NW; the paper uses 32K bases.
+_PAIRWISE_LENGTH = {
+    DatasetSize.SMALL: 512,
+    DatasetSize.MEDIUM: 1024,
+    DatasetSize.LARGE: 4096,
+}
+
+#: (count, length) of protein sequences for STAR (protein.txt).
+_STAR_SHAPE = {
+    DatasetSize.SMALL: (8, 96),
+    DatasetSize.MEDIUM: (12, 192),
+    DatasetSize.LARGE: (24, 320),
+}
+
+#: (pairs, read length) per size for the GASAL2 batch (query_batch.fasta).
+_GASAL_SHAPE = {
+    DatasetSize.SMALL: (256, 128),
+    DatasetSize.MEDIUM: (512, 160),
+    DatasetSize.LARGE: (1024, 200),
+}
+
+#: (sequences, mean length) for CLUSTER (testData.fasta).
+_CLUSTER_SHAPE = {
+    DatasetSize.SMALL: (48, 120),
+    DatasetSize.MEDIUM: (160, 160),
+    DatasetSize.LARGE: (480, 200),
+}
+
+#: (reads, haplotypes, read length, hap length) for PairHMM; paper: 128x128.
+_PAIRHMM_SHAPE = {
+    DatasetSize.SMALL: (12, 6, 48, 64),
+    DatasetSize.MEDIUM: (24, 12, 96, 128),
+    DatasetSize.LARGE: (48, 16, 128, 160),
+}
+
+#: (reference length, reads, read length) for NvB (hg19 + SRR493095).
+_NVB_SHAPE = {
+    DatasetSize.SMALL: (20_000, 64, 80),
+    DatasetSize.MEDIUM: (100_000, 256, 100),
+    DatasetSize.LARGE: (400_000, 1024, 100),
+}
+
+
+def pairwise_dataset(
+    size: DatasetSize = DatasetSize.SMALL, seed: int = 1, divergence: float = 0.1
+) -> PairwiseWorkload:
+    """A diverged DNA pair for SW/NW."""
+    length = _PAIRWISE_LENGTH[size]
+    rng = random.Random(seed)
+    target = random_dna(length, rng)
+    query = mutate(
+        target,
+        rng,
+        substitution_rate=divergence * 0.8,
+        insertion_rate=divergence * 0.1,
+        deletion_rate=divergence * 0.1,
+    )
+    return PairwiseWorkload(
+        Sequence("query", query), Sequence("target", target)
+    )
+
+
+def star_dataset(
+    size: DatasetSize = DatasetSize.SMALL, seed: int = 2
+) -> MSAWorkload:
+    """A related protein family for STAR (protein.txt stand-in)."""
+    count, length = _STAR_SHAPE[size]
+    family = sequence_family(
+        count, length, divergence=0.08, seed=seed, protein=True,
+        name_prefix="prot",
+    )
+    return MSAWorkload(tuple(family))
+
+
+def gasal_dataset(
+    size: DatasetSize = DatasetSize.SMALL, seed: int = 3, divergence: float = 0.05
+) -> BatchAlignmentWorkload:
+    """Read-vs-target batch for the four GASAL2 kernels."""
+    pairs, length = _GASAL_SHAPE[size]
+    rng = random.Random(seed)
+    queries: list[Sequence] = []
+    targets: list[Sequence] = []
+    for i in range(pairs):
+        target = random_dna(length, rng)
+        query = mutate(
+            target,
+            rng,
+            substitution_rate=divergence,
+            insertion_rate=divergence / 10,
+            deletion_rate=divergence / 10,
+        )
+        targets.append(Sequence(f"target{i}", target))
+        queries.append(Sequence(f"query{i}", query))
+    return BatchAlignmentWorkload(tuple(queries), tuple(targets))
+
+
+def cluster_dataset(
+    size: DatasetSize = DatasetSize.SMALL, seed: int = 4, families: int | None = None
+) -> ClusterWorkload:
+    """A mixture of sequence families for CLUSTER (testData.fasta stand-in)."""
+    count, length = _CLUSTER_SHAPE[size]
+    families = families or max(4, count // 12)
+    rng = random.Random(seed)
+    sequences: list[Sequence] = []
+    per_family = count // families
+    for f in range(families):
+        fam = sequence_family(
+            per_family,
+            length + rng.randint(-length // 8, length // 8),
+            divergence=0.04,
+            seed=rng.randrange(2**31),
+            name_prefix=f"fam{f}_",
+        )
+        sequences.extend(fam)
+    # Top up with singletons so the total matches the shape.
+    while len(sequences) < count:
+        i = len(sequences)
+        sequences.append(
+            Sequence(f"single{i}", random_dna(length, rng), DNA)
+        )
+    return ClusterWorkload(tuple(sequences), identity=0.9, word_length=5)
+
+
+def pairhmm_dataset(
+    size: DatasetSize = DatasetSize.SMALL, seed: int = 5
+) -> PairHMMWorkload:
+    """Read/haplotype batch (Synthetic_data(128_128) stand-in)."""
+    n_reads, n_haps, read_len, hap_len = _PAIRHMM_SHAPE[size]
+    rng = random.Random(seed)
+    base = random_dna(hap_len, rng)
+    haplotypes = [base] + [
+        mutate(base, rng, substitution_rate=0.02, insertion_rate=0.002,
+               deletion_rate=0.002)
+        for _ in range(n_haps - 1)
+    ]
+    reads: list[str] = []
+    for _ in range(n_reads):
+        hap = rng.choice(haplotypes)
+        # Trimmed/clipped reads: lengths vary between 50% and 100% of
+        # the nominal read length, as in real HaplotypeCaller batches.
+        length = rng.randint(read_len // 2, read_len)
+        start = rng.randint(0, max(0, len(hap) - length))
+        fragment = hap[start : start + length]
+        reads.append(mutate(fragment, rng, substitution_rate=0.01))
+    return PairHMMWorkload(tuple(reads), tuple(haplotypes))
+
+
+def nvb_dataset(
+    size: DatasetSize = DatasetSize.SMALL, seed: int = 6
+) -> ReadMappingWorkload:
+    """Reference + sampled reads (hg19 + SRR493095 stand-in)."""
+    ref_len, n_reads, read_len = _NVB_SHAPE[size]
+    reference = Sequence("ref", random_dna(ref_len, seed))
+    reads = sample_reads(
+        reference, n_reads, read_len, seed=seed + 1, error_rate=0.005
+    )
+    return ReadMappingWorkload(reference, tuple(reads))
+
+
+#: Benchmark abbreviation -> dataset builder.  GASAL2 kernels share one
+#: builder (they differ in the alignment mode, not the input).
+_BUILDERS = {
+    "SW": pairwise_dataset,
+    "NW": pairwise_dataset,
+    "STAR": star_dataset,
+    "GG": gasal_dataset,
+    "GL": gasal_dataset,
+    "GKSW": gasal_dataset,
+    "GSG": gasal_dataset,
+    "CLUSTER": cluster_dataset,
+    "PairHMM": pairhmm_dataset,
+    "NvB": nvb_dataset,
+}
+
+
+def dataset_for(benchmark: str, size: DatasetSize = DatasetSize.SMALL, seed: int | None = None):
+    """Build the input workload for a benchmark abbreviation (Table III)."""
+    try:
+        builder = _BUILDERS[benchmark]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark {benchmark!r}; known: {sorted(_BUILDERS)}"
+        ) from None
+    if seed is None:
+        return builder(size)
+    return builder(size, seed=seed)

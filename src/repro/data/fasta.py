@@ -1,0 +1,61 @@
+"""FASTA reading and writing."""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from repro.genomics.sequence import Alphabet, DNA, Sequence
+
+
+def parse_fasta(stream: TextIO, alphabet: Alphabet = DNA) -> Iterator[Sequence]:
+    """Yield :class:`Sequence` records from an open FASTA stream."""
+    name: str | None = None
+    description = ""
+    chunks: list[str] = []
+    for raw in stream:
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            if name is not None:
+                yield Sequence(name, "".join(chunks), alphabet, description)
+            header = line[1:].strip()
+            name, _, description = header.partition(" ")
+            if not name:
+                raise ValueError("FASTA record with empty header")
+            chunks = []
+        else:
+            if name is None:
+                raise ValueError("FASTA data before first header")
+            chunks.append(line)
+    if name is not None:
+        yield Sequence(name, "".join(chunks), alphabet, description)
+
+
+def read_fasta(path: str | Path, alphabet: Alphabet = DNA) -> list[Sequence]:
+    """Read all records from a FASTA file."""
+    with open(path) as stream:
+        return list(parse_fasta(stream, alphabet))
+
+
+def write_fasta(
+    sequences: Iterable[Sequence],
+    path: str | Path | None = None,
+    line_width: int = 70,
+) -> str:
+    """Write sequences in FASTA format; returns the text, optionally saving it."""
+    if line_width <= 0:
+        raise ValueError("line_width must be positive")
+    buffer = io.StringIO()
+    for seq in sequences:
+        header = seq.name + (f" {seq.description}" if seq.description else "")
+        buffer.write(f">{header}\n")
+        residues = seq.residues
+        for i in range(0, len(residues), line_width):
+            buffer.write(residues[i : i + line_width] + "\n")
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text

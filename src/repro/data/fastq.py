@@ -1,0 +1,83 @@
+"""FASTQ reading and writing (Sanger/Phred+33 qualities)."""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from repro.genomics.sequence import DNA, Sequence
+
+PHRED_OFFSET = 33
+
+
+@dataclass(frozen=True)
+class FastqRecord:
+    """One FASTQ read: sequence plus per-base Phred qualities."""
+
+    sequence: Sequence
+    qualities: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.qualities) != len(self.sequence):
+            raise ValueError("quality string length must match sequence")
+        if any(q < 0 or q > 93 for q in self.qualities):
+            raise ValueError("Phred qualities must be in [0, 93]")
+
+    @property
+    def name(self) -> str:
+        return self.sequence.name
+
+    def error_probabilities(self) -> list[float]:
+        """Per-base error probability ``10**(-q/10)``."""
+        return [10 ** (-q / 10) for q in self.qualities]
+
+    def quality_string(self) -> str:
+        return "".join(chr(q + PHRED_OFFSET) for q in self.qualities)
+
+
+def parse_fastq(stream: TextIO) -> Iterator[FastqRecord]:
+    """Yield records from an open FASTQ stream (4-line records)."""
+    while True:
+        header = stream.readline()
+        if not header:
+            return
+        header = header.strip()
+        if not header:
+            continue
+        if not header.startswith("@"):
+            raise ValueError(f"expected '@' header, got {header!r}")
+        residues = stream.readline().strip()
+        plus = stream.readline().strip()
+        quality = stream.readline().strip()
+        if not plus.startswith("+"):
+            raise ValueError("malformed FASTQ record: missing '+' line")
+        if len(quality) != len(residues):
+            raise ValueError("quality length differs from sequence length")
+        name, _, description = header[1:].partition(" ")
+        yield FastqRecord(
+            Sequence(name, residues, DNA, description),
+            tuple(ord(c) - PHRED_OFFSET for c in quality),
+        )
+
+
+def read_fastq(path: str | Path) -> list[FastqRecord]:
+    """Read all records from a FASTQ file."""
+    with open(path) as stream:
+        return list(parse_fastq(stream))
+
+
+def write_fastq(
+    records: Iterable[FastqRecord], path: str | Path | None = None
+) -> str:
+    """Write records in FASTQ format; returns the text, optionally saving it."""
+    buffer = io.StringIO()
+    for record in records:
+        seq = record.sequence
+        header = seq.name + (f" {seq.description}" if seq.description else "")
+        buffer.write(f"@{header}\n{seq.residues}\n+\n{record.quality_string()}\n")
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text

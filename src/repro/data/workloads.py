@@ -1,0 +1,116 @@
+"""Workload containers handed from the dataset registry to the kernels.
+
+Each benchmark kernel consumes one of these: they bundle the functional
+inputs (sequences, reads, haplotypes) together with the batch shape the
+GPU grid is sized from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.fastq import FastqRecord
+from repro.genomics.sequence import Sequence
+
+
+@dataclass(frozen=True)
+class PairwiseWorkload:
+    """One query/target pair (the SW and NW benchmarks)."""
+
+    query: Sequence
+    target: Sequence
+
+    @property
+    def cells(self) -> int:
+        """DP matrix size."""
+        return len(self.query) * len(self.target)
+
+
+@dataclass(frozen=True)
+class BatchAlignmentWorkload:
+    """A batch of query/target pairs (the GASAL2 benchmarks).
+
+    GASAL2 processes reads against same-length targets in large
+    batches; one GPU thread owns one pair.
+    """
+
+    queries: tuple[Sequence, ...]
+    targets: tuple[Sequence, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.queries) != len(self.targets):
+            raise ValueError("queries and targets must pair up 1:1")
+        if not self.queries:
+            raise ValueError("batch must not be empty")
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    @property
+    def pairs(self) -> list[tuple[Sequence, Sequence]]:
+        return list(zip(self.queries, self.targets))
+
+    @property
+    def total_cells(self) -> int:
+        return sum(len(q) * len(t) for q, t in self.pairs)
+
+
+@dataclass(frozen=True)
+class MSAWorkload:
+    """Sequences for multiple alignment (the STAR benchmark)."""
+
+    sequences: tuple[Sequence, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.sequences) < 2:
+            raise ValueError("MSA needs at least two sequences")
+
+    def __len__(self) -> int:
+        return len(self.sequences)
+
+
+@dataclass(frozen=True)
+class ClusterWorkload:
+    """Sequences to cluster (the CLUSTER benchmark)."""
+
+    sequences: tuple[Sequence, ...]
+    identity: float = 0.9
+    word_length: int = 5
+
+    def __len__(self) -> int:
+        return len(self.sequences)
+
+
+@dataclass(frozen=True)
+class PairHMMWorkload:
+    """Read/haplotype batch for the PairHMM benchmark."""
+
+    reads: tuple[str, ...]
+    haplotypes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.reads or not self.haplotypes:
+            raise ValueError("need at least one read and one haplotype")
+
+    @property
+    def pairs(self) -> int:
+        return len(self.reads) * len(self.haplotypes)
+
+
+@dataclass(frozen=True)
+class ReadMappingWorkload:
+    """Reference plus short reads for the NvB benchmark."""
+
+    reference: Sequence
+    reads: tuple[FastqRecord, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.reads:
+            raise ValueError("need at least one read")
+
+    def __len__(self) -> int:
+        return len(self.reads)
+
+    @property
+    def read_sequences(self) -> list[Sequence]:
+        return [record.sequence for record in self.reads]

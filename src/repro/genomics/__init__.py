@@ -1,0 +1,28 @@
+"""Functional genomics algorithms used by the Genomics-GPU benchmark suite.
+
+Every algorithm the paper's ten benchmarks implement in CUDA is provided
+here as a correct, from-scratch Python implementation:
+
+- pairwise alignment (global / local / semi-global / banded, affine gaps)
+- Center-Star multiple sequence alignment
+- greedy incremental sequence clustering (nGIA-style)
+- Pair-HMM forward algorithm
+- BWT / FM-index read alignment (NvBowtie stand-in)
+
+The :mod:`repro.kernels` package derives GPU instruction traces from these
+algorithms; this package is also usable standalone as a small genomics
+toolkit.
+"""
+
+from repro.genomics.sequence import Sequence, Alphabet, DNA, RNA, PROTEIN
+from repro.genomics.scoring import ScoringScheme, SubstitutionMatrix
+
+__all__ = [
+    "Sequence",
+    "Alphabet",
+    "DNA",
+    "RNA",
+    "PROTEIN",
+    "ScoringScheme",
+    "SubstitutionMatrix",
+]

@@ -1,0 +1,231 @@
+"""Affine-gap pairwise alignment (Gotoh's algorithm).
+
+One dynamic-programming engine serves three alignment modes:
+
+- ``GLOBAL`` — Needleman–Wunsch: both sequences aligned end to end.
+- ``LOCAL`` — Smith–Waterman: best-scoring subsequence pair.
+- ``SEMI_GLOBAL`` — the query is aligned end to end, leading and
+  trailing gaps in the *target* are free (read-to-reference mapping).
+
+Three matrices are kept: ``H`` (best score), ``E`` (gap open in the
+query, i.e. target residue consumed, CIGAR ``D``) and ``F`` (gap in the
+target, CIGAR ``I``).  Traceback re-derives the decisions from the
+stored matrices, so no pointer matrix is needed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.genomics.align.result import AlignmentResult, compress_ops
+from repro.genomics.scoring import ScoringScheme
+from repro.genomics.sequence import Sequence
+
+NEG_INF = -(10**9)
+
+
+class AlignmentMode(enum.Enum):
+    """Which boundary conditions the DP uses."""
+
+    GLOBAL = "global"
+    LOCAL = "local"
+    SEMI_GLOBAL = "semi_global"
+
+
+@dataclass
+class _Matrices:
+    """Filled DP matrices plus the chosen end cell."""
+
+    h: list[list[int]]
+    e: list[list[int]]
+    f: list[list[int]]
+    end: tuple[int, int]
+
+
+def _as_residues(seq) -> str:
+    return seq.residues if isinstance(seq, Sequence) else str(seq)
+
+
+def _fill(
+    query: str, target: str, scheme: ScoringScheme, mode: AlignmentMode
+) -> _Matrices:
+    m, n = len(query), len(target)
+    open_ext = scheme.gap_open + scheme.gap_extend
+    ext = scheme.gap_extend
+    local = mode is AlignmentMode.LOCAL
+
+    h = [[0] * (n + 1) for _ in range(m + 1)]
+    e = [[NEG_INF] * (n + 1) for _ in range(m + 1)]
+    f = [[NEG_INF] * (n + 1) for _ in range(m + 1)]
+
+    if mode is AlignmentMode.GLOBAL:
+        for j in range(1, n + 1):
+            e[0][j] = -(scheme.gap_open + j * ext)
+            h[0][j] = e[0][j]
+    # SEMI_GLOBAL and LOCAL: free leading target gaps -> h[0][j] = 0.
+    if mode is not AlignmentMode.LOCAL:
+        for i in range(1, m + 1):
+            f[i][0] = -(scheme.gap_open + i * ext)
+            h[i][0] = f[i][0]
+
+    score_fn = scheme.matrix.score
+    best = 0
+    best_pos = (0, 0)
+    for i in range(1, m + 1):
+        qi = query[i - 1]
+        h_prev, h_row = h[i - 1], h[i]
+        e_row = e[i]
+        f_prev, f_row = f[i - 1], f[i]
+        for j in range(1, n + 1):
+            e_val = max(h_row[j - 1] - open_ext, e_row[j - 1] - ext)
+            f_val = max(h_prev[j] - open_ext, f_prev[j] - ext)
+            diag = h_prev[j - 1] + score_fn(qi, target[j - 1])
+            h_val = max(diag, e_val, f_val)
+            if local and h_val < 0:
+                h_val = 0
+            e_row[j] = e_val
+            f_row[j] = f_val
+            h_row[j] = h_val
+            if local and h_val > best:
+                best = h_val
+                best_pos = (i, j)
+
+    if mode is AlignmentMode.GLOBAL:
+        end = (m, n)
+    elif mode is AlignmentMode.LOCAL:
+        end = best_pos
+    else:  # SEMI_GLOBAL: best cell in the last row (free trailing target gap)
+        last = h[m]
+        best_j = max(range(n + 1), key=lambda j: (last[j], -j))
+        end = (m, best_j)
+    return _Matrices(h, e, f, end)
+
+
+def _traceback(
+    query: str,
+    target: str,
+    scheme: ScoringScheme,
+    mode: AlignmentMode,
+    mats: _Matrices,
+) -> AlignmentResult:
+    h, e, f = mats.h, mats.e, mats.f
+    open_ext = scheme.gap_open + scheme.gap_extend
+    ext = scheme.gap_extend
+    score_fn = scheme.matrix.score
+    local = mode is AlignmentMode.LOCAL
+
+    i, j = mats.end
+    score = h[i][j]
+    ops: list[str] = []
+    state = "H"
+    while True:
+        if state == "H":
+            if local and h[i][j] == 0:
+                break
+            if i == 0 and j == 0:
+                break
+            if mode is not AlignmentMode.GLOBAL and i == 0:
+                break  # free leading target gaps
+            if i > 0 and j > 0 and h[i][j] == h[i - 1][j - 1] + score_fn(
+                query[i - 1], target[j - 1]
+            ):
+                ops.append("M")
+                i -= 1
+                j -= 1
+            elif j > 0 and h[i][j] == e[i][j]:
+                state = "E"
+            elif i > 0 and h[i][j] == f[i][j]:
+                state = "F"
+            else:  # pragma: no cover - would indicate a fill bug
+                raise AssertionError("traceback lost at H[%d][%d]" % (i, j))
+        elif state == "E":
+            ops.append("D")
+            came_from_e = j > 1 and e[i][j] == e[i][j - 1] - ext
+            came_from_h = e[i][j] == h[i][j - 1] - open_ext
+            j -= 1
+            if came_from_h:
+                state = "H"
+            elif not came_from_e:  # pragma: no cover
+                raise AssertionError("traceback lost at E")
+        else:  # state == "F"
+            ops.append("I")
+            came_from_f = i > 1 and f[i][j] == f[i - 1][j] - ext
+            came_from_h = f[i][j] == h[i - 1][j] - open_ext
+            i -= 1
+            if came_from_h:
+                state = "H"
+            elif not came_from_f:  # pragma: no cover
+                raise AssertionError("traceback lost at F")
+
+    ops.reverse()
+    q_start, t_start = i, j
+    q_end, t_end = mats.end
+
+    aligned_q: list[str] = []
+    aligned_t: list[str] = []
+    qi, ti = q_start, t_start
+    for op in ops:
+        if op == "M":
+            aligned_q.append(query[qi])
+            aligned_t.append(target[ti])
+            qi += 1
+            ti += 1
+        elif op == "D":
+            aligned_q.append("-")
+            aligned_t.append(target[ti])
+            ti += 1
+        else:
+            aligned_q.append(query[qi])
+            aligned_t.append("-")
+            qi += 1
+
+    return AlignmentResult(
+        score=score,
+        cigar=compress_ops(ops),
+        query_start=q_start,
+        query_end=q_end,
+        target_start=t_start,
+        target_end=t_end,
+        aligned_query="".join(aligned_q),
+        aligned_target="".join(aligned_t),
+    )
+
+
+def align(
+    query,
+    target,
+    scheme: ScoringScheme | None = None,
+    mode: AlignmentMode = AlignmentMode.GLOBAL,
+) -> AlignmentResult:
+    """Align ``query`` against ``target`` and return the best alignment.
+
+    ``query``/``target`` may be :class:`~repro.genomics.sequence.Sequence`
+    objects or plain strings.  ``scheme`` defaults to the GASAL2-style
+    DNA scheme (+2/-3, gap open 5, extend 1).
+    """
+    scheme = scheme or ScoringScheme.dna_default()
+    q = _as_residues(query)
+    t = _as_residues(target)
+    mats = _fill(q, t, scheme, mode)
+    return _traceback(q, t, scheme, mode, mats)
+
+
+def needleman_wunsch(query, target, scheme=None) -> AlignmentResult:
+    """Global (end-to-end) alignment — the paper's NW benchmark."""
+    return align(query, target, scheme, AlignmentMode.GLOBAL)
+
+
+def smith_waterman(query, target, scheme=None) -> AlignmentResult:
+    """Local alignment — the paper's SW benchmark."""
+    return align(query, target, scheme, AlignmentMode.LOCAL)
+
+
+def semi_global(query, target, scheme=None) -> AlignmentResult:
+    """Semi-global alignment (GASAL2 ``GSG``): full query, free target ends."""
+    return align(query, target, scheme, AlignmentMode.SEMI_GLOBAL)
+
+
+def score_matrix_cells(query_len: int, target_len: int) -> int:
+    """Number of DP cells an aligner touches — used by kernel trace models."""
+    return query_len * target_len

@@ -1,0 +1,134 @@
+"""Hirschberg's linear-space global alignment.
+
+Full-matrix DP on the paper's 32K-base inputs needs gigabytes of
+traceback state; Hirschberg's divide-and-conquer recovers the optimal
+global alignment in O(min(m, n)) space and O(m*n) time by splitting the
+query at its midpoint and locating the optimal crossing column with two
+score-only half passes.
+
+This implementation uses the classic *linear* gap model (each gap
+residue costs ``gap_extend``; no opening penalty), which is where
+Hirschberg's optimal-substructure argument applies directly.  It
+matches :func:`~repro.genomics.align.gotoh.needleman_wunsch` exactly
+when the scheme has ``gap_open == 0``; for affine gaps use the Gotoh
+aligner (quadratic space) instead.
+"""
+
+from __future__ import annotations
+
+from repro.genomics.align.gotoh import _as_residues
+from repro.genomics.align.result import AlignmentResult, compress_ops
+from repro.genomics.scoring import ScoringScheme, SubstitutionMatrix
+from repro.genomics.sequence import DNA
+
+
+def linear_scheme(
+    match: int = 2, mismatch: int = -3, gap: int = 2
+) -> ScoringScheme:
+    """A linear-gap scheme (``gap_open=0``) for Hirschberg alignment."""
+    return ScoringScheme(
+        SubstitutionMatrix.match_mismatch(DNA, match, mismatch),
+        gap_open=0,
+        gap_extend=gap,
+    )
+
+
+def _score_last_row(q: str, t: str, scheme: ScoringScheme) -> list[int]:
+    """Last DP row of linear-gap global alignment of q vs t (O(n) space)."""
+    gap = scheme.gap_extend
+    score = scheme.matrix.score
+    prev = [-(j * gap) for j in range(len(t) + 1)]
+    for i in range(1, len(q) + 1):
+        cur = [-(i * gap)] + [0] * len(t)
+        qi = q[i - 1]
+        for j in range(1, len(t) + 1):
+            cur[j] = max(
+                prev[j - 1] + score(qi, t[j - 1]),
+                prev[j] - gap,
+                cur[j - 1] - gap,
+            )
+        prev = cur
+    return prev
+
+
+def _align_ops(q: str, t: str, scheme: ScoringScheme) -> list[str]:
+    """Per-column ops of an optimal linear-gap global alignment."""
+    if not q:
+        return ["D"] * len(t)
+    if not t:
+        return ["I"] * len(q)
+    if len(q) == 1:
+        # One query residue: align it to its best target column.
+        gap = scheme.gap_extend
+        score = scheme.matrix.score
+        best_j, best = 0, None
+        for j in range(len(t)):
+            value = score(q, t[j]) - gap * (len(t) - 1)
+            if best is None or value > best:
+                best, best_j = value, j
+        all_gaps = -gap * (len(t) + 1)
+        if best is None or best < all_gaps:  # pragma: no cover - best set
+            return ["I"] + ["D"] * len(t)
+        return ["D"] * best_j + ["M"] + ["D"] * (len(t) - best_j - 1)
+
+    mid = len(q) // 2
+    upper = _score_last_row(q[:mid], t, scheme)
+    lower = _score_last_row(q[mid:][::-1], t[::-1], scheme)
+    lower.reverse()
+    split = max(
+        range(len(t) + 1), key=lambda j: (upper[j] + lower[j], -j)
+    )
+    return (
+        _align_ops(q[:mid], t[:split], scheme)
+        + _align_ops(q[mid:], t[split:], scheme)
+    )
+
+
+def hirschberg(query, target, scheme: ScoringScheme | None = None) -> AlignmentResult:
+    """Global alignment in linear space (linear gap penalties).
+
+    ``scheme`` must have ``gap_open == 0``; defaults to
+    :func:`linear_scheme`.
+    """
+    scheme = scheme or linear_scheme()
+    if scheme.gap_open != 0:
+        raise ValueError(
+            "Hirschberg requires a linear gap model (gap_open == 0); "
+            "use needleman_wunsch for affine gaps"
+        )
+    q = _as_residues(query)
+    t = _as_residues(target)
+    ops = _align_ops(q, t, scheme)
+
+    aligned_q: list[str] = []
+    aligned_t: list[str] = []
+    score = 0
+    qi = ti = 0
+    for op in ops:
+        if op == "M":
+            aligned_q.append(q[qi])
+            aligned_t.append(t[ti])
+            score += scheme.score(q[qi], t[ti])
+            qi += 1
+            ti += 1
+        elif op == "I":
+            aligned_q.append(q[qi])
+            aligned_t.append("-")
+            score -= scheme.gap_extend
+            qi += 1
+        else:
+            aligned_q.append("-")
+            aligned_t.append(t[ti])
+            score -= scheme.gap_extend
+            ti += 1
+
+    return AlignmentResult(
+        score=score,
+        cigar=compress_ops(ops),
+        query_start=0,
+        query_end=len(q),
+        target_start=0,
+        target_end=len(t),
+        aligned_query="".join(aligned_q),
+        aligned_target="".join(aligned_t),
+    )

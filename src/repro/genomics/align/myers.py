@@ -1,0 +1,112 @@
+"""Myers' bit-parallel edit distance.
+
+Computes Levenshtein distance in ``O(n * ceil(m / w))`` word operations
+by encoding a whole DP column in two machine words (Myers, JACM 1999).
+This is the verification filter inside read-mapping accelerators
+(GenAx/ASAP-style pre-alignment filtering): mapping candidates whose
+edit distance exceeds a threshold are discarded before the expensive
+scored alignment runs.
+
+Python integers are arbitrary-precision, so one "word" covers the whole
+pattern — the algorithm runs in ``O(n)`` big-int operations.
+"""
+
+from __future__ import annotations
+
+from repro.genomics.align.gotoh import _as_residues
+
+
+def edit_distance(query, target) -> int:
+    """Levenshtein distance between two sequences (bit-parallel)."""
+    q = _as_residues(query)
+    t = _as_residues(target)
+    if not q:
+        return len(t)
+    if not t:
+        return len(q)
+
+    m = len(q)
+    # Per-character match masks: bit i set when q[i] == ch.
+    eq: dict[str, int] = {}
+    for i, ch in enumerate(q):
+        eq[ch] = eq.get(ch, 0) | (1 << i)
+
+    pv = (1 << m) - 1  # vertical positive deltas
+    mv = 0  # vertical negative deltas
+    score = m
+    high_bit = 1 << (m - 1)
+
+    for ch in t:
+        x = eq.get(ch, 0) | mv
+        d0 = (((x & pv) + pv) ^ pv) | x
+        hp = mv | ~(d0 | pv)
+        hn = d0 & pv
+        if hp & high_bit:
+            score += 1
+        elif hn & high_bit:
+            score -= 1
+        hp = (hp << 1) | 1
+        hn <<= 1
+        pv = (hn | ~(d0 | hp)) & ((1 << m) - 1)
+        mv = d0 & hp & ((1 << m) - 1)
+    return score
+
+
+def within_distance(query, target, k: int) -> bool:
+    """True when ``edit_distance(query, target) <= k``.
+
+    The pre-alignment filter: cheap to evaluate, never rejects a true
+    positive (it computes the exact distance).
+    """
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    if abs(len(_as_residues(query)) - len(_as_residues(target))) > k:
+        return False  # length difference is a lower bound
+    return edit_distance(query, target) <= k
+
+
+def best_edit_window(query, target, max_k: int | None = None):
+    """Slide ``query`` along ``target``: (best_end, best_distance).
+
+    Semi-global bit-parallel search: finds the end position in
+    ``target`` minimizing the edit distance of ``query`` against a
+    window ending there (the approximate-occurrence primitive of
+    read-mapping filters).  Returns ``None`` if ``max_k`` is given and
+    no window is within it.
+    """
+    q = _as_residues(query)
+    t = _as_residues(target)
+    if not q or not t:
+        return None
+
+    m = len(q)
+    eq: dict[str, int] = {}
+    for i, ch in enumerate(q):
+        eq[ch] = eq.get(ch, 0) | (1 << i)
+
+    pv = (1 << m) - 1
+    mv = 0
+    score = m
+    high_bit = 1 << (m - 1)
+    best = (None, m + len(t))
+
+    for j, ch in enumerate(t):
+        x = eq.get(ch, 0) | mv
+        d0 = (((x & pv) + pv) ^ pv) | x
+        hp = mv | ~(d0 | pv)
+        hn = d0 & pv
+        if hp & high_bit:
+            score += 1
+        elif hn & high_bit:
+            score -= 1
+        # Semi-global: the column's top cell stays 0 (free start), so
+        # hp shifts in a 0 instead of the global algorithm's 1.
+        hp <<= 1
+        hn <<= 1
+        pv = (hn | ~(d0 | hp)) & ((1 << m) - 1)
+        mv = d0 & hp & ((1 << m) - 1)
+        if score < best[1]:
+            best = (j + 1, score)
+    if max_k is not None and best[1] > max_k:
+        return None
+    return best

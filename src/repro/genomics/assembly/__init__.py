@@ -1,0 +1,9 @@
+"""De Bruijn graph assembly of short reads into contigs."""
+
+from repro.genomics.assembly.debruijn import (
+    AssemblyResult,
+    DeBruijnGraph,
+    assemble,
+)
+
+__all__ = ["AssemblyResult", "DeBruijnGraph", "assemble"]

@@ -1,0 +1,28 @@
+"""Greedy incremental sequence clustering (the CLUSTER benchmark)."""
+
+from repro.genomics.cluster.ngia import Cluster, ClusteringResult, greedy_cluster
+from repro.genomics.cluster.kmer_filter import (
+    kmer_profile,
+    shared_kmer_count,
+    short_word_bound,
+)
+from repro.genomics.cluster.packing import pack_dna, unpack_dna
+from repro.genomics.cluster.minhash import (
+    MinHashSketch,
+    jaccard_for_identity,
+    sketch_filter,
+)
+
+__all__ = [
+    "MinHashSketch",
+    "jaccard_for_identity",
+    "sketch_filter",
+    "Cluster",
+    "ClusteringResult",
+    "greedy_cluster",
+    "kmer_profile",
+    "shared_kmer_count",
+    "short_word_bound",
+    "pack_dna",
+    "unpack_dna",
+]

@@ -1,0 +1,50 @@
+"""Short-word (k-mer) filtering for clustering.
+
+nGIA (and CD-HIT before it) avoids most expensive alignments with a
+counting argument: two sequences with identity ``>= t`` over a length-L
+alignment must share at least ``L - k*(L - t*L) - k + 1`` k-mers (each
+mismatch destroys at most ``k`` k-mers).  If the shared-k-mer count is
+below that bound, the pair cannot reach the identity threshold and the
+alignment is skipped.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.genomics.sequence import Sequence
+
+
+def kmer_profile(seq: Sequence | str, k: int) -> Counter:
+    """Multiset of k-mers of ``seq`` as a :class:`collections.Counter`."""
+    residues = seq.residues if isinstance(seq, Sequence) else seq
+    if k <= 0:
+        raise ValueError("k must be positive")
+    return Counter(residues[i : i + k] for i in range(len(residues) - k + 1))
+
+
+def shared_kmer_count(profile_a: Counter, profile_b: Counter) -> int:
+    """Size of the multiset intersection of two k-mer profiles."""
+    if len(profile_b) < len(profile_a):
+        profile_a, profile_b = profile_b, profile_a
+    return sum(
+        min(count, profile_b[kmer])
+        for kmer, count in profile_a.items()
+        if kmer in profile_b
+    )
+
+
+def short_word_bound(length: int, k: int, identity: float) -> int:
+    """Minimum shared k-mers needed for a pair to reach ``identity``.
+
+    ``length`` is the shorter sequence's length.  The bound is clamped
+    at zero: very low thresholds filter nothing.
+    """
+    if not 0.0 <= identity <= 1.0:
+        raise ValueError("identity must be in [0, 1]")
+    total_kmers = max(0, length - k + 1)
+    # The epsilon guards against float pessimism (e.g. 58 * (2/58)
+    # evaluating to 1.9999...): the filter must never overestimate the
+    # bound, or it would reject pairs that meet the threshold.
+    max_mismatches = int(length * (1.0 - identity) + 1e-6)
+    return max(0, total_kmers - k * max_mismatches)

@@ -1,0 +1,96 @@
+"""MinHash sketches: a constant-space alternative pre-filter.
+
+The short-word filter (`kmer_filter`) needs the full k-mer profile of
+every representative.  A MinHash sketch compresses a profile to ``size``
+64-bit values whose overlap is an unbiased estimate of the k-mer
+Jaccard similarity — the constant-memory trade-off GPU clustering tools
+use when representative sets outgrow on-chip storage.
+
+The estimate relates to alignment identity through the standard Mash
+relation: for identity ``a`` and word length ``k``, the expected
+Jaccard is approximately ``1 / (2 * e**(k * (1 - a)) - 1)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.genomics.sequence import Sequence
+
+_MASK = (1 << 64) - 1
+
+
+def _hash64(kmer: str, salt: int = 0x9E3779B97F4A7C15) -> int:
+    """Deterministic 64-bit string hash (FNV-1a folded with splitmix)."""
+    h = 0xCBF29CE484222325
+    for ch in kmer:
+        h = ((h ^ ord(ch)) * 0x100000001B3) & _MASK
+    h = (h + salt) & _MASK
+    h ^= h >> 30
+    h = (h * 0xBF58476D1CE4E5B9) & _MASK
+    h ^= h >> 27
+    return h
+
+
+@dataclass(frozen=True)
+class MinHashSketch:
+    """The ``size`` smallest k-mer hashes of a sequence."""
+
+    k: int
+    hashes: tuple[int, ...]
+
+    @classmethod
+    def of(cls, seq: Sequence | str, k: int = 8, size: int = 64) -> "MinHashSketch":
+        """Sketch a sequence: bottom-``size`` hashes of its k-mers."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if size <= 0:
+            raise ValueError("size must be positive")
+        residues = seq.residues if isinstance(seq, Sequence) else seq
+        kmers = {residues[i:i + k] for i in range(len(residues) - k + 1)}
+        hashes = sorted(_hash64(kmer) for kmer in kmers)[:size]
+        return cls(k, tuple(hashes))
+
+    def jaccard(self, other: "MinHashSketch") -> float:
+        """Estimated k-mer Jaccard similarity with ``other``.
+
+        Bottom-sketch estimator: the fraction of the union's bottom-s
+        hashes present in both sketches.
+        """
+        if self.k != other.k:
+            raise ValueError("sketches must use the same k")
+        if not self.hashes or not other.hashes:
+            return 0.0
+        size = min(len(self.hashes), len(other.hashes))
+        union_bottom = sorted(set(self.hashes) | set(other.hashes))[:size]
+        mine = set(self.hashes)
+        theirs = set(other.hashes)
+        shared = sum(1 for h in union_bottom if h in mine and h in theirs)
+        return shared / size
+
+
+def jaccard_for_identity(identity: float, k: int) -> float:
+    """Expected k-mer Jaccard for sequences at the given identity (Mash)."""
+    if not 0.0 < identity <= 1.0:
+        raise ValueError("identity must be in (0, 1]")
+    return 1.0 / (2.0 * math.exp(k * (1.0 - identity)) - 1.0)
+
+
+def sketch_filter(
+    sketch_a: MinHashSketch,
+    sketch_b: MinHashSketch,
+    identity: float,
+    safety: float = 0.5,
+) -> bool:
+    """Pre-filter verdict: could this pair reach ``identity``?
+
+    Returns ``True`` when the pair *may* reach the threshold (must be
+    aligned); ``False`` only when the sketch overlap is far below the
+    Jaccard the threshold implies.  ``safety`` (0..1) scales the cutoff
+    down to absorb estimator variance — lower is more conservative.
+    """
+    if not 0.0 < safety <= 1.0:
+        raise ValueError("safety must be in (0, 1]")
+    needed = jaccard_for_identity(identity, sketch_a.k) * safety
+    return sketch_a.jaccard(sketch_b) >= needed

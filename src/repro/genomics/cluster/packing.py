@@ -1,0 +1,53 @@
+"""2-bit DNA packing — nGIA's "new data packing strategy".
+
+Canonical DNA residues pack 16-per-32-bit-word (A=0, C=1, G=2, T=3),
+which is how the GPU kernel stores sequences to quarter its global
+memory traffic.  Wildcard ``N`` is not packable; callers substitute
+before packing (the synthetic datasets never emit ``N``).
+"""
+
+from __future__ import annotations
+
+_CODE = {"A": 0, "C": 1, "G": 2, "T": 3}
+_LETTER = "ACGT"
+
+RESIDUES_PER_WORD = 16
+
+
+def pack_dna(residues: str) -> list[int]:
+    """Pack a DNA string into a list of 32-bit words (little-endian lanes)."""
+    words: list[int] = []
+    word = 0
+    shift = 0
+    for ch in residues:
+        try:
+            code = _CODE[ch]
+        except KeyError:
+            raise ValueError(f"cannot pack residue {ch!r}") from None
+        word |= code << shift
+        shift += 2
+        if shift == 32:
+            words.append(word)
+            word = 0
+            shift = 0
+    if shift:
+        words.append(word)
+    return words
+
+
+def unpack_dna(words: list[int], length: int) -> str:
+    """Inverse of :func:`pack_dna` given the original residue count."""
+    out: list[str] = []
+    for word in words:
+        for lane in range(RESIDUES_PER_WORD):
+            if len(out) == length:
+                return "".join(out)
+            out.append(_LETTER[(word >> (2 * lane)) & 0x3])
+    if len(out) != length:
+        raise ValueError("length exceeds packed data")
+    return "".join(out)
+
+
+def packed_words(length: int) -> int:
+    """Words needed to pack ``length`` residues."""
+    return (length + RESIDUES_PER_WORD - 1) // RESIDUES_PER_WORD

@@ -1,0 +1,15 @@
+"""Pair Hidden Markov Model algorithms (the PairHMM benchmark)."""
+
+from repro.genomics.hmm.pairhmm import (
+    PairHMMParameters,
+    forward_likelihood,
+    forward_log_likelihood,
+    likelihood_matrix,
+)
+
+__all__ = [
+    "PairHMMParameters",
+    "forward_likelihood",
+    "forward_log_likelihood",
+    "likelihood_matrix",
+]

@@ -1,0 +1,19 @@
+"""Reference indexing and short-read alignment (the NvB benchmark).
+
+Suffix array -> BWT -> FM-index -> Bowtie2-style seed-and-extend read
+aligner, all from scratch.
+"""
+
+from repro.genomics.index.sa import suffix_array
+from repro.genomics.index.bwt import bwt_from_sa, inverse_bwt
+from repro.genomics.index.fm_index import FMIndex
+from repro.genomics.index.bowtie import ReadAligner, ReadMapping
+
+__all__ = [
+    "suffix_array",
+    "bwt_from_sa",
+    "inverse_bwt",
+    "FMIndex",
+    "ReadAligner",
+    "ReadMapping",
+]

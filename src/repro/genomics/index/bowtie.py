@@ -1,0 +1,241 @@
+"""Bowtie2-style seed-and-extend short-read aligner (NvBowtie stand-in).
+
+Pipeline per read, matching the structure of Bowtie2/NvBowtie:
+
+1. extract fixed-length seeds at a regular interval from the read and
+   its reverse complement;
+2. exact-match each seed with FM-index backward search and locate up to
+   ``max_seed_hits`` occurrences (multi-seed heuristic);
+3. convert seed hits to candidate alignment positions, deduplicate;
+4. extend each candidate with semi-global DP of the full read against a
+   reference window;
+5. report the best alignment with a Bowtie2-style mapping quality
+   derived from the best/second-best score gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.genomics.align.gotoh import semi_global
+from repro.genomics.align.result import AlignmentResult
+from repro.genomics.index.fm_index import FMIndex
+from repro.genomics.scoring import ScoringScheme
+from repro.genomics.sequence import Sequence
+
+
+@dataclass(frozen=True)
+class ReadMapping:
+    """One reported read alignment."""
+
+    read_name: str
+    position: int  # 0-based reference offset of the alignment start
+    strand: str  # "+" or "-"
+    score: int
+    cigar: str
+    mapq: int
+    alignment: AlignmentResult
+
+    @property
+    def is_reverse(self) -> bool:
+        return self.strand == "-"
+
+
+@dataclass
+class AlignerStats:
+    """Work counters the NvB kernel trace model consumes."""
+
+    reads: int = 0
+    mapped: int = 0
+    seeds_extracted: int = 0
+    seed_searches: int = 0
+    candidates_extended: int = 0
+    #: candidates discarded by the bit-parallel pre-alignment filter
+    candidates_filtered: int = 0
+
+
+class ReadAligner:
+    """Map short reads against a reference with FM-index seeding."""
+
+    def __init__(
+        self,
+        reference: Sequence,
+        seed_length: int = 16,
+        seed_interval: int = 8,
+        max_seed_hits: int = 8,
+        scheme: ScoringScheme | None = None,
+        extension_padding: int = 8,
+        prefilter_k: int | None = None,
+    ):
+        """``prefilter_k`` enables Myers bit-parallel pre-alignment
+        filtering: candidate windows whose edit distance to the read
+        exceeds ``k`` are discarded before scored extension (the
+        GenAx/ASAP accelerator design)."""
+        if seed_length <= 0 or seed_interval <= 0:
+            raise ValueError("seed_length and seed_interval must be positive")
+        if prefilter_k is not None and prefilter_k < 0:
+            raise ValueError("prefilter_k must be non-negative")
+        self.reference = reference
+        self.seed_length = seed_length
+        self.seed_interval = seed_interval
+        self.max_seed_hits = max_seed_hits
+        self.scheme = scheme or ScoringScheme.dna_default()
+        self.extension_padding = extension_padding
+        self.prefilter_k = prefilter_k
+        self.index = FMIndex(reference.residues)
+        self.stats = AlignerStats()
+
+    def _seeds(self, residues: str) -> list[tuple[int, str]]:
+        """(offset, seed) pairs covering the read, including its tail."""
+        k = self.seed_length
+        if len(residues) < k:
+            return [(0, residues)] if residues else []
+        offsets = list(range(0, len(residues) - k + 1, self.seed_interval))
+        tail = len(residues) - k
+        if offsets[-1] != tail:
+            offsets.append(tail)
+        return [(off, residues[off : off + k]) for off in offsets]
+
+    def _candidates(self, residues: str) -> set[int]:
+        """Candidate alignment start positions from seed hits."""
+        positions: set[int] = set()
+        for offset, seed in self._seeds(residues):
+            self.stats.seeds_extracted += 1
+            self.stats.seed_searches += 1
+            for hit in self.index.locate(seed, limit=self.max_seed_hits):
+                start = hit - offset
+                if -self.extension_padding <= start <= len(self.reference):
+                    positions.add(max(0, start))
+        return positions
+
+    def _extend(
+        self, residues: str, start: int
+    ) -> tuple[int, AlignmentResult] | None:
+        """Semi-global extension of the read around ``start``."""
+        pad = self.extension_padding
+        window_lo = max(0, start - pad)
+        window_hi = min(len(self.reference), start + len(residues) + pad)
+        window = self.reference.residues[window_lo:window_hi]
+        if not window:
+            return None
+        if self.prefilter_k is not None:
+            from repro.genomics.align.myers import best_edit_window
+
+            if best_edit_window(residues, window,
+                                max_k=self.prefilter_k) is None:
+                self.stats.candidates_filtered += 1
+                return None
+        self.stats.candidates_extended += 1
+        aln = semi_global(residues, window, self.scheme)
+        return window_lo + aln.target_start, aln
+
+    def map_read(self, read: Sequence, min_score: int | None = None) -> ReadMapping | None:
+        """Best mapping of ``read``, or ``None`` if nothing clears ``min_score``.
+
+        ``min_score`` defaults to a Bowtie2-like length-scaled threshold
+        (60% of the maximum possible match score).
+        """
+        self.stats.reads += 1
+        if min_score is None:
+            max_match = self.scheme.score("A", "A")
+            min_score = int(0.6 * max_match * len(read))
+
+        best: ReadMapping | None = None
+        second_score: int | None = None
+        for strand, residues in (
+            ("+", read.residues),
+            ("-", read.reverse_complement().residues),
+        ):
+            for start in sorted(self._candidates(residues)):
+                extended = self._extend(residues, start)
+                if extended is None:
+                    continue
+                position, aln = extended
+                if best is None or aln.score > best.score or (
+                    aln.score == best.score
+                    and (position, strand) < (best.position, best.strand)
+                ):
+                    if best is not None:
+                        second_score = (
+                            best.score
+                            if second_score is None
+                            else max(second_score, best.score)
+                        )
+                    best = ReadMapping(
+                        read_name=read.name,
+                        position=position,
+                        strand=strand,
+                        score=aln.score,
+                        cigar=aln.cigar,
+                        mapq=0,
+                        alignment=aln,
+                    )
+                elif second_score is None or aln.score > second_score:
+                    second_score = aln.score
+
+        if best is None or best.score < min_score:
+            return None
+        self.stats.mapped += 1
+        mapq = _mapping_quality(best.score, second_score, len(read), self.scheme)
+        return ReadMapping(
+            read_name=best.read_name,
+            position=best.position,
+            strand=best.strand,
+            score=best.score,
+            cigar=best.cigar,
+            mapq=mapq,
+            alignment=best.alignment,
+        )
+
+    def map_reads(self, reads: list[Sequence]) -> list[ReadMapping | None]:
+        """Map a batch of reads (the unit of work of one kernel launch)."""
+        return [self.map_read(read) for read in reads]
+
+    def map_pair(
+        self,
+        read1: Sequence,
+        read2: Sequence,
+        max_insert: int = 1000,
+    ) -> tuple[ReadMapping | None, ReadMapping | None]:
+        """Map a paired-end read (FR orientation, bounded insert size).
+
+        Both mates are mapped independently; a pair is *concordant*
+        when the mates land on opposite strands within ``max_insert``.
+        Concordant pairs get a mapping-quality boost (the pair
+        constraint disambiguates repeats); discordant mates are
+        returned as mapped singles, matching Bowtie2's mixed mode.
+        """
+        m1 = self.map_read(read1)
+        m2 = self.map_read(read2)
+        if m1 is None or m2 is None:
+            return m1, m2
+        concordant = (
+            m1.strand != m2.strand
+            and abs(m2.position - m1.position) <= max_insert
+        )
+        if not concordant:
+            return m1, m2
+        boost = 5
+        return (
+            ReadMapping(
+                m1.read_name, m1.position, m1.strand, m1.score,
+                m1.cigar, min(42, m1.mapq + boost), m1.alignment,
+            ),
+            ReadMapping(
+                m2.read_name, m2.position, m2.strand, m2.score,
+                m2.cigar, min(42, m2.mapq + boost), m2.alignment,
+            ),
+        )
+
+
+def _mapping_quality(
+    best: int, second: int | None, read_length: int, scheme: ScoringScheme
+) -> int:
+    """Bowtie2-flavoured MAPQ: scaled best/second-best gap, capped at 42."""
+    perfect = scheme.score("A", "A") * read_length
+    if perfect <= 0:
+        return 0
+    if second is None:
+        return 42 if best >= 0.9 * perfect else 30
+    gap = max(0, best - second)
+    return min(42, int(42 * gap / max(1, perfect)) + (10 if best > second else 0))

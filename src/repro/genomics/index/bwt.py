@@ -1,0 +1,55 @@
+"""Burrows–Wheeler transform built on the suffix array."""
+
+from __future__ import annotations
+
+from repro.genomics.index.sa import suffix_array
+
+SENTINEL = "$"
+
+
+def bwt_from_sa(text: str, sa: list[int] | None = None) -> str:
+    """BWT of ``text + '$'``.
+
+    ``sa`` may supply a precomputed suffix array *of the sentinel-
+    terminated text*; otherwise it is built here.
+    """
+    if SENTINEL in text:
+        raise ValueError("text must not contain the sentinel character '$'")
+    terminated = text + SENTINEL
+    if sa is None:
+        sa = suffix_array(terminated)
+    return "".join(
+        terminated[i - 1] if i > 0 else SENTINEL for i in sa
+    )
+
+
+def inverse_bwt(bwt: str) -> str:
+    """Recover the original text (without sentinel) from its BWT."""
+    if bwt.count(SENTINEL) != 1:
+        raise ValueError("BWT must contain exactly one sentinel")
+    n = len(bwt)
+    # LF mapping via stable counting.
+    counts: dict[str, int] = {}
+    for ch in bwt:
+        counts[ch] = counts.get(ch, 0) + 1
+    first_start: dict[str, int] = {}
+    offset = 0
+    for ch in sorted(counts):
+        first_start[ch] = offset
+        offset += counts[ch]
+    seen: dict[str, int] = {}
+    lf = [0] * n
+    for i, ch in enumerate(bwt):
+        lf[i] = first_start[ch] + seen.get(ch, 0)
+        seen[ch] = seen.get(ch, 0) + 1
+
+    # Row 0 is the rotation starting with the sentinel; its last column
+    # character is the final character of the text.  Each LF step moves
+    # to the rotation ending one character earlier, so collecting and
+    # reversing yields the original text.
+    out: list[str] = []
+    row = 0
+    for _ in range(n - 1):
+        out.append(bwt[row])
+        row = lf[row]
+    return "".join(reversed(out))

@@ -1,0 +1,90 @@
+"""Suffix array construction by prefix doubling.
+
+Two implementations of Manber–Myers rank doubling:
+
+- :func:`suffix_array_numpy` — vectorized with ``numpy.lexsort``; builds
+  megabase-scale arrays in seconds and is the default.
+- :func:`suffix_array_python` — pure standard library; the readable
+  reference the vectorized version is property-tested against.
+"""
+
+from __future__ import annotations
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a hard dependency
+    _np = None
+
+
+def suffix_array_python(text: str) -> list[int]:
+    """Pure-Python suffix array (``O(n log^2 n)`` with library sort)."""
+    n = len(text)
+    if n == 0:
+        return []
+    if n == 1:
+        return [0]
+
+    rank = [ord(c) for c in text]
+    tmp = [0] * n
+    sa = list(range(n))
+    k = 1
+    while True:
+        def sort_key(i: int) -> tuple[int, int]:
+            tail = rank[i + k] if i + k < n else -1
+            return (rank[i], tail)
+
+        sa.sort(key=sort_key)
+        tmp[sa[0]] = 0
+        for idx in range(1, n):
+            prev, cur = sa[idx - 1], sa[idx]
+            tmp[cur] = tmp[prev] + (1 if sort_key(cur) != sort_key(prev) else 0)
+        rank = tmp[:]
+        if rank[sa[-1]] == n - 1:
+            break
+        k <<= 1
+    return sa
+
+
+def suffix_array_numpy(text: str) -> list[int]:
+    """Vectorized suffix array via ``numpy.lexsort`` rank doubling."""
+    n = len(text)
+    if n == 0:
+        return []
+    if n == 1:
+        return [0]
+
+    rank = _np.frombuffer(text.encode("latin-1"), dtype=_np.uint8).astype(
+        _np.int64
+    )
+    k = 1
+    while True:
+        # Secondary key: the rank k positions ahead (-1 past the end).
+        tail = _np.full(n, -1, dtype=_np.int64)
+        tail[: n - k] = rank[k:]
+        order = _np.lexsort((tail, rank))
+        # Re-rank: increment where the (rank, tail) pair changes.
+        sorted_rank = rank[order]
+        sorted_tail = tail[order]
+        changed = _np.empty(n, dtype=_np.int64)
+        changed[0] = 0
+        changed[1:] = (
+            (sorted_rank[1:] != sorted_rank[:-1])
+            | (sorted_tail[1:] != sorted_tail[:-1])
+        ).astype(_np.int64)
+        new_rank = _np.empty(n, dtype=_np.int64)
+        new_rank[order] = _np.cumsum(changed)
+        rank = new_rank
+        if rank[order[-1]] == n - 1:
+            return order.tolist()
+        k <<= 1
+
+
+def suffix_array(text: str) -> list[int]:
+    """Suffix array of ``text`` (no sentinel added; empty text -> []).
+
+    ``result[i]`` is the start offset of the i-th smallest suffix.
+    Uses the numpy implementation when available.
+    """
+    if _np is not None:
+        return suffix_array_numpy(text)
+    return suffix_array_python(text)  # pragma: no cover - numpy required

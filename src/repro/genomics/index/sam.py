@@ -1,0 +1,168 @@
+"""SAM output and pileup analysis for read mappings.
+
+Turns :class:`~repro.genomics.index.bowtie.ReadMapping` results into
+the standard downstream formats: SAM records (the format Bowtie2 and
+NvBowtie emit) and per-position pileup/coverage summaries.
+"""
+
+from __future__ import annotations
+
+import io
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from repro.genomics.align.result import parse_cigar
+from repro.genomics.index.bowtie import ReadMapping
+from repro.genomics.sequence import Sequence
+
+#: SAM FLAG bits used here.
+FLAG_UNMAPPED = 0x4
+FLAG_REVERSE = 0x10
+
+
+def sam_header(reference: Sequence) -> str:
+    """@HD/@SQ header lines for a single-reference alignment run."""
+    return (
+        "@HD\tVN:1.6\tSO:unsorted\n"
+        f"@SQ\tSN:{reference.name}\tLN:{len(reference)}\n"
+        "@PG\tID:repro\tPN:genomics-gpu-repro\n"
+    )
+
+
+def sam_record(
+    mapping: ReadMapping | None,
+    read: Sequence,
+    reference_name: str,
+) -> str:
+    """One SAM line for a (possibly unmapped) read."""
+    if mapping is None:
+        fields = [
+            read.name, str(FLAG_UNMAPPED), "*", "0", "0", "*",
+            "*", "0", "0", read.residues, "*",
+        ]
+        return "\t".join(fields)
+    flag = FLAG_REVERSE if mapping.is_reverse else 0
+    seq = (
+        read.reverse_complement().residues
+        if mapping.is_reverse
+        else read.residues
+    )
+    fields = [
+        read.name,
+        str(flag),
+        reference_name,
+        str(mapping.position + 1),  # SAM is 1-based
+        str(mapping.mapq),
+        mapping.cigar or "*",
+        "*", "0", "0",
+        seq,
+        "*",
+        f"AS:i:{mapping.score}",
+    ]
+    return "\t".join(fields)
+
+
+def write_sam(
+    reference: Sequence,
+    mappings: Iterable[tuple[Sequence, ReadMapping | None]],
+    path: str | Path | None = None,
+) -> str:
+    """Full SAM document for (read, mapping) pairs; optionally saved."""
+    buffer = io.StringIO()
+    buffer.write(sam_header(reference))
+    for read, mapping in mappings:
+        buffer.write(sam_record(mapping, read, reference.name) + "\n")
+    text = buffer.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+@dataclass(frozen=True)
+class PileupColumn:
+    """Aligned bases observed at one reference position."""
+
+    position: int
+    reference_base: str
+    depth: int
+    bases: tuple[str, ...]
+
+    def consensus(self) -> str:
+        """Most common observed base (ties alphabetical)."""
+        counts = Counter(self.bases)
+        best = max(counts.values())
+        return min(b for b, n in counts.items() if n == best)
+
+    def mismatch_fraction(self) -> float:
+        """Fraction of observed bases disagreeing with the reference."""
+        if not self.bases:
+            return 0.0
+        wrong = sum(1 for b in self.bases if b != self.reference_base)
+        return wrong / len(self.bases)
+
+
+def pileup(
+    reference: Sequence,
+    mappings: Iterable[tuple[Sequence, ReadMapping | None]],
+) -> dict[int, PileupColumn]:
+    """Per-position pileup from mapped reads (CIGAR-aware).
+
+    Insertions contribute no reference column; deletions skip reference
+    positions.  Only positions with coverage appear in the result.
+    """
+    observed: dict[int, list[str]] = {}
+    for read, mapping in mappings:
+        if mapping is None:
+            continue
+        seq = (
+            read.reverse_complement().residues
+            if mapping.is_reverse
+            else read.residues
+        )
+        # The alignment consumed the read starting at its query_start.
+        qi = mapping.alignment.query_start
+        ri = mapping.position
+        for count, op in parse_cigar(mapping.cigar):
+            if op in ("M", "=", "X"):
+                for k in range(count):
+                    if ri + k < len(reference):
+                        observed.setdefault(ri + k, []).append(seq[qi + k])
+                qi += count
+                ri += count
+            elif op == "I":
+                qi += count
+            elif op == "D":
+                ri += count
+    return {
+        pos: PileupColumn(
+            position=pos,
+            reference_base=reference.residues[pos],
+            depth=len(bases),
+            bases=tuple(bases),
+        )
+        for pos, bases in sorted(observed.items())
+    }
+
+
+def coverage_summary(
+    reference: Sequence,
+    columns: dict[int, PileupColumn],
+) -> dict:
+    """Aggregate coverage statistics over a pileup."""
+    if not columns:
+        return {"covered_positions": 0, "mean_depth": 0.0,
+                "breadth": 0.0, "mismatch_rate": 0.0}
+    depths = [c.depth for c in columns.values()]
+    mismatches = sum(
+        sum(1 for b in c.bases if b != c.reference_base)
+        for c in columns.values()
+    )
+    total_bases = sum(depths)
+    return {
+        "covered_positions": len(columns),
+        "mean_depth": sum(depths) / len(columns),
+        "breadth": len(columns) / len(reference),
+        "mismatch_rate": mismatches / total_bases if total_bases else 0.0,
+    }

@@ -1,0 +1,5 @@
+"""Multiple sequence alignment (the STAR benchmark)."""
+
+from repro.genomics.msa.center_star import MSAResult, center_star
+
+__all__ = ["MSAResult", "center_star"]

@@ -1,0 +1,202 @@
+"""Center-Star multiple sequence alignment (the STAR benchmark).
+
+The classic 2-approximation for sum-of-pairs MSA (Gusfield):
+
+1. pick the *center* sequence maximizing the sum of pairwise alignment
+   scores against all others;
+2. align every other sequence to the center with global affine-gap DP;
+3. merge the pairwise alignments under the "once a gap, always a gap"
+   rule, so all rows share one coordinate system.
+
+This is the algorithm of HAlign / CMSA that the paper's STAR kernel
+implements on the GPU (the pairwise DP sweeps in step 2 are the GPU
+work; step 3 is the CPU merge of the co-running design).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.genomics.align.gotoh import needleman_wunsch
+from repro.genomics.align.result import AlignmentResult
+from repro.genomics.scoring import ScoringScheme
+from repro.genomics.sequence import Sequence
+
+
+@dataclass
+class MSAResult:
+    """A finished multiple alignment.
+
+    ``rows[i]`` is the gapped string for input sequence ``i`` (original
+    input order); all rows have equal length.
+    """
+
+    rows: list[str]
+    names: list[str]
+    center_index: int
+    pairwise: list[AlignmentResult | None] = field(repr=False, default=None)
+
+    @property
+    def width(self) -> int:
+        """Number of alignment columns."""
+        return len(self.rows[0]) if self.rows else 0
+
+    def column(self, j: int) -> list[str]:
+        """Residues (and gaps) in column ``j``."""
+        return [row[j] for row in self.rows]
+
+    def consensus(self) -> str:
+        """Majority residue per column (gaps excluded; ties alphabetical)."""
+        out = []
+        for j in range(self.width):
+            counts: dict[str, int] = {}
+            for ch in self.column(j):
+                if ch != "-":
+                    counts[ch] = counts.get(ch, 0) + 1
+            if counts:
+                out.append(max(sorted(counts), key=counts.get))
+            else:  # pragma: no cover - all-gap columns never produced
+                out.append("-")
+        return "".join(out)
+
+    def snp_columns(self, min_minor: int = 1) -> list[int]:
+        """Columns with at least two residue states (candidate SNPs).
+
+        ``min_minor`` requires the second most common residue to occur
+        at least that many times, filtering singleton noise.
+        """
+        snps = []
+        for j in range(self.width):
+            counts: dict[str, int] = {}
+            for ch in self.column(j):
+                if ch != "-":
+                    counts[ch] = counts.get(ch, 0) + 1
+            if len(counts) >= 2:
+                minor = sorted(counts.values())[-2]
+                if minor >= min_minor:
+                    snps.append(j)
+        return snps
+
+    def sum_of_pairs(self, scheme: ScoringScheme | None = None) -> int:
+        """Sum-of-pairs score over all row pairs (gap-gap columns score 0)."""
+        scheme = scheme or ScoringScheme.dna_default()
+        total = 0
+        for a in range(len(self.rows)):
+            for b in range(a + 1, len(self.rows)):
+                total += _pair_score(self.rows[a], self.rows[b], scheme)
+        return total
+
+
+def _pair_score(row_a: str, row_b: str, scheme: ScoringScheme) -> int:
+    """Score two gapped rows column by column with affine gap runs."""
+    score = 0
+    gap_run = 0  # >0 while inside a gap run in either row
+    for a, b in zip(row_a, row_b):
+        if a == "-" and b == "-":
+            continue
+        if a == "-" or b == "-":
+            if gap_run == 0:
+                score -= scheme.gap_open
+            score -= scheme.gap_extend
+            gap_run += 1
+        else:
+            score += scheme.score(a, b)
+            gap_run = 0
+    return score
+
+
+def choose_center(
+    sequences: list[Sequence], scheme: ScoringScheme
+) -> tuple[int, list[list[int]]]:
+    """Index of the center sequence and the pairwise score matrix."""
+    k = len(sequences)
+    scores = [[0] * k for _ in range(k)]
+    for a in range(k):
+        for b in range(a + 1, k):
+            s = needleman_wunsch(sequences[a], sequences[b], scheme).score
+            scores[a][b] = scores[b][a] = s
+    sums = [sum(scores[a]) for a in range(k)]
+    center = max(range(k), key=lambda a: (sums[a], -a))
+    return center, scores
+
+
+def center_star(
+    sequences: list[Sequence],
+    scheme: ScoringScheme | None = None,
+    center_index: int | None = None,
+) -> MSAResult:
+    """Align ``sequences`` with the Center-Star strategy.
+
+    ``center_index`` overrides center selection (skipping the all-pairs
+    scoring pass), which is how the GPU implementation's "quick center"
+    heuristic mode is exposed.
+    """
+    if not sequences:
+        raise ValueError("need at least one sequence")
+    scheme = scheme or ScoringScheme.dna_default()
+    if len(sequences) == 1:
+        only = sequences[0]
+        return MSAResult([only.residues], [only.name], 0, [])
+
+    if center_index is None:
+        center_index, _ = choose_center(sequences, scheme)
+    elif not 0 <= center_index < len(sequences):
+        raise ValueError("center_index out of range")
+
+    center = sequences[center_index]
+    length = len(center)
+
+    # Pairwise alignments of every non-center sequence to the center.
+    pairwise: list[AlignmentResult | None] = [None] * len(sequences)
+    # ins[i]: gaps inserted before center position i (ins[length] = at end).
+    ins = [0] * (length + 1)
+    for idx, seq in enumerate(sequences):
+        if idx == center_index:
+            continue
+        aln = needleman_wunsch(seq, center, scheme)
+        pairwise[idx] = aln
+        pos = 0  # center residues consumed so far
+        run = 0  # current run of center gaps
+        for c_ch in aln.aligned_target:
+            if c_ch == "-":
+                run += 1
+            else:
+                ins[pos] = max(ins[pos], run)
+                run = 0
+                pos += 1
+        ins[length] = max(ins[length], run)
+
+    # Build the merged center row.
+    center_row_parts = []
+    for i in range(length):
+        center_row_parts.append("-" * ins[i])
+        center_row_parts.append(center.residues[i])
+    center_row_parts.append("-" * ins[length])
+    center_row = "".join(center_row_parts)
+
+    rows: list[str] = []
+    for idx, seq in enumerate(sequences):
+        if idx == center_index:
+            rows.append(center_row)
+            continue
+        rows.append(_pad_row(pairwise[idx], ins))
+    return MSAResult(rows, [s.name for s in sequences], center_index, pairwise)
+
+
+def _pad_row(aln: AlignmentResult, ins: list[int]) -> str:
+    """Re-pad one pairwise alignment onto the merged coordinate system."""
+    parts: list[str] = []
+    pos = 0  # center residues consumed
+    pending: list[str] = []  # query chars opposite current center-gap run
+    for q_ch, c_ch in zip(aln.aligned_query, aln.aligned_target):
+        if c_ch == "-":
+            pending.append(q_ch)
+        else:
+            parts.append("-" * (ins[pos] - len(pending)))
+            parts.extend(pending)
+            pending = []
+            parts.append(q_ch)
+            pos += 1
+    parts.append("-" * (ins[len(ins) - 1] - len(pending)))
+    parts.extend(pending)
+    return "".join(parts)

@@ -1,0 +1,135 @@
+"""Scoring schemes for pairwise alignment.
+
+Two layers:
+
+- :class:`SubstitutionMatrix` maps residue pairs to match/mismatch scores
+  (simple match/mismatch, or a full matrix such as BLOSUM62 for proteins).
+- :class:`ScoringScheme` combines a substitution matrix with affine gap
+  penalties ``gap_open`` and ``gap_extend`` (a length-``L`` gap costs
+  ``gap_open + L * gap_extend``).
+
+All GASAL2-style kernels in the paper use match/mismatch + affine gaps;
+the Center-Star protein workload uses BLOSUM62.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.genomics.sequence import Alphabet, DNA, PROTEIN
+
+
+class SubstitutionMatrix:
+    """Residue-pair substitution scores over an alphabet."""
+
+    def __init__(self, alphabet: Alphabet, scores: dict[tuple[str, str], int]):
+        self.alphabet = alphabet
+        self._scores = dict(scores)
+
+    @classmethod
+    def match_mismatch(
+        cls, alphabet: Alphabet = DNA, match: int = 2, mismatch: int = -3
+    ) -> "SubstitutionMatrix":
+        """Uniform match/mismatch matrix (wildcards always mismatch)."""
+        scores: dict[tuple[str, str], int] = {}
+        for a in alphabet.letters:
+            for b in alphabet.letters:
+                scores[(a, b)] = match if a == b else mismatch
+        matrix = cls(alphabet, scores)
+        matrix._match = match
+        matrix._mismatch = mismatch
+        return matrix
+
+    def score(self, a: str, b: str) -> int:
+        """Score of aligning residue ``a`` against residue ``b``."""
+        try:
+            return self._scores[(a, b)]
+        except KeyError:
+            # Wildcards and any unlisted pairing score as the worst
+            # listed mismatch: conservative, never rewards unknowns.
+            if not self._scores:
+                raise ValueError("empty substitution matrix") from None
+            return min(self._scores.values())
+
+    def as_table(self) -> list[list[int]]:
+        """Dense ``size x size`` table in alphabet encoding order."""
+        letters = self.alphabet.letters
+        return [[self.score(a, b) for b in letters] for a in letters]
+
+
+def blosum62() -> SubstitutionMatrix:
+    """The BLOSUM62 protein substitution matrix.
+
+    Standard log-odds matrix used by BLAST and the Center-Star protein
+    workload.  Rows/columns follow :data:`repro.genomics.sequence.PROTEIN`
+    letter order.
+    """
+    letters = "ARNDCQEGHILKMFPSTWYV"
+    rows = [
+        # A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V
+        [4, -1, -2, -2, 0, -1, -1, 0, -2, -1, -1, -1, -1, -2, -1, 1, 0, -3, -2, 0],
+        [-1, 5, 0, -2, -3, 1, 0, -2, 0, -3, -2, 2, -1, -3, -2, -1, -1, -3, -2, -3],
+        [-2, 0, 6, 1, -3, 0, 0, 0, 1, -3, -3, 0, -2, -3, -2, 1, 0, -4, -2, -3],
+        [-2, -2, 1, 6, -3, 0, 2, -1, -1, -3, -4, -1, -3, -3, -1, 0, -1, -4, -3, -3],
+        [0, -3, -3, -3, 9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1],
+        [-1, 1, 0, 0, -3, 5, 2, -2, 0, -3, -2, 1, 0, -3, -1, 0, -1, -2, -1, -2],
+        [-1, 0, 0, 2, -4, 2, 5, -2, 0, -3, -3, 1, -2, -3, -1, 0, -1, -3, -2, -2],
+        [0, -2, 0, -1, -3, -2, -2, 6, -2, -4, -4, -2, -3, -3, -2, 0, -2, -2, -3, -3],
+        [-2, 0, 1, -1, -3, 0, 0, -2, 8, -3, -3, -1, -2, -1, -2, -1, -2, -2, 2, -3],
+        [-1, -3, -3, -3, -1, -3, -3, -4, -3, 4, 2, -3, 1, 0, -3, -2, -1, -3, -1, 3],
+        [-1, -2, -3, -4, -1, -2, -3, -4, -3, 2, 4, -2, 2, 0, -3, -2, -1, -2, -1, 1],
+        [-1, 2, 0, -1, -3, 1, 1, -2, -1, -3, -2, 5, -1, -3, -1, 0, -1, -3, -2, -2],
+        [-1, -1, -2, -3, -1, 0, -2, -3, -2, 1, 2, -1, 5, 0, -2, -1, -1, -1, -1, 1],
+        [-2, -3, -3, -3, -2, -3, -3, -3, -1, 0, 0, -3, 0, 6, -4, -2, -2, 1, 3, -1],
+        [-1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4, 7, -1, -1, -4, -3, -2],
+        [1, -1, 1, 0, -1, 0, 0, 0, -1, -2, -2, 0, -1, -2, -1, 4, 1, -3, -2, -2],
+        [0, -1, 0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1, 1, 5, -2, -2, 0],
+        [-3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1, 1, -4, -3, -2, 11, 2, -3],
+        [-2, -2, -2, -3, -2, -1, -2, -3, 2, -1, -1, -2, -1, 3, -3, -2, -2, 2, 7, -1],
+        [0, -3, -3, -3, -1, -2, -2, -3, -3, 3, 1, -2, 1, -1, -2, -2, 0, -3, -1, 4],
+    ]
+    scores = {
+        (a, b): rows[i][j]
+        for i, a in enumerate(letters)
+        for j, b in enumerate(letters)
+    }
+    return SubstitutionMatrix(PROTEIN, scores)
+
+
+@dataclass(frozen=True)
+class ScoringScheme:
+    """Substitution matrix plus affine gap penalties.
+
+    ``gap_open`` and ``gap_extend`` are non-negative penalties; a gap of
+    length ``L`` subtracts ``gap_open + L * gap_extend`` from the score.
+    """
+
+    matrix: SubstitutionMatrix = field(
+        default_factory=SubstitutionMatrix.match_mismatch
+    )
+    gap_open: int = 5
+    gap_extend: int = 1
+
+    def __post_init__(self) -> None:
+        if self.gap_open < 0 or self.gap_extend < 0:
+            raise ValueError("gap penalties must be non-negative")
+
+    def score(self, a: str, b: str) -> int:
+        """Substitution score for a residue pair."""
+        return self.matrix.score(a, b)
+
+    def gap_cost(self, length: int) -> int:
+        """Total penalty of a gap of ``length`` residues."""
+        if length <= 0:
+            return 0
+        return self.gap_open + length * self.gap_extend
+
+    @classmethod
+    def dna_default(cls) -> "ScoringScheme":
+        """GASAL2-style DNA defaults: +2/-3, gap open 5, extend 1."""
+        return cls(SubstitutionMatrix.match_mismatch(DNA, 2, -3), 5, 1)
+
+    @classmethod
+    def protein_default(cls) -> "ScoringScheme":
+        """BLOSUM62 with gap open 11, extend 1 (BLAST defaults)."""
+        return cls(blosum62(), 11, 1)

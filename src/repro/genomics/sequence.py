@@ -1,0 +1,141 @@
+"""Biological sequences and alphabets.
+
+A :class:`Sequence` is an immutable, validated string of residues over an
+:class:`Alphabet`.  Sequences compare and hash by (name, residues) so they
+can be used as dictionary keys in clustering and indexing code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class Alphabet:
+    """A residue alphabet with encode/decode tables.
+
+    Parameters
+    ----------
+    name:
+        Human-readable alphabet name (``"DNA"``, ``"protein"``...).
+    letters:
+        The canonical residue letters, in encoding order: ``letters[i]``
+        encodes to integer ``i``.
+    wildcard:
+        Letter accepted in input and encoded like a normal residue but
+        treated as "unknown" (e.g. ``N`` for DNA).  ``None`` if the
+        alphabet has no wildcard.
+    """
+
+    def __init__(self, name: str, letters: str, wildcard: str | None = None):
+        if len(set(letters)) != len(letters):
+            raise ValueError(f"duplicate letters in alphabet {name!r}")
+        self.name = name
+        self.letters = letters
+        self.wildcard = wildcard
+        codes = {ch: i for i, ch in enumerate(letters)}
+        if wildcard is not None and wildcard not in codes:
+            codes[wildcard] = len(letters)
+        self._codes = codes
+
+    @property
+    def size(self) -> int:
+        """Number of canonical (non-wildcard) letters."""
+        return len(self.letters)
+
+    def __contains__(self, letter: str) -> bool:
+        return letter in self._codes
+
+    def encode(self, text: str) -> list[int]:
+        """Encode ``text`` to integer codes, raising on invalid letters."""
+        try:
+            return [self._codes[ch] for ch in text]
+        except KeyError as exc:
+            raise ValueError(
+                f"letter {exc.args[0]!r} is not in alphabet {self.name}"
+            ) from None
+
+    def decode(self, codes: list[int]) -> str:
+        """Inverse of :meth:`encode` for canonical codes."""
+        table = self.letters + (self.wildcard or "")
+        return "".join(table[c] for c in codes)
+
+    def validate(self, text: str) -> None:
+        """Raise ``ValueError`` if ``text`` contains foreign letters."""
+        for ch in text:
+            if ch not in self._codes:
+                raise ValueError(
+                    f"letter {ch!r} is not in alphabet {self.name}"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Alphabet({self.name!r}, {self.letters!r})"
+
+
+DNA = Alphabet("DNA", "ACGT", wildcard="N")
+RNA = Alphabet("RNA", "ACGU", wildcard="N")
+PROTEIN = Alphabet("protein", "ARNDCQEGHILKMFPSTWYV", wildcard="X")
+
+#: Complement table for DNA including the wildcard.
+_DNA_COMPLEMENT = str.maketrans("ACGTN", "TGCAN")
+
+
+@dataclass(frozen=True)
+class Sequence:
+    """An immutable named biological sequence.
+
+    Attributes
+    ----------
+    name:
+        Identifier (FASTA header up to first whitespace).
+    residues:
+        The residue string, upper-case.
+    alphabet:
+        The :class:`Alphabet` the residues are drawn from.
+    description:
+        Remainder of the FASTA header, if any.
+    """
+
+    name: str
+    residues: str
+    alphabet: Alphabet = field(default=DNA, compare=False)
+    description: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "residues", self.residues.upper())
+        self.alphabet.validate(self.residues)
+
+    def __len__(self) -> int:
+        return len(self.residues)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.residues)
+
+    def __getitem__(self, index) -> str:
+        return self.residues[index]
+
+    def encoded(self) -> list[int]:
+        """Integer codes of the residues (see :meth:`Alphabet.encode`)."""
+        return self.alphabet.encode(self.residues)
+
+    def reverse_complement(self) -> "Sequence":
+        """Reverse complement; DNA only."""
+        if self.alphabet is not DNA:
+            raise ValueError("reverse_complement is defined for DNA only")
+        rc = self.residues.translate(_DNA_COMPLEMENT)[::-1]
+        return Sequence(self.name, rc, self.alphabet, self.description)
+
+    def kmers(self, k: int) -> Iterator[str]:
+        """Yield all length-``k`` substrings, left to right."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        residues = self.residues
+        for i in range(len(residues) - k + 1):
+            yield residues[i : i + k]
+
+    def gc_content(self) -> float:
+        """Fraction of G/C residues (0.0 for the empty sequence)."""
+        if not self.residues:
+            return 0.0
+        gc = sum(1 for ch in self.residues if ch in "GC")
+        return gc / len(self.residues)

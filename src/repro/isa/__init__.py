@@ -1,0 +1,24 @@
+"""Warp-level instruction set for the GPU timing model."""
+
+from repro.isa.instructions import (
+    FULL_MASK,
+    WARP_SIZE,
+    MemAccess,
+    MemSpace,
+    OpClass,
+    WarpInstruction,
+    popcount,
+)
+from repro.isa.trace import TraceBuilder, lines_for_stride
+
+__all__ = [
+    "FULL_MASK",
+    "WARP_SIZE",
+    "MemAccess",
+    "MemSpace",
+    "OpClass",
+    "WarpInstruction",
+    "popcount",
+    "TraceBuilder",
+    "lines_for_stride",
+]

@@ -1,0 +1,115 @@
+"""Warp instructions.
+
+The simulator is trace driven: kernels are Python generators that yield
+:class:`WarpInstruction` objects per warp.  Memory operands are carried
+at *cache line* granularity (the coalescer in the trace builder has
+already collapsed per-lane addresses), which is the granularity every
+downstream model — caches, NoC, DRAM — operates at.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+WARP_SIZE = 32
+FULL_MASK = (1 << WARP_SIZE) - 1
+
+#: Cache line size in bytes, fixed across the suite (Table I: 128B lines).
+LINE_BYTES = 128
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits (active lanes) in a mask."""
+    return bin(mask & FULL_MASK).count("1")
+
+
+class OpClass(enum.Enum):
+    """Instruction categories reported in Fig 8."""
+
+    INT = "int"
+    FP = "fp"
+    SFU = "sfu"
+    LDST = "ldst"
+    CTRL = "ctrl"
+    SYNC = "sync"  # CTA barrier
+    DEVSYNC = "devsync"  # cudaDeviceSynchronize (CDP parent waits)
+    LAUNCH = "launch"  # CDP device-side kernel launch
+    EXIT = "exit"
+
+
+class MemSpace(enum.Enum):
+    """Memory spaces reported in Fig 9."""
+
+    GLOBAL = "global"
+    LOCAL = "local"
+    SHARED = "shared"
+    CONST = "const"
+    TEX = "tex"
+    PARAM = "param"
+
+
+@dataclass(frozen=True)
+class MemAccess:
+    """One memory operand: the 128B lines it touches after coalescing.
+
+    ``lines`` are line *indices* (byte address // 128) in a flat device
+    address space.  ``store`` marks writes.
+    """
+
+    space: MemSpace
+    lines: tuple[int, ...]
+    store: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.lines and self.space not in (MemSpace.SHARED,):
+            raise ValueError("memory access must touch at least one line")
+
+    @property
+    def transactions(self) -> int:
+        """Number of memory transactions the access generates."""
+        return max(1, len(self.lines))
+
+
+class WarpInstruction:
+    """One dynamic warp instruction.
+
+    ``repeat`` lets a trace generator emit N identical back-to-back
+    ALU instructions as one object; the SM front end still charges N
+    issue slots, so timing is unchanged while trace generation stays
+    cheap.  Memory/control/sync instructions must use ``repeat == 1``.
+    """
+
+    __slots__ = ("op", "mask", "mem", "child", "repeat")
+
+    def __init__(
+        self,
+        op: OpClass,
+        mask: int = FULL_MASK,
+        mem: MemAccess | None = None,
+        child=None,
+        repeat: int = 1,
+    ):
+        if repeat < 1:
+            raise ValueError("repeat must be >= 1")
+        if repeat > 1 and op not in (OpClass.INT, OpClass.FP, OpClass.SFU):
+            raise ValueError("repeat > 1 is only valid for ALU instructions")
+        if mem is not None and op is not OpClass.LDST:
+            raise ValueError("memory operand requires an LDST op")
+        if op is OpClass.LDST and mem is None:
+            raise ValueError("LDST requires a memory operand")
+        if child is not None and op is not OpClass.LAUNCH:
+            raise ValueError("child grid requires a LAUNCH op")
+        self.op = op
+        self.mask = mask & FULL_MASK
+        self.mem = mem
+        self.child = child
+        self.repeat = repeat
+
+    @property
+    def active_lanes(self) -> int:
+        return popcount(self.mask)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = f" mem={self.mem.space.value}x{len(self.mem.lines)}" if self.mem else ""
+        return f"<{self.op.value} lanes={self.active_lanes}{extra} x{self.repeat}>"

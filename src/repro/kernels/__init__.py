@@ -1,0 +1,19 @@
+"""The ten Genomics-GPU benchmark kernels and their CDP variants.
+
+Every benchmark binds a functional algorithm from
+:mod:`repro.genomics` to a GPU trace model with the Table III launch
+geometry.  :func:`build_application` is the registry entry point:
+
+>>> app = build_application("NW", cdp=False)
+>>> stats = GPUSimulator(config).run_application(app)
+"""
+
+from repro.kernels.base import GenomicsApplication, BENCHMARKS
+from repro.kernels.registry import build_application, benchmark_names
+
+__all__ = [
+    "GenomicsApplication",
+    "BENCHMARKS",
+    "build_application",
+    "benchmark_names",
+]

@@ -1,0 +1,184 @@
+"""nGIA greedy clustering benchmark (CLUSTER).
+
+Each warp screens one candidate sequence against the representative
+list.  Representative k-mer profiles are staged in shared memory; the
+pre-filter and short-word filter are branchy scalar loops in which most
+lanes fail early — the paper's Fig 10 shows CLUSTER dominated by W1-4
+warps (>50%), and Fig 15 shows it gains nothing from perfect memory:
+it is divergence/compute bound, not memory bound.
+
+The trace is derived from the *actual* clustering run: the functional
+algorithm records, per sequence, how many representatives each filter
+rejected and how many full alignments ran
+(:attr:`repro.genomics.cluster.ngia.ClusteringResult.trail`).
+
+The CDP variant launches a full-width child alignment kernel for just
+the survivors (DiMarco-style dynamic parallelism for clustering),
+recovering warp occupancy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.genomics.cluster import greedy_cluster
+from repro.isa import TraceBuilder
+from repro.isa.instructions import WarpInstruction
+from repro.kernels.base import CONST_BASE, GLOBAL_BASE, GenomicsApplication
+from repro.sim.kernel import KernelProgram, WarpContext
+from repro.sim.launch import HostLaunch, HostMemcpy, KernelLaunch
+
+#: Integer ops per filter check (profile intersect step).
+INTS_PER_FILTER = 4
+
+#: Integer ops per banded DP row chunk.
+INTS_PER_ROW = 6
+
+
+class ClusterKernel(KernelProgram):
+    """Filter + align pass over all candidates.
+
+    ``args``: ``trail`` (per-sequence filter/alignment counts),
+    ``cdp_children`` — optional list of prepared child launches; when
+    present, alignments are delegated to them (the CDP variant).
+    """
+
+    def __init__(self, cta_threads: int = 128, cdp: bool = False):
+        super().__init__(
+            "cluster_cdp" if cdp else "cluster",
+            cta_threads=cta_threads,
+            regs_per_thread=40,
+            smem_per_cta=8 * 1024,  # staged representative profiles
+            const_bytes=1024,
+        )
+        self.cdp = cdp
+
+    def warp_trace(self, ctx: WarpContext) -> Iterator[WarpInstruction]:
+        b = TraceBuilder()
+        trail = ctx.args["trail"]
+        children = ctx.args.get("cdp_children")
+        total_warps = ctx.num_ctas * ctx.warps_per_cta
+        mine = trail[ctx.global_warp :: total_warps]
+        if not mine:
+            yield b.exit()
+            return
+
+        yield b.ld_param([CONST_BASE + 132])
+        yield b.ld_const([CONST_BASE + 3])
+        for record in mine:
+            seq_base = GLOBAL_BASE + record["index"] * 4
+            # Load and pack the candidate, build its k-mer profile in
+            # shared memory (cooperative, full warp).
+            yield b.ld_global([seq_base, seq_base + 1])
+            yield b.ints(8)
+            yield b.st_shared()
+            yield b.barrier()
+
+            # Pre-filter: one length compare per representative; lanes
+            # peel off as candidates fail (modelled as a shrinking
+            # mask over the filter loop).
+            checks = record["prefilter"] + record["shortword"]
+            lanes = 32
+            for chunk in range(max(1, math.ceil(checks / 8))):
+                b.set_lanes(lanes)
+                yield b.ld_shared()  # representative profile tile
+                if chunk % 4 == 0:
+                    # Representative profiles live in a shared global
+                    # table; every candidate revisits the same lines.
+                    yield b.ld_global([GLOBAL_BASE + 8192 + chunk % 64])
+                yield b.ints(INTS_PER_FILTER)
+                yield b.branch()
+                lanes = max(2, lanes - 6)  # most lanes fail the filters
+
+            # Survivors run the banded alignment: only the lanes of the
+            # surviving candidates stay live, wasting most of the warp.
+            if record["aligned"]:
+                if children is not None:
+                    yield b.launch(children[record["index"]])
+                else:
+                    b.set_lanes(4)
+                    yield b.branch()
+                    for row in range(max(1, record["align_rows"])):
+                        yield b.ints(INTS_PER_ROW)
+                        if row % 8 == 7:
+                            yield b.ld_shared()
+            b.set_lanes(32)
+            yield b.st_global([seq_base])  # cluster assignment
+        if children is not None:
+            yield b.device_sync()
+        yield b.exit()
+
+
+class ClusterChildKernel(KernelProgram):
+    """CDP child: one survivor's banded alignment at full warp width.
+
+    ``args``: ``rows``, ``base``.
+    """
+
+    def __init__(self):
+        super().__init__(
+            "cluster_child", cta_threads=32, regs_per_thread=40,
+            const_bytes=512,
+        )
+
+    def warp_trace(self, ctx: WarpContext) -> Iterator[WarpInstruction]:
+        b = TraceBuilder()
+        yield b.ld_param([CONST_BASE + 133])
+        yield b.ld_global([ctx.args["base"]])
+        # The child spreads the band across the full warp, covering in
+        # one instruction what the 4-lane parent path needs 8 for.
+        for row in range(max(1, ctx.args["rows"] // 8)):
+            yield b.ints(INTS_PER_ROW)
+        yield b.st_global([ctx.args["base"]])
+        yield b.exit()
+
+
+class ClusterApplication(GenomicsApplication):
+    """nGIA greedy incremental clustering."""
+
+    abbr = "CLUSTER"
+
+    def __init__(self, workload, cdp: bool = False):
+        super().__init__(workload, cdp)
+        self._functional = None
+
+    def run_functional(self):
+        if self._functional is None:
+            self._functional = greedy_cluster(
+                list(self.workload.sequences),
+                identity=self.workload.identity,
+                word_length=self.workload.word_length,
+            )
+        return self._functional
+
+    def host_program(self):
+        result = self.run_functional()
+        info = self.info
+        total_bytes = sum(len(s) for s in self.workload.sequences)
+
+        yield HostMemcpy(total_bytes // 2, "h2d")  # packed sequences
+        yield HostMemcpy(4 * len(self.workload.sequences), "h2d")  # offsets
+
+        args = {"trail": result.trail}
+        if self.cdp:
+            child = ClusterChildKernel()
+            args["cdp_children"] = {
+                record["index"]: KernelLaunch(
+                    child,
+                    num_ctas=1,
+                    args={
+                        "rows": max(32, record["align_rows"]),
+                        "base": GLOBAL_BASE + record["index"] * 4,
+                    },
+                )
+                for record in result.trail
+                if record["aligned"]
+            }
+        kernel = ClusterKernel(info.cta_threads, cdp=self.cdp)
+        num_ctas = min(
+            info.num_ctas,
+            max(1, math.ceil(len(result.trail) / kernel.warps_per_cta)),
+        )
+        yield HostLaunch(KernelLaunch(kernel, num_ctas=num_ctas, args=args))
+        yield HostMemcpy(4 * len(self.workload.sequences), "d2h")

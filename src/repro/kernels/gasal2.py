@@ -1,0 +1,283 @@
+"""GASAL2 benchmarks: GG, GL, GKSW, GSG.
+
+GASAL2 assigns one query/target pair to one thread; DP rows live in
+per-thread *local memory* arrays — which is why Fig 9 shows local
+accesses dominating all four kernels.  The host side transfers packed
+batches with several cudaMemcpy calls per kernel launch (queries,
+targets, offsets, lengths in; scores, start/end positions out), giving
+the PCI-count > kernel-count signature of Fig 4.
+
+Variant differences:
+
+- **GG** (global): full-matrix DP, runs every row.
+- **GL** (local): Smith-Waterman with early exit — lanes whose scores
+  decay drop out, trimming rows and adding divergence.
+- **GSG** (semi-global): skips the free end-gap boundary work; slightly
+  fewer integer ops per row.
+- **GKSW** (tile-based banded with traceback): additionally streams a
+  traceback matrix through global memory and re-reads it backwards,
+  making it the suite's most bandwidth- and cache-sensitive kernel
+  (Fig 12's 7x, Fig 15's 5x, Fig 18's DRAM utilization).
+
+The CDP variants launch the per-batch alignment kernel from a small
+device-side dispatcher (one launch per batch), following Listing 1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.genomics.align import (
+    banded_global,
+    needleman_wunsch,
+    semi_global,
+    smith_waterman,
+)
+from repro.isa import TraceBuilder
+from repro.isa.instructions import WarpInstruction
+from repro.kernels.base import (
+    CONST_BASE,
+    GLOBAL_BASE,
+    GenomicsApplication,
+    local_line,
+)
+from repro.sim.kernel import KernelProgram, WarpContext
+from repro.sim.launch import HostLaunch, HostMemcpy, KernelLaunch
+
+#: Pairs per host batch (one kernel launch per batch).
+BATCH_PAIRS = 256
+
+#: Integer ops per DP row per thread (packed 8-cell inner loop).
+INTS_PER_ROW = 10
+
+#: Base of the GKSW traceback matrix region in global memory.
+TRACEBACK_REGION = GLOBAL_BASE + (1 << 16)
+
+#: Traceback lines written per DP row per warp (GKSW only): 32 lanes
+#: each producing ~64B of uncompressed traceback state per row.
+TB_LINES_PER_ROW = 16
+
+
+class GasalKernel(KernelProgram):
+    """One batch of pairwise alignments, one thread per pair.
+
+    ``args``: ``lengths`` — per-pair query lengths for this batch;
+    ``batch_index``; optional ``finalize_child`` — a
+    :class:`KernelLaunch` the CDP variant fires from warp 0 instead of
+    the host launching the finalize kernel separately (Listing 1).
+    """
+
+    def __init__(self, mode: str, cta_threads: int = 128):
+        super().__init__(
+            f"gasal_{mode}",
+            cta_threads=cta_threads,
+            regs_per_thread=42,
+            smem_per_cta=0,
+            const_bytes=1024,
+        )
+        self.mode = mode
+
+    #: local lines per warp: the H/E row ring buffer for 32 threads.
+    #: GASAL2 keeps only the active row window live, so the footprint
+    #: is small and L1-resident — the paper's "very low" GASAL2 L1
+    #: miss rates come from exactly this reuse.
+    LOCAL_LINES = 64
+
+    def warp_trace(self, ctx: WarpContext) -> Iterator[WarpInstruction]:
+        b = TraceBuilder()
+        lengths = ctx.args["lengths"]
+        batch_index = ctx.args.get("batch_index", 0)
+        warp_pairs = lengths[ctx.global_warp * 32 : (ctx.global_warp + 1) * 32]
+        if not warp_pairs:
+            yield b.exit()
+            return
+
+        gw = ctx.global_warp
+        mode = self.mode
+        lanes = len(warp_pairs)
+        b.set_lanes(lanes)
+
+        yield b.ld_param([CONST_BASE + 130])
+        yield b.ld_const([CONST_BASE + 2])
+        yield b.ints(6)  # offsets, lengths, packing setup
+        # Stream in the packed query/target batch (coalesced).
+        seq_base = GLOBAL_BASE + batch_index * 4096 + gw * 16
+        yield b.ld_global([seq_base, seq_base + 1])
+        yield b.ld_global([seq_base + 8, seq_base + 9])
+
+        rows = max(warp_pairs)
+        if mode == "gl":
+            # Early exit: the warp runs until the last surviving lane
+            # finishes; lanes drop out as their local maxima decay.
+            rows = max(1, int(rows * 0.8))
+        tb_base = TRACEBACK_REGION + (batch_index + gw * 8) * 256 * TB_LINES_PER_ROW
+        for row in range(rows):
+            if mode == "gl" and row and row % 48 == 0 and lanes > 29:
+                # Mild tail divergence: a few lanes finish early, but
+                # GL stays in the paper's high-occupancy group.
+                lanes -= 3
+                b.set_lanes(lanes)
+                yield b.branch()
+            # Previous H/E row from the local-memory ring buffer; the
+            # new row overwrites the slot two rows back.
+            yield b.ld_local([local_line(gw, self.LOCAL_LINES, 2 * row)])
+            yield b.ld_local([local_line(gw, self.LOCAL_LINES, 2 * row + 1)])
+            yield b.ints(INTS_PER_ROW - (2 if mode == "gsg" else 0))
+            yield b.st_local([local_line(gw, self.LOCAL_LINES, 2 * row + 2)])
+            if row % 16 == 15:
+                yield b.ld_global([seq_base + 2 + row // 16])
+            if mode == "gksw":
+                # Stream the row's uncompressed traceback state out.
+                row_base = tb_base + row * TB_LINES_PER_ROW
+                yield b.st_global(
+                    range(row_base, row_base + TB_LINES_PER_ROW)
+                )
+        if mode == "gksw":
+            # Traceback: walk the streamed matrix backwards.
+            b.set_lanes(max(1, lanes // 2))
+            yield b.branch()
+            for row in reversed(range(rows)):
+                row_base = tb_base + row * TB_LINES_PER_ROW
+                yield b.ld_global(
+                    range(row_base, row_base + TB_LINES_PER_ROW)
+                )
+                yield b.ints(3)
+        b.set_lanes(len(warp_pairs))
+        yield b.st_global([GLOBAL_BASE + 2048 + gw])  # scores out
+        finalize = ctx.args.get("finalize_child")
+        if finalize is not None and ctx.global_warp == 0:
+            # Listing 1: the parent evaluates the condition and fires
+            # the second-stage kernel on-device.
+            yield b.ints(4)
+            yield b.branch()
+            yield b.launch(finalize)
+            yield b.device_sync()
+        yield b.exit()
+
+
+class GasalFinalizeKernel(KernelProgram):
+    """Second pipeline stage: start/end recovery and score selection.
+
+    GASAL2 runs a short follow-up kernel per batch that converts raw DP
+    maxima into alignment coordinates; the host launches it separately
+    in the non-CDP build.  ``args``: ``pairs`` (count), ``batch_index``.
+    """
+
+    def __init__(self, cta_threads: int = 128):
+        super().__init__(
+            "gasal_finalize", cta_threads=cta_threads, regs_per_thread=24,
+            const_bytes=256,
+        )
+
+    def warp_trace(self, ctx: WarpContext) -> Iterator[WarpInstruction]:
+        b = TraceBuilder()
+        pairs = ctx.args["pairs"]
+        my_pairs = max(0, min(32, pairs - ctx.global_warp * 32))
+        if my_pairs <= 0:
+            yield b.exit()
+            return
+        b.set_lanes(my_pairs)
+        yield b.ld_param([CONST_BASE + 131])
+        yield b.ld_global([GLOBAL_BASE + 2048 + ctx.global_warp])
+        yield b.ints(12)  # coordinate recovery arithmetic
+        yield b.branch()
+        yield b.st_global([GLOBAL_BASE + 3072 + ctx.global_warp])
+        yield b.exit()
+
+
+_ALIGNERS = {
+    "gg": needleman_wunsch,
+    "gl": smith_waterman,
+    "gsg": semi_global,
+    "gksw": lambda q, t: banded_global(q, t, band=32),
+}
+
+
+class GasalApplication(GenomicsApplication):
+    """Base for the four GASAL2 applications; subclasses fix ``mode``."""
+
+    mode = "gg"
+
+    def __init__(self, workload, cdp: bool = False):
+        super().__init__(workload, cdp)
+        self.kernel = GasalKernel(self.mode, self.info.cta_threads)
+
+    def _batches(self) -> list[list[int]]:
+        lengths = [len(q) for q in self.workload.queries]
+        return [
+            lengths[i : i + BATCH_PAIRS]
+            for i in range(0, len(lengths), BATCH_PAIRS)
+        ]
+
+    def host_program(self):
+        info = self.info
+        for batch_index, lengths in enumerate(self._batches()):
+            batch_bytes = sum(lengths)
+            # GASAL2's per-batch transfers: packed bases, offsets and
+            # lengths for both query and target batches.
+            yield HostMemcpy(batch_bytes // 2, "h2d")  # packed queries
+            yield HostMemcpy(batch_bytes // 2, "h2d")  # packed targets
+            yield HostMemcpy(4 * len(lengths), "h2d")  # query offsets
+            yield HostMemcpy(4 * len(lengths), "h2d")  # target offsets
+            yield HostMemcpy(4 * len(lengths), "h2d")  # lengths
+            num_ctas = min(
+                info.num_ctas,
+                max(1, math.ceil(len(lengths) / info.cta_threads)),
+            )
+            finalize = GasalFinalizeKernel(info.cta_threads)
+            finalize_launch = KernelLaunch(
+                finalize,
+                num_ctas=num_ctas,
+                args={"pairs": len(lengths), "batch_index": batch_index},
+            )
+            args = {"lengths": lengths, "batch_index": batch_index}
+            if self.cdp:
+                # CDP: the align kernel launches the finalize stage
+                # on-device — one host launch per batch instead of two.
+                args["finalize_child"] = finalize_launch
+                yield HostLaunch(
+                    KernelLaunch(self.kernel, num_ctas=num_ctas, args=args)
+                )
+            else:
+                yield HostLaunch(
+                    KernelLaunch(self.kernel, num_ctas=num_ctas, args=args)
+                )
+                yield HostLaunch(finalize_launch)
+            yield HostMemcpy(4 * len(lengths), "d2h")  # scores
+            yield HostMemcpy(8 * len(lengths), "d2h")  # start/end positions
+        yield HostMemcpy(64, "d2h")  # summary
+
+    def run_functional(self):
+        aligner = _ALIGNERS[self.mode]
+        return [
+            aligner(q, t) for q, t in self.workload.pairs
+        ]
+
+
+class GGApplication(GasalApplication):
+    """GASAL2 global alignment."""
+
+    abbr = "GG"
+    mode = "gg"
+
+
+class GLApplication(GasalApplication):
+    """GASAL2 local alignment."""
+
+    abbr = "GL"
+    mode = "gl"
+
+
+class GKSWApplication(GasalApplication):
+    """GASAL2 KSW banded alignment with traceback."""
+
+    abbr = "GKSW"
+    mode = "gksw"
+
+
+class GSGApplication(GasalApplication):
+    """GASAL2 semi-global alignment."""
+
+    abbr = "GSG"
+    mode = "gsg"

@@ -1,0 +1,189 @@
+"""Needleman-Wunsch benchmark (NW).
+
+Shared-memory tiled wavefront: each CTA stages one 64x64 tile of the
+DP matrix in shared memory, its four warps sweep the tile with
+``__syncthreads`` between row blocks, and only the tile boundaries
+touch global memory.  That is why Fig 9 shows >95% of NW's memory
+instructions going to shared memory, and why the suite's Fig 7
+ablation (``use_shared=False``) is so costly: the naive port keeps the
+DP rows in global memory with column-strided (uncoalesced) accesses.
+
+Like SW, the host relaunches the kernel once per tile anti-diagonal
+(kernel calls >> memcpy calls in Fig 4); the CDP variant launches the
+diagonals from a parent kernel.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.genomics.align import needleman_wunsch
+from repro.isa import TraceBuilder, lines_for_stride
+from repro.isa.instructions import WarpInstruction
+from repro.kernels.base import CONST_BASE, GLOBAL_BASE, GenomicsApplication
+from repro.sim.kernel import KernelProgram, WarpContext
+from repro.sim.launch import HostLaunch, HostMemcpy, KernelLaunch
+
+#: Tile edge in DP cells; one CTA owns one tile.
+TILE = 64
+
+#: Rows each of the 4 warps computes per tile.
+ROWS_PER_WARP = TILE // 4
+
+#: Integer ops per row of 32 cells.
+INTS_PER_ROW = 5
+
+
+def tile_grid(m: int, n: int) -> tuple[int, int]:
+    return math.ceil(m / TILE), math.ceil(n / TILE)
+
+
+def diagonal_tiles(diag: int, tiles_m: int, tiles_n: int) -> list[tuple[int, int]]:
+    return [
+        (ti, diag - ti)
+        for ti in range(tiles_m)
+        if 0 <= diag - ti < tiles_n
+    ]
+
+
+class NWDiagonalKernel(KernelProgram):
+    """One anti-diagonal of shared-memory tiles; one CTA per tile.
+
+    ``args``: ``tiles``, ``tiles_n``, ``row_lines`` (full-matrix row
+    footprint, used by the no-shared-memory ablation), ``use_shared``.
+    """
+
+    def __init__(self, cta_threads: int = 128, use_shared: bool = True):
+        super().__init__(
+            "nw_diag" if use_shared else "nw_diag_noshared",
+            cta_threads=cta_threads,
+            regs_per_thread=84,
+            smem_per_cta=12 * 1024 if use_shared else 0,
+            const_bytes=2 * 1024,
+        )
+        self.use_shared = use_shared
+
+    def warp_trace(self, ctx: WarpContext) -> Iterator[WarpInstruction]:
+        b = TraceBuilder()
+        tiles = ctx.args["tiles"]
+        tiles_n = ctx.args["tiles_n"]
+        if ctx.cta_id >= len(tiles):
+            yield b.exit()
+            return
+        ti, tj = tiles[ctx.cta_id]
+        tile_id = ti * tiles_n + tj
+        tile_lines = (TILE * TILE * 4) // 128
+        base = GLOBAL_BASE + tile_id * tile_lines
+
+        yield b.ld_param([CONST_BASE + 128])
+        yield b.ld_const([CONST_BASE, CONST_BASE + 1])
+        yield b.ints(4)
+        # Stage boundary rows from the neighbour tiles.
+        if ti > 0:
+            yield b.ld_global([base - tiles_n * tile_lines + tile_lines - 1])
+        if tj > 0:
+            yield b.ld_global([base - tile_lines + tile_lines - 1])
+        if self.use_shared:
+            yield b.st_shared()
+            yield b.barrier()
+            for row in range(ROWS_PER_WARP):
+                yield b.ld_shared()
+                yield b.ld_shared()
+                yield b.ints(INTS_PER_ROW)
+                yield b.st_shared()
+                if row % 4 == 3:
+                    yield b.barrier()  # wavefront step between warp groups
+        else:
+            # Naive port: DP rows live in global memory and the
+            # column-neighbour access is stride-n, i.e. uncoalesced —
+            # one transaction per lane.
+            row_bytes = ctx.args["row_lines"] * 128
+            yield b.barrier()
+            for row in range(ROWS_PER_WARP):
+                row_base = (base + row) * 128
+                yield b.ld_global(
+                    lines_for_stride(row_base, row_bytes, lanes=32)
+                )
+                yield b.ld_global([base + row % tile_lines])
+                yield b.ints(INTS_PER_ROW)
+                yield b.st_global(
+                    lines_for_stride(row_base + 4, row_bytes, lanes=32)
+                )
+                if row % 4 == 3:
+                    yield b.barrier()  # wavefront sync, same as tiled
+        # Publish the tile's boundary for the next diagonal.
+        yield b.st_global([base + tile_lines - 1])
+        yield b.exit()
+
+
+class NWParentKernel(KernelProgram):
+    """CDP parent walking the tile diagonals."""
+
+    def __init__(self, plan: list[KernelLaunch]):
+        super().__init__(
+            "nw_parent", cta_threads=128, regs_per_thread=40, const_bytes=512
+        )
+        self.plan = plan
+
+    def warp_trace(self, ctx: WarpContext) -> Iterator[WarpInstruction]:
+        b = TraceBuilder()
+        if ctx.global_warp != 0:
+            yield b.exit()
+            return
+        yield b.ld_param([CONST_BASE + 128])
+        for launch in self.plan:
+            yield b.ints(4)
+            yield b.launch(launch)
+            yield b.device_sync()
+        yield b.exit()
+
+
+class NWApplication(GenomicsApplication):
+    """Needleman-Wunsch on one diverged DNA pair.
+
+    ``use_shared=False`` selects the Fig 7 ablation variant.
+    """
+
+    abbr = "NW"
+
+    def __init__(self, workload, cdp: bool = False, use_shared: bool = True):
+        super().__init__(workload, cdp)
+        self.use_shared = use_shared
+        self.kernel = NWDiagonalKernel(self.info.cta_threads, use_shared)
+
+    def _launch_plan(self) -> list[KernelLaunch]:
+        m, n = len(self.workload.query), len(self.workload.target)
+        tiles_m, tiles_n = tile_grid(m, n)
+        row_lines = max(1, (n * 4) // 128)
+        plan = []
+        for diag in range(tiles_m + tiles_n - 1):
+            tiles = diagonal_tiles(diag, tiles_m, tiles_n)
+            plan.append(
+                KernelLaunch(
+                    self.kernel,
+                    num_ctas=min(self.info.num_ctas, len(tiles)),
+                    args={
+                        "tiles": tiles,
+                        "tiles_n": tiles_n,
+                        "row_lines": row_lines,
+                    },
+                )
+            )
+        return plan
+
+    def host_program(self):
+        m, n = len(self.workload.query), len(self.workload.target)
+        yield HostMemcpy(m, "h2d")
+        yield HostMemcpy(n, "h2d")
+        plan = self._launch_plan()
+        if self.cdp:
+            parent = NWParentKernel(plan)
+            yield HostLaunch(KernelLaunch(parent, num_ctas=1))
+        else:
+            for launch in plan:
+                yield HostLaunch(launch)
+        yield HostMemcpy(max(64, (m + n) * 2), "d2h")  # score + alignment
+
+    def run_functional(self):
+        return needleman_wunsch(self.workload.query, self.workload.target)

@@ -1,0 +1,229 @@
+"""Pair-HMM forward benchmark (PairHMM).
+
+One warp evaluates one (read, haplotype) cell of the likelihood batch,
+sweeping the forward recurrence row by row with the M/X/Y state rows
+staged in shared memory (>95% of memory instructions are shared,
+Fig 9) and heavy floating-point work (Fig 8 shows PairHMM as the most
+FP-rich kernel).  Read/haplotype bases stream from global memory with a
+batch-strided pattern that has essentially no reuse — the paper
+observes PairHMM's L1/L2 miss rates stay high at every cache size
+(Figs 13/14).
+
+``use_shared=False`` is the Fig 7 ablation: the state rows move to
+global memory with per-lane column-strided (uncoalesced) accesses,
+which is what makes the naive port 36.9x slower on real hardware.
+
+The CDP variant launches one child kernel per read row of the batch
+(Ren et al.'s intertask scheme), which both removes the lockstep over
+reads of different lengths and scales with more resident CTAs
+(Fig 11's PairHMM-CDP trend).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.genomics.hmm import likelihood_matrix
+from repro.isa import TraceBuilder, lines_for_stride
+from repro.isa.instructions import WarpInstruction
+from repro.kernels.base import CONST_BASE, GLOBAL_BASE, GenomicsApplication
+from repro.sim.kernel import KernelProgram, WarpContext
+from repro.sim.launch import HostLaunch, HostMemcpy, KernelLaunch
+
+#: FP ops per DP row chunk (M/X/Y updates for 32 columns).
+FPS_PER_ROW = 6
+
+#: Large stride (in lines) between successive base-stream accesses,
+#: chosen to defeat reuse the way the real batch layout does.
+STREAM_STRIDE = 97
+
+
+class PairHMMKernel(KernelProgram):
+    """Forward-algorithm batch kernel.
+
+    ``args``: ``pairs`` — list of (read_len, hap_len, pair_id);
+    ``padded_rows`` — optional lockstep row bound.  The non-CDP batch
+    kernel runs every pair to the batch's longest read (grid-stride
+    lockstep); CDP children omit it and loop their pair's real length.
+    """
+
+    def __init__(self, cta_threads: int = 128, use_shared: bool = True):
+        super().__init__(
+            "pairhmm" if use_shared else "pairhmm_noshared",
+            cta_threads=cta_threads,
+            regs_per_thread=48,
+            smem_per_cta=10 * 1024 if use_shared else 0,
+            const_bytes=2 * 1024,  # transition tables
+        )
+        self.use_shared = use_shared
+
+    def warp_trace(self, ctx: WarpContext) -> Iterator[WarpInstruction]:
+        b = TraceBuilder()
+        pairs = ctx.args["pairs"]
+        total_warps = ctx.num_ctas * ctx.warps_per_cta
+        mine = pairs[ctx.global_warp :: total_warps]
+        if not mine:
+            yield b.exit()
+            return
+
+        yield b.ld_param([CONST_BASE + 134])
+        yield b.ld_const([CONST_BASE + 4, CONST_BASE + 5])
+        yield b.ints(4)
+        padded_rows = ctx.args.get("padded_rows")
+        for read_len, hap_len, pair_id in mine:
+            cols = max(1, hap_len // 32)
+            rows = padded_rows if padded_rows is not None else read_len
+            # Per-pair base window: the batch layout interleaves reads
+            # and haplotypes so consecutive fetches land on distinct
+            # lines — no reuse, the high flat miss rate of Figs 13/14.
+            base = GLOBAL_BASE + (pair_id << 10)
+            yield b.ld_global([base, base + STREAM_STRIDE])  # bases in
+            for row in range(rows):
+                if row % 8 == 0:
+                    # Stream the next read-base block; batch-strided.
+                    yield b.ld_global(
+                        [base + (row // 8 + 2) * STREAM_STRIDE]
+                    )
+                for col_chunk in range(cols):
+                    if self.use_shared:
+                        yield b.ld_shared()  # previous M/X/Y row
+                        yield b.ld_shared()
+                        yield b.fps(FPS_PER_ROW)
+                        yield b.st_shared()
+                    else:
+                        # Naive port: the full M/X/Y matrices live in
+                        # global memory, column-major per lane, so
+                        # every access is 32 uncoalesced transactions
+                        # and the combined working set of the resident
+                        # warps defeats both cache levels — on real
+                        # hardware this streams from DRAM, which is
+                        # modelled here as compulsory-miss lines.
+                        stream = ctx.args.setdefault("_stream", {})
+                        offset = stream.get(ctx.global_warp, 0)
+                        mat_base = (
+                            GLOBAL_BASE
+                            + (1 << 20)
+                            + ctx.global_warp * (1 << 14)
+                        )
+                        span = 1 << 14
+                        for access in range(2):
+                            lines = [
+                                mat_base + (offset + access * 9 + j) % span
+                                for j in range(9)
+                            ]
+                            yield b.ld_global(lines)
+                        yield b.fps(FPS_PER_ROW)
+                        yield b.st_global(
+                            [mat_base + (offset + j) % span for j in range(8)]
+                        )
+                        stream[ctx.global_warp] = offset + 18
+            yield b.fps(3)  # final row reduction
+            yield b.st_global([GLOBAL_BASE + (1 << 19) + pair_id])
+        yield b.exit()
+
+
+class PairHMMParentKernel(KernelProgram):
+    """CDP parent: one child launch per read row of the batch."""
+
+    def __init__(self, plan: list[KernelLaunch]):
+        super().__init__(
+            "pairhmm_parent", cta_threads=128, regs_per_thread=40,
+            const_bytes=512,
+        )
+        self.plan = plan
+
+    def warp_trace(self, ctx: WarpContext) -> Iterator[WarpInstruction]:
+        b = TraceBuilder()
+        total_warps = ctx.num_ctas * ctx.warps_per_cta
+        mine = self.plan[ctx.global_warp :: total_warps]
+        if not mine:
+            yield b.exit()
+            return
+        yield b.ld_param([CONST_BASE + 135])
+        for launch in mine:
+            yield b.ints(3)
+            yield b.launch(launch)
+        yield b.device_sync()
+        yield b.exit()
+
+
+class PairHMMApplication(GenomicsApplication):
+    """Pair-HMM forward likelihoods over a read/haplotype batch."""
+
+    abbr = "PairHMM"
+
+    def __init__(self, workload, cdp: bool = False, use_shared: bool = True):
+        super().__init__(workload, cdp)
+        self.use_shared = use_shared
+        self.kernel = PairHMMKernel(self.info.cta_threads, use_shared)
+
+    def _pairs(self) -> list[tuple[int, int, int]]:
+        reads = self.workload.reads
+        haps = self.workload.haplotypes
+        return [
+            (len(read), len(hap), i * len(haps) + j)
+            for i, read in enumerate(reads)
+            for j, hap in enumerate(haps)
+        ]
+
+    def host_program(self):
+        reads = self.workload.reads
+        haps = self.workload.haplotypes
+        pairs = self._pairs()
+        info = self.info
+        num_ctas = min(
+            info.num_ctas,
+            max(1, math.ceil(len(pairs) / self.kernel.warps_per_cta)),
+        )
+
+        yield HostMemcpy(sum(len(r) for r in reads), "h2d")
+        yield HostMemcpy(sum(len(h) for h in haps), "h2d")
+        yield HostMemcpy(4 * len(pairs), "h2d")  # pair index table
+        if self.cdp:
+            per_read = len(haps)
+            plan = []
+            for i, read in enumerate(reads):
+                chunk = pairs[i * per_read : (i + 1) * per_read]
+                # One warp per pair within the child, no lockstep.
+                child_ctas = max(
+                    1, math.ceil(len(chunk) / self.kernel.warps_per_cta)
+                )
+                plan.append(
+                    KernelLaunch(
+                        self.kernel,
+                        num_ctas=child_ctas,
+                        args={"pairs": chunk},
+                    )
+                )
+            parent = PairHMMParentKernel(plan)
+            parent_ctas = min(
+                info.num_ctas,
+                max(1, math.ceil(len(plan) / parent.warps_per_cta)),
+            )
+            yield HostLaunch(KernelLaunch(parent, num_ctas=parent_ctas))
+        else:
+            # Region-streamed batches: the host launches one padded
+            # lockstep kernel per read group (GATK active regions),
+            # which is exactly the launch traffic CDP folds away.
+            per_group = 6 * len(haps)
+            for start in range(0, len(pairs), per_group):
+                group = pairs[start : start + per_group]
+                padded = max(read_len for read_len, _, _ in group)
+                group_ctas = min(
+                    info.num_ctas,
+                    max(1, math.ceil(len(group) / self.kernel.warps_per_cta)),
+                )
+                yield HostLaunch(
+                    KernelLaunch(
+                        self.kernel,
+                        num_ctas=group_ctas,
+                        args={"pairs": group, "padded_rows": padded},
+                    )
+                )
+        yield HostMemcpy(8 * len(pairs), "d2h")  # log-likelihoods
+
+    def run_functional(self):
+        return likelihood_matrix(
+            list(self.workload.reads), list(self.workload.haplotypes)
+        )

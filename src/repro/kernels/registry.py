@@ -1,0 +1,61 @@
+"""Benchmark registry: abbreviation -> application builder."""
+
+from __future__ import annotations
+
+from repro.data.datasets import DatasetSize, dataset_for
+from repro.kernels.base import GenomicsApplication
+from repro.kernels.cluster_kernel import ClusterApplication
+from repro.kernels.gasal2 import (
+    GGApplication,
+    GKSWApplication,
+    GLApplication,
+    GSGApplication,
+)
+from repro.kernels.nvb_kernel import NvbApplication
+from repro.kernels.nw_kernel import NWApplication
+from repro.kernels.pairhmm_kernel import PairHMMApplication
+from repro.kernels.star_kernel import StarApplication
+from repro.kernels.sw_kernel import SWApplication
+
+_APPLICATIONS = {
+    "SW": SWApplication,
+    "NW": NWApplication,
+    "STAR": StarApplication,
+    "GG": GGApplication,
+    "GL": GLApplication,
+    "GKSW": GKSWApplication,
+    "GSG": GSGApplication,
+    "CLUSTER": ClusterApplication,
+    "PairHMM": PairHMMApplication,
+    "NvB": NvbApplication,
+}
+
+
+def benchmark_names() -> list[str]:
+    """The ten benchmark abbreviations in Table III order."""
+    return list(_APPLICATIONS)
+
+
+def build_application(
+    abbr: str,
+    cdp: bool = False,
+    size: DatasetSize = DatasetSize.SMALL,
+    workload=None,
+    **options,
+) -> GenomicsApplication:
+    """Instantiate a benchmark application.
+
+    ``workload`` overrides the registry dataset (must match the
+    benchmark's workload type); extra ``options`` are forwarded to the
+    application constructor (e.g. ``use_shared=False`` for the Fig 7
+    ablations of NW and PairHMM).
+    """
+    try:
+        cls = _APPLICATIONS[abbr]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark {abbr!r}; known: {benchmark_names()}"
+        ) from None
+    if workload is None:
+        workload = dataset_for(abbr, size)
+    return cls(workload, cdp=cdp, **options)

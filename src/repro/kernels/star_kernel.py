@@ -1,0 +1,217 @@
+"""Center-Star MSA benchmark (STAR).
+
+The CMSA/HAlign GPU design co-runs CPU and GPU: pairwise DP sweeps run
+on the GPU in *chunks* while the CPU merges finished chunks, so the
+non-CDP host program is a loop of (upload chunk, kernel, download
+scores) round trips — two passes of it: all-pairs scoring to pick the
+center, then align-to-center.  The GPU kernel is lockstep: each pair
+occupies a half-warp slot (the paper observes "only half of the number
+of threads are active in STAR") and loops to the chunk's padded bound.
+
+The CDP variant keeps everything on the GPU: one parent kernel per
+phase launches a child per pair, sized to that pair's real length and
+running on a narrow 4-lane band slice — Fig 10's STAR-CDP outlier
+(>80% of warps under 5 active lanes).  Removing the per-chunk host
+round trips is what cuts STAR's time by more than half in Fig 2/Fig 3.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.genomics.msa import center_star
+from repro.genomics.scoring import ScoringScheme
+from repro.isa import TraceBuilder
+from repro.isa.instructions import WarpInstruction
+from repro.kernels.base import CONST_BASE, GLOBAL_BASE, GenomicsApplication
+from repro.sim.kernel import KernelProgram, WarpContext
+from repro.sim.launch import HostLaunch, HostMemcpy, KernelLaunch
+
+#: Integer ops per DP row (the banded row fits one instruction block).
+INTS_PER_ROW = 6
+
+#: Pairs per CPU/GPU co-run chunk (non-CDP host round-trip unit).
+CHUNK_PAIRS = 14
+
+#: Lanes doing useful work per pair slot in the lockstep kernel.
+LOCKSTEP_LANES = 16
+
+
+def _pair_rows(len_a: int, len_b: int) -> int:
+    """DP rows for one pair (row-per-base banded sweep)."""
+    return max(1, min(len_a, len_b))
+
+
+class StarChunkKernel(KernelProgram):
+    """Lockstep scoring of one chunk of pairs.
+
+    ``args``: ``pairs`` — (len_a, len_b) list; ``padded_rows`` — loop
+    bound applied to every slot (the chunk maximum); ``chunk`` index.
+    """
+
+    def __init__(self, cta_threads: int = 256):
+        super().__init__(
+            "star_chunk",
+            cta_threads=cta_threads,
+            regs_per_thread=64,
+            smem_per_cta=0,
+            const_bytes=4 * 1024,  # BLOSUM62 in constant memory
+        )
+
+    def warp_trace(self, ctx: WarpContext) -> Iterator[WarpInstruction]:
+        b = TraceBuilder()
+        pairs = ctx.args["pairs"]
+        padded_rows = ctx.args["padded_rows"]
+        chunk = ctx.args.get("chunk", 0)
+        total_warps = ctx.num_ctas * ctx.warps_per_cta
+        mine = pairs[ctx.global_warp :: total_warps]
+        if not mine:
+            yield b.exit()
+            return
+
+        yield b.ld_param([CONST_BASE + 128])
+        yield b.ld_const([CONST_BASE + 8, CONST_BASE + 9])
+        yield b.ints(4)
+        for pair_index, _ in enumerate(mine):
+            seq_base = GLOBAL_BASE + chunk * 512 + ctx.global_warp * 16
+            yield b.ld_global([seq_base, seq_base + 1])
+            b.set_lanes(LOCKSTEP_LANES)
+            # Lockstep: every slot loops to the chunk's padded bound.
+            for row in range(padded_rows):
+                yield b.ints(INTS_PER_ROW)
+                if row % 16 == 15:
+                    yield b.ld_const([CONST_BASE + 8])
+                if row % 32 == 31:
+                    # Packed residue blocks are revisited as the band
+                    # slides, so roughly every other fetch is a re-read.
+                    yield b.ld_global([seq_base + 2 + row // 64])
+            b.set_lanes(32)
+            yield b.st_global([seq_base + pair_index % 8])
+        yield b.exit()
+
+
+class StarChildKernel(KernelProgram):
+    """CDP child: one pair's DP on a narrow band slice.
+
+    ``args``: ``rows`` (the pair's actual length), ``pair_base``.
+    """
+
+    def __init__(self):
+        super().__init__(
+            "star_child",
+            cta_threads=32,
+            regs_per_thread=48,
+            const_bytes=4 * 1024,
+        )
+
+    def warp_trace(self, ctx: WarpContext) -> Iterator[WarpInstruction]:
+        b = TraceBuilder()
+        rows = ctx.args["rows"]
+        base = ctx.args["pair_base"]
+        yield b.ld_param([CONST_BASE + 128])
+        yield b.ld_global([base])
+        b.set_lanes(4)  # anti-diagonal band slice: 2-4 useful lanes
+        for row in range(rows):
+            yield b.ints(INTS_PER_ROW)
+            if row % 16 == 15:
+                yield b.ld_const([CONST_BASE + 8])
+        b.set_lanes(32)
+        yield b.st_global([base])
+        yield b.exit()
+
+
+class StarParentKernel(KernelProgram):
+    """CDP parent: launches one child per pair, then synchronizes."""
+
+    def __init__(self, plan: list[KernelLaunch]):
+        super().__init__(
+            "star_parent", cta_threads=256, regs_per_thread=40,
+            const_bytes=512,
+        )
+        self.plan = plan
+
+    def warp_trace(self, ctx: WarpContext) -> Iterator[WarpInstruction]:
+        b = TraceBuilder()
+        total_warps = ctx.num_ctas * ctx.warps_per_cta
+        mine = self.plan[ctx.global_warp :: total_warps]
+        if not mine:
+            yield b.exit()
+            return
+        yield b.ld_param([CONST_BASE + 128])
+        for launch in mine:
+            yield b.ints(3)
+            yield b.launch(launch)
+        yield b.device_sync()
+        yield b.exit()
+
+
+class StarApplication(GenomicsApplication):
+    """Center-Star MSA on a protein family."""
+
+    abbr = "STAR"
+
+    def __init__(self, workload, cdp: bool = False):
+        super().__init__(workload, cdp)
+        self._scheme = ScoringScheme.protein_default()
+
+    def _phase_pairs(self) -> list[list[tuple[int, int]]]:
+        seqs = self.workload.sequences
+        k = len(seqs)
+        all_pairs = [
+            (len(seqs[a]), len(seqs[b]))
+            for a in range(k)
+            for b in range(a + 1, k)
+        ]
+        center_pairs = [(len(seqs[0]), len(seqs[i])) for i in range(1, k)]
+        return [all_pairs, center_pairs]
+
+    def host_program(self):
+        seqs = self.workload.sequences
+        total_bytes = sum(len(s) for s in seqs)
+        info = self.info
+        kernel = StarChunkKernel(info.cta_threads)
+
+        yield HostMemcpy(total_bytes, "h2d")  # packed sequences
+        yield HostMemcpy(4 * len(seqs), "h2d")  # offsets
+        for phase_index, pairs in enumerate(self._phase_pairs()):
+            if self.cdp:
+                child = StarChildKernel()
+                plan = [
+                    KernelLaunch(
+                        child,
+                        num_ctas=1,
+                        args={
+                            "rows": _pair_rows(a, b),
+                            "pair_base": GLOBAL_BASE + 4096 + i * 4,
+                        },
+                    )
+                    for i, (a, b) in enumerate(pairs)
+                ]
+                parent = StarParentKernel(plan)
+                yield HostLaunch(
+                    KernelLaunch(parent, num_ctas=info.num_ctas)
+                )
+                yield HostMemcpy(4 * len(pairs), "d2h")  # phase scores
+            else:
+                # CPU/GPU co-run: one host round trip per chunk.
+                for chunk_start in range(0, len(pairs), CHUNK_PAIRS):
+                    chunk = pairs[chunk_start : chunk_start + CHUNK_PAIRS]
+                    padded = max(_pair_rows(a, b) for a, b in chunk)
+                    yield HostMemcpy(4 * len(chunk), "h2d")  # chunk table
+                    yield HostLaunch(
+                        KernelLaunch(
+                            kernel,
+                            num_ctas=info.num_ctas,
+                            args={
+                                "pairs": chunk,
+                                "padded_rows": padded,
+                                "chunk": phase_index * 1000
+                                + chunk_start // CHUNK_PAIRS,
+                            },
+                        )
+                    )
+                    yield HostMemcpy(4 * len(chunk), "d2h")  # chunk scores
+        yield HostMemcpy(2 * total_bytes, "d2h")  # merged alignment
+
+    def run_functional(self):
+        return center_star(list(self.workload.sequences), self._scheme)

@@ -1,0 +1,189 @@
+"""Smith-Waterman benchmark (SW).
+
+The GPU structure follows CUDAlign-style tiled wavefront processing:
+the DP matrix is split into TILE x TILE tiles; tiles on one
+anti-diagonal are independent and are computed by one kernel launch, so
+the host relaunches the kernel once per tile anti-diagonal.  That is
+why Fig 4 shows kernel calls vastly outnumbering cudaMemcpy calls for
+SW.  DP rows live in registers and tile boundaries in global memory
+(Table III: no shared memory); the substitution matrix sits in constant
+memory.
+
+The CDP variant launches the per-diagonal child kernels from a small
+parent kernel with a ``cudaDeviceSynchronize`` between diagonals,
+trading ~3000-cycle host launches for ~1000-cycle device launches.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.genomics.align import smith_waterman
+from repro.isa import TraceBuilder
+from repro.isa.instructions import WarpInstruction
+from repro.kernels.base import CONST_BASE, GLOBAL_BASE, GenomicsApplication
+from repro.sim.kernel import KernelProgram, WarpContext
+from repro.sim.launch import HostLaunch, HostMemcpy, KernelLaunch
+
+#: Tile edge in DP cells; one warp computes a tile row per instruction
+#: block (32 lanes = 32 columns).
+TILE = 32
+
+#: Integer ops per tile row of cells (max/add/compare per lane).
+INTS_PER_ROW = 6
+
+
+def tile_grid(m: int, n: int) -> tuple[int, int]:
+    """Tile counts along the query and target dimensions."""
+    return math.ceil(m / TILE), math.ceil(n / TILE)
+
+
+def diagonal_tiles(diag: int, tiles_m: int, tiles_n: int) -> list[tuple[int, int]]:
+    """Tiles (ti, tj) on anti-diagonal ``diag`` (ti + tj == diag)."""
+    tiles = []
+    for ti in range(tiles_m):
+        tj = diag - ti
+        if 0 <= tj < tiles_n:
+            tiles.append((ti, tj))
+    return tiles
+
+
+class SWDiagonalKernel(KernelProgram):
+    """Computes all tiles of one anti-diagonal.
+
+    ``args``: ``tiles`` (list of (ti, tj)), ``tiles_n`` (tiles per
+    matrix row, for addressing).
+    """
+
+    def __init__(self, cta_threads: int = 64):
+        super().__init__(
+            "sw_diag",
+            cta_threads=cta_threads,
+            regs_per_thread=32,
+            smem_per_cta=0,
+            const_bytes=2 * 1024,  # 4x4 scores + gap params + LUTs
+        )
+
+    def warp_trace(self, ctx: WarpContext) -> Iterator[WarpInstruction]:
+        b = TraceBuilder()
+        tiles = ctx.args["tiles"]
+        tiles_n = ctx.args["tiles_n"]
+        total_warps = ctx.num_ctas * ctx.warps_per_cta
+        mine = tiles[ctx.global_warp :: total_warps]
+        if not mine:
+            yield b.exit()
+            return
+
+        # Kernel prologue: read launch params and the substitution
+        # matrix into registers (constant memory, Table III).
+        yield b.ld_param([CONST_BASE + 128])
+        yield b.ld_const([CONST_BASE, CONST_BASE + 1])
+        yield b.ints(4)
+
+        tile_lines = (TILE * TILE * 4) // 128  # H-tile footprint: 32 lines
+        for ti, tj in mine:
+            tile_id = ti * tiles_n + tj
+            base = GLOBAL_BASE + tile_id * tile_lines
+            up_base = GLOBAL_BASE + (tile_id - tiles_n) * tile_lines
+            left_base = GLOBAL_BASE + (tile_id - 1) * tile_lines
+            # Load boundary rows/columns written by the neighbouring
+            # tiles on the previous diagonal.
+            if ti > 0:
+                yield b.ld_global([up_base + tile_lines - 1])
+            if tj > 0:
+                yield b.ld_global([left_base + tile_lines - 1])
+            yield b.ld_const([CONST_BASE])  # scores stay resident
+            # Wavefront ramp-up and ramp-down: the anti-diagonal only
+            # fills the warp in the middle of the tile, so a large
+            # share of issued warps run partially occupied (SW is not
+            # in the paper's high-occupancy group).
+            ramp = (4, 8, 12, 16, 20, 24, 28)
+            for lanes in ramp:
+                b.set_lanes(lanes)
+                yield b.branch()
+                yield b.ints(INTS_PER_ROW)
+            b.set_lanes(32)
+            for row in range(len(ramp), TILE - len(ramp)):
+                yield b.ints(INTS_PER_ROW)
+                if row % 8 == 7:
+                    # Spill a block of H rows, then read it straight
+                    # back for the next wavefront step — the register
+                    # tiling keeps SW's load hit rate very high.
+                    yield b.st_global([base + (row // 8) * 8])
+                    yield b.ld_global([base + (row // 8) * 8])
+            for lanes in reversed(ramp):
+                b.set_lanes(lanes)
+                yield b.ints(INTS_PER_ROW)
+            b.set_lanes(32)
+            # Tile epilogue: boundary column + running maximum.
+            yield b.ints(3)
+            yield b.st_global([base + tile_lines - 1])
+        yield b.exit()
+
+
+class SWParentKernel(KernelProgram):
+    """CDP parent: one launcher warp walks the diagonals."""
+
+    def __init__(self, child: SWDiagonalKernel, plan: list[KernelLaunch]):
+        super().__init__(
+            "sw_parent",
+            cta_threads=64,
+            regs_per_thread=40,
+            const_bytes=512,
+        )
+        self.child = child
+        self.plan = plan
+
+    def warp_trace(self, ctx: WarpContext) -> Iterator[WarpInstruction]:
+        b = TraceBuilder()
+        if ctx.global_warp != 0:
+            yield b.exit()
+            return
+        yield b.ld_param([CONST_BASE + 128])
+        for launch in self.plan:
+            yield b.ints(4)  # compute diagonal bounds
+            yield b.launch(launch)
+            yield b.device_sync()
+        yield b.exit()
+
+
+class SWApplication(GenomicsApplication):
+    """Smith-Waterman on one diverged DNA pair."""
+
+    abbr = "SW"
+
+    def __init__(self, workload, cdp: bool = False):
+        super().__init__(workload, cdp)
+        self.kernel = SWDiagonalKernel(self.info.cta_threads)
+
+    def _launch_plan(self) -> list[KernelLaunch]:
+        m, n = len(self.workload.query), len(self.workload.target)
+        tiles_m, tiles_n = tile_grid(m, n)
+        plan = []
+        for diag in range(tiles_m + tiles_n - 1):
+            tiles = diagonal_tiles(diag, tiles_m, tiles_n)
+            plan.append(
+                KernelLaunch(
+                    self.kernel,
+                    num_ctas=self.info.num_ctas,
+                    args={"tiles": tiles, "tiles_n": tiles_n},
+                )
+            )
+        return plan
+
+    def host_program(self):
+        m, n = len(self.workload.query), len(self.workload.target)
+        yield HostMemcpy(m, "h2d")  # packed query
+        yield HostMemcpy(n, "h2d")  # packed target
+        plan = self._launch_plan()
+        if self.cdp:
+            parent = SWParentKernel(self.kernel, plan)
+            yield HostLaunch(KernelLaunch(parent, num_ctas=self.info.num_ctas))
+        else:
+            for launch in plan:
+                yield HostLaunch(launch)
+        yield HostMemcpy(64, "d2h")  # best score + position
+
+    def run_functional(self):
+        return smith_waterman(self.workload.query, self.workload.target)

@@ -1,0 +1,39 @@
+"""Cycle-level GPU timing model (the Accel-Sim + RTX 3070 stand-in).
+
+The simulator is trace driven and event based: kernels supply per-warp
+instruction generators (:mod:`repro.isa`), streaming multiprocessors
+issue them under a configurable warp scheduler, and memory instructions
+traverse L1 -> interconnect -> L2 -> DRAM models with contention.  All
+Table I / Table II knobs of the paper are exposed on
+:class:`~repro.sim.config.GPUConfig`.
+"""
+
+from repro.sim.config import (
+    CacheConfig,
+    DRAMConfig,
+    GPUConfig,
+    NoCConfig,
+    PCIConfig,
+    rtx3070_baseline,
+)
+from repro.sim.gpu import GPUSimulator
+from repro.sim.launch import Application, HostMemcpy, HostLaunch, KernelLaunch
+from repro.sim.kernel import KernelProgram
+from repro.sim.stats import RunStats, StallReason
+
+__all__ = [
+    "CacheConfig",
+    "DRAMConfig",
+    "GPUConfig",
+    "NoCConfig",
+    "PCIConfig",
+    "rtx3070_baseline",
+    "GPUSimulator",
+    "Application",
+    "HostMemcpy",
+    "HostLaunch",
+    "KernelLaunch",
+    "KernelProgram",
+    "RunStats",
+    "StallReason",
+]

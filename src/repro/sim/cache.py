@@ -1,0 +1,126 @@
+"""Set-associative LRU cache model.
+
+Tag-only (no data payloads).  Write policy is write-back with
+write-validate allocation: a store miss allocates the line dirty
+without fetching it from below (the GPU L1 behaviour for global
+stores); dirty evictions are handed to ``writeback_sink`` so the owner
+can propagate them to the next level and charge DRAM bandwidth.
+
+Miss rate follows the profiler convention (nvprof's global load hit
+rate): only *loads* enter the miss-rate numerator/denominator; store
+traffic is counted separately.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.sim.config import CacheConfig
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters (loads and stores tracked separately)."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    load_accesses: int = 0
+    load_misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """Load miss rate (profiler convention)."""
+        if self.load_accesses == 0:
+            return 0.0
+        return self.load_misses / self.load_accesses
+
+    @property
+    def total_miss_rate(self) -> float:
+        """Miss rate over loads and stores together."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def merge(self, other: "CacheStats") -> None:
+        self.accesses += other.accesses
+        self.hits += other.hits
+        self.misses += other.misses
+        self.load_accesses += other.load_accesses
+        self.load_misses += other.load_misses
+        self.evictions += other.evictions
+        self.writebacks += other.writebacks
+
+
+class Cache:
+    """One cache instance (an L1, an L2 bank, a constant cache...)."""
+
+    def __init__(self, config: CacheConfig, name: str = "cache"):
+        self.config = config
+        self.name = name
+        self.stats = CacheStats()
+        #: called with (line,) when a dirty line is evicted
+        self.writeback_sink = None
+        # sets[set_index] maps line -> dirty flag, in LRU order
+        # (oldest first).
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+
+    def access(self, line: int, store: bool = False) -> bool:
+        """Access a line; returns ``True`` on hit.  Misses auto-fill."""
+        self.stats.accesses += 1
+        if not store:
+            self.stats.load_accesses += 1
+        if self.config.disabled:
+            self.stats.misses += 1
+            if not store:
+                self.stats.load_misses += 1
+            return False
+        index = line % self.config.num_sets
+        ways = self._sets[index]
+        if line in ways:
+            self.stats.hits += 1
+            ways.move_to_end(line)
+            if store:
+                ways[line] = True
+            return True
+        self.stats.misses += 1
+        if not store:
+            self.stats.load_misses += 1
+        self._fill(ways, line, dirty=store)
+        return False
+
+    def _fill(self, ways: OrderedDict[int, bool], line: int, dirty: bool) -> None:
+        if len(ways) >= self.config.assoc:
+            victim, victim_dirty = ways.popitem(last=False)
+            self.stats.evictions += 1
+            if victim_dirty:
+                self.stats.writebacks += 1
+                if self.writeback_sink is not None:
+                    self.writeback_sink(victim)
+        ways[line] = dirty
+
+    def contains(self, line: int) -> bool:
+        """Probe without side effects (for tests)."""
+        if self.config.disabled:
+            return False
+        return line in self._sets[line % self.config.num_sets]
+
+    def flush(self) -> int:
+        """Invalidate everything; returns the number of dirty writebacks.
+
+        Used to model the locality loss between kernel invocations the
+        paper calls out (cudaMemcpy between launches invalidates reuse).
+        Flushed dirty lines are dropped, not propagated — the host has
+        already overwritten the data.
+        """
+        writebacks = 0
+        for ways in self._sets:
+            writebacks += sum(1 for dirty in ways.values() if dirty)
+            ways.clear()
+        self.stats.writebacks += writebacks
+        return writebacks

@@ -1,0 +1,123 @@
+"""Load/save GPU configurations as Accel-Sim-style config files.
+
+The format is flat ``key = value`` lines with ``#`` comments; nested
+components use dotted keys (``l1.size_bytes``, ``dram.controller``,
+``noc.topology``).  Unknown keys are rejected so typos can't silently
+fall back to defaults — the failure mode that plagues simulator
+configs.
+
+Example::
+
+    # rtx3070-ish, but fifo memory controller
+    num_sms = 78
+    l1.size_bytes = 131072
+    dram.controller = fifo
+    noc.topology = mesh
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+from repro.sim.config import (
+    CacheConfig,
+    DRAMConfig,
+    GPUConfig,
+    NoCConfig,
+    PCIConfig,
+)
+
+#: dotted prefix -> (GPUConfig field, component dataclass)
+_COMPONENTS = {
+    "l1": ("l1", CacheConfig),
+    "l2": ("l2", CacheConfig),
+    "const_cache": ("const_cache", CacheConfig),
+    "tex_cache": ("tex_cache", CacheConfig),
+    "dram": ("dram", DRAMConfig),
+    "noc": ("noc", NoCConfig),
+    "pci": ("pci", PCIConfig),
+}
+
+
+def _parse_value(field: dataclasses.Field, raw: str):
+    if field.type in ("bool", bool):
+        lowered = raw.lower()
+        if lowered in ("true", "1", "yes", "on"):
+            return True
+        if lowered in ("false", "0", "no", "off"):
+            return False
+        raise ValueError(f"invalid boolean {raw!r} for {field.name}")
+    if field.type in ("float", float):
+        return float(raw)
+    if field.type in ("int", int):
+        return int(raw, 0)
+    return raw  # strings (controller/topology/scheduler names)
+
+
+def _field_map(cls) -> dict:
+    return {f.name: f for f in dataclasses.fields(cls)}
+
+
+def parse_config(text: str) -> GPUConfig:
+    """Build a :class:`GPUConfig` from config-file text."""
+    top: dict = {}
+    nested: dict[str, dict] = {}
+    gpu_fields = _field_map(GPUConfig)
+
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if "=" not in line:
+            raise ValueError(f"line {lineno}: expected 'key = value'")
+        key, _, raw = line.partition("=")
+        key = key.strip()
+        raw = raw.strip()
+        if "." in key:
+            prefix, _, sub = key.partition(".")
+            if prefix not in _COMPONENTS:
+                raise ValueError(f"line {lineno}: unknown component {prefix!r}")
+            _, cls = _COMPONENTS[prefix]
+            fields = _field_map(cls)
+            if sub not in fields:
+                raise ValueError(
+                    f"line {lineno}: unknown key {sub!r} for {prefix}"
+                )
+            nested.setdefault(prefix, {})[sub] = _parse_value(fields[sub], raw)
+        else:
+            if key not in gpu_fields or key in (
+                name for name, _ in _COMPONENTS.values()
+            ):
+                raise ValueError(f"line {lineno}: unknown key {key!r}")
+            top[key] = _parse_value(gpu_fields[key], raw)
+
+    base = GPUConfig()
+    for prefix, overrides in nested.items():
+        field_name, _ = _COMPONENTS[prefix]
+        component = dataclasses.replace(getattr(base, field_name), **overrides)
+        top[field_name] = component
+    return base.with_(**top) if top else base
+
+
+def load_config(path: str | Path) -> GPUConfig:
+    """Read a config file from disk."""
+    return parse_config(Path(path).read_text())
+
+
+def save_config(config: GPUConfig, path: str | Path | None = None) -> str:
+    """Serialize a config to the file format (full, explicit)."""
+    lines = ["# Genomics-GPU simulator configuration"]
+    for field in dataclasses.fields(GPUConfig):
+        value = getattr(config, field.name)
+        if dataclasses.is_dataclass(value):
+            for sub in dataclasses.fields(value):
+                lines.append(
+                    f"{field.name}.{sub.name} = {getattr(value, sub.name)}"
+                )
+        else:
+            lines.append(f"{field.name} = {value}")
+    text = "\n".join(lines) + "\n"
+    if path is not None:
+        Path(path).write_text(text)
+    return text

@@ -1,0 +1,251 @@
+"""Top-level GPU simulator: SMs + memory subsystem + host interface.
+
+Event-driven: a priority queue orders SM scheduling decisions by local
+time, keeping shared-resource (L2/NoC/DRAM) accesses approximately
+causally ordered across SMs.  The host executes applications
+synchronously — each launch runs the grid to completion, matching the
+per-kernel measurement methodology of the paper.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+
+from repro.sim.config import GPUConfig
+from repro.sim.kernel import KernelProgram
+from repro.sim.launch import Application, HostLaunch, HostMemcpy, KernelLaunch
+from repro.sim.memory import MemorySubsystem
+from repro.sim.sm import StreamingMultiprocessor
+from repro.sim.stats import RunStats, StallReason
+from repro.sim.warp import Grid, Warp
+
+
+class SimulationDeadlock(RuntimeError):
+    """The device has pending work but no SM can ever make progress."""
+
+
+class GPUSimulator:
+    """One device instance; use one simulator per application run."""
+
+    def __init__(self, config: GPUConfig | None = None):
+        self.config = config or GPUConfig()
+        self.stats = RunStats()
+        self.memory = MemorySubsystem(self.config)
+        self.sms = [
+            StreamingMultiprocessor(i, self.config, self.stats)
+            for i in range(self.config.num_sms)
+        ]
+        for sm in self.sms:
+            # Dirty L1 evictions flow to L2/DRAM at the SM's local time.
+            sm.l1.writeback_sink = (
+                lambda line, _sm=sm: self.memory.writeback(
+                    _sm.sm_id, line, _sm.time
+                )
+            )
+        self._heap: list = []
+        self._heap_seq = itertools.count()
+        self._pending_grids: list[Grid] = []
+        self._active_grids = 0
+        self.host_time = 0.0
+        self._finalized = False
+
+    # -- grid management ---------------------------------------------------
+    def submit_grid(self, grid: Grid) -> None:
+        """Queue a grid and place as many CTAs as currently fit."""
+        self._pending_grids.append(grid)
+        self._active_grids += 1
+        self._dispatch_pending()
+
+    def _dispatch_pending(self) -> None:
+        for grid in list(self._pending_grids):
+            while not grid.dispatch_done:
+                # Least-loaded placement keeps concurrent small grids
+                # (CDP children especially) spread across the machine.
+                candidates = [
+                    sm for sm in self.sms if sm.can_admit(grid.kernel)
+                ]
+                if not candidates:
+                    break
+                sm = min(candidates, key=lambda s: (s.used_threads, s.sm_id))
+                cta = sm.admit_cta(grid, grid.available_time)
+                cta.sm = sm
+                self._wake_sm(sm, max(sm.time, grid.available_time))
+            if grid.dispatch_done:
+                self._pending_grids.remove(grid)
+
+    def refill_sm(self, sm: StreamingMultiprocessor, t: float) -> None:
+        """A CTA finished on ``sm``; backfill from pending grids."""
+        for grid in list(self._pending_grids):
+            while not grid.dispatch_done and sm.can_admit(grid.kernel):
+                cta = sm.admit_cta(grid, max(t, grid.available_time))
+                cta.sm = sm
+                self._wake_sm(sm, max(t, grid.available_time))
+            if grid.dispatch_done:
+                self._pending_grids.remove(grid)
+
+    def device_launch(
+        self,
+        sm: StreamingMultiprocessor,
+        warp: Warp,
+        spec: KernelLaunch,
+        t: float,
+    ) -> None:
+        """CDP: a warp on ``sm`` launches ``spec`` as a child grid."""
+        config = self.config
+        available = t + config.cdp_launch_cycles + config.cdp_dispatch_cycles
+        child = Grid(
+            spec.kernel,
+            spec.num_ctas,
+            args=spec.args,
+            available_time=available,
+            parent_warp=warp,
+        )
+        warp.pending_children += 1
+        self.stats.device_launches += 1
+        # Cores wait through device-runtime setup before the child is
+        # runnable — functional-done time, same as a host launch.
+        self.stats.add_stall(
+            StallReason.FUNCTIONAL_DONE, config.cdp_dispatch_cycles
+        )
+        self.submit_grid(child)
+
+    def on_grid_finished(self, grid: Grid, t: float) -> None:
+        """Completion hook: wake a CDP parent waiting on this child."""
+        self._active_grids -= 1
+        self.stats.kernel_timeline.append({
+            "kernel": grid.kernel.name,
+            "start": int(grid.start_time if grid.start_time is not None
+                         else grid.available_time),
+            "end": int(t),
+            "ctas": grid.num_ctas,
+            "origin": "device" if grid.parent_warp is not None else "host",
+        })
+        parent = grid.parent_warp
+        if parent is None:
+            return
+        parent.pending_children -= 1
+        if parent.pending_children == 0 and parent.waiting_device_sync:
+            parent.waiting_device_sync = False
+            parent.next_ready = t
+            parent.block_reason = None
+            parent_sm = parent.cta.sm
+            if parent_sm is not None:
+                self._wake_sm(parent_sm, max(parent_sm.time, t))
+
+    # -- event loop -----------------------------------------------------------
+    def _wake_sm(self, sm: StreamingMultiprocessor, t: float) -> None:
+        sm.wake_accounting(t)
+        heapq.heappush(self._heap, (t, next(self._heap_seq), sm))
+
+    def _force_admit_child(self) -> bool:
+        """Deadlock avoidance for CDP: swap a child in over blocked parents.
+
+        When every CTA slot is held by device-sync-blocked parents, the
+        CUDA device runtime virtualizes parent state so children can
+        run (forward progress is guaranteed for nested launches).  The
+        model's equivalent: admit one pending *child* CTA past the
+        resource limits on the least-loaded SM.  Returns True if a CTA
+        was placed.
+        """
+        for grid in self._pending_grids:
+            if grid.parent_warp is None or grid.dispatch_done:
+                continue
+            sm = min(self.sms, key=lambda s: (s.used_threads, s.sm_id))
+            start = max(sm.time, grid.available_time)
+            cta = sm.admit_cta(grid, start)
+            cta.sm = sm
+            if grid.dispatch_done:
+                self._pending_grids.remove(grid)
+            self._wake_sm(sm, start)
+            return True
+        return False
+
+    def _run_until(self, predicate) -> None:
+        while not predicate():
+            if not self._heap:
+                if self._pending_grids and self._force_admit_child():
+                    continue
+                raise SimulationDeadlock(
+                    "no runnable SMs but the run predicate is unsatisfied "
+                    f"(pending grids: {len(self._pending_grids)})"
+                )
+            t, _, sm = heapq.heappop(self._heap)
+            sm.step(self, t)
+            if sm.has_resident_work and sm.dormant_since is None:
+                heapq.heappush(
+                    self._heap, (sm.time, next(self._heap_seq), sm)
+                )
+
+    def run_grid(self, launch: KernelLaunch, at_time: float | None = None) -> Grid:
+        """Launch a grid and run the device until it completes."""
+        start = self.host_time if at_time is None else at_time
+        grid = Grid(
+            launch.kernel, launch.num_ctas, args=launch.args,
+            available_time=start,
+        )
+        self.submit_grid(grid)
+        self._run_until(lambda: grid.finished)
+        return grid
+
+    # -- host interface ----------------------------------------------------
+    def _memcpy_cycles(self, nbytes: int) -> int:
+        pci = self.config.pci
+        return pci.latency_cycles + math.ceil(nbytes / pci.bytes_per_cycle)
+
+    def run_application(self, app: Application) -> RunStats:
+        """Execute an application's host program to completion."""
+        if self._finalized:
+            raise RuntimeError("simulator instances are single use")
+        config = self.config
+        for op in app.host_program():
+            if isinstance(op, HostMemcpy):
+                cycles = self._memcpy_cycles(op.nbytes)
+                self.stats.memcpy_calls += 1
+                self.stats.pci_cycles += cycles
+                self.host_time += cycles
+                if (
+                    op.direction == "h2d"
+                    and config.flush_on_memcpy
+                    and not config.perfect_memory
+                ):
+                    # Fresh device data invalidates cached lines — the
+                    # inter-kernel locality loss the paper observes.
+                    for sm in self.sms:
+                        sm.l1.flush()
+                        sm.const_cache.flush()
+                        sm.tex_cache.flush()
+                    self.memory.flush()
+            elif isinstance(op, HostLaunch):
+                self.stats.kernel_launches += 1
+                self.stats.launch_overhead_cycles += config.host_launch_cycles
+                self.host_time += config.host_launch_cycles
+                # Cores wait through launch setup: the paper's
+                # "functional done" stall.
+                self.stats.add_stall(
+                    StallReason.FUNCTIONAL_DONE, config.host_launch_cycles
+                )
+                grid = self.run_grid(op.launch)
+                self.stats.kernel_cycles += int(
+                    grid.completion_time - grid.available_time
+                )
+                self.host_time = max(self.host_time, grid.completion_time)
+            else:  # pragma: no cover - HostOp union is closed
+                raise TypeError(f"unknown host op {op!r}")
+        return self.finalize()
+
+    def finalize(self) -> RunStats:
+        """Aggregate per-component counters into the run stats."""
+        if not self._finalized:
+            self._finalized = True
+            for sm in self.sms:
+                self.stats.l1.merge(sm.l1.stats)
+                self.stats.const_cache.merge(sm.const_cache.stats)
+            for bank in self.memory.l2_banks:
+                self.stats.l2.merge(bank.stats)
+            for channel in self.memory.dram:
+                self.stats.dram.merge(channel.stats)
+            self.stats.noc.merge(self.memory.network.stats)
+            self.stats.cycles = max(self.stats.kernel_cycles, 1)
+        return self.stats

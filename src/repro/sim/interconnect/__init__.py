@@ -1,0 +1,6 @@
+"""On-chip network between SMs and memory partitions (the Booksim role)."""
+
+from repro.sim.interconnect.topology import Topology, build_topology
+from repro.sim.interconnect.network import Network, NetworkStats
+
+__all__ = ["Topology", "build_topology", "Network", "NetworkStats"]

@@ -1,0 +1,71 @@
+"""Host-side program model: memcpys, kernel launches, applications.
+
+A benchmark *application* is a host program — a sequence of
+``cudaMemcpy`` and kernel-launch operations — exactly what Fig 4
+characterizes (kernel-call count vs PCI-call count, kernel time vs PCI
+time).  Applications are Python generators of host ops so a benchmark
+can shape its launch pattern from the functional workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+from repro.sim.kernel import KernelProgram
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """A kernel plus its grid size and trace arguments."""
+
+    kernel: KernelProgram
+    num_ctas: int
+    args: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_ctas <= 0:
+            raise ValueError("grid must have at least one CTA")
+
+
+@dataclass(frozen=True)
+class HostMemcpy:
+    """A cudaMemcpy of ``nbytes`` in the given direction ("h2d"/"d2h")."""
+
+    nbytes: int
+    direction: str = "h2d"
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise ValueError("memcpy must move at least one byte")
+        if self.direction not in ("h2d", "d2h"):
+            raise ValueError("direction must be 'h2d' or 'd2h'")
+
+
+@dataclass(frozen=True)
+class HostLaunch:
+    """A synchronous kernel launch from the host."""
+
+    launch: KernelLaunch
+
+
+HostOp = Union[HostMemcpy, HostLaunch]
+
+
+class Application:
+    """Base class for the ten benchmark applications.
+
+    Subclasses set ``name`` and implement :meth:`host_program`; the CDP
+    variants override it to replace host launch loops with device-side
+    launches inside a parent kernel.
+    """
+
+    name: str = "app"
+
+    def host_program(self) -> Iterator[HostOp]:
+        """Yield the host operations in execution order."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line description for reports."""
+        return self.name

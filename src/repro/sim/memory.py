@@ -1,0 +1,90 @@
+"""The shared memory subsystem: L2 banks, interconnect, DRAM channels.
+
+One instance is shared by all SMs.  Each 128B-line transaction takes
+the path L1 (SM-side, owned by the caller) -> NoC request -> L2 bank of
+its partition -> DRAM channel on an L2 miss -> NoC response.  Loads
+block the warp until the slowest line returns; stores are write-back
+fire-and-forget (the warp only pays the L1 latency).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import MemSpace
+from repro.sim.cache import Cache
+from repro.sim.config import GPUConfig
+from repro.sim.dram import DRAMChannel
+from repro.sim.interconnect.network import Network
+
+
+class MemorySubsystem:
+    """Everything beyond the SM-private caches."""
+
+    def __init__(self, config: GPUConfig):
+        self.config = config
+        self.network = Network(
+            config.noc, config.num_sms, config.num_mem_partitions
+        )
+        # The L2 is physically banked: one slice per memory partition,
+        # each 1/P of the configured capacity.
+        slice_bytes = config.l2.size_bytes // config.num_mem_partitions
+        slice_config = (
+            config.l2
+            if config.l2.disabled
+            else config.l2.__class__(
+                size_bytes=max(config.l2.line_bytes * config.l2.assoc, slice_bytes),
+                assoc=config.l2.assoc,
+                line_bytes=config.l2.line_bytes,
+                hit_latency=config.l2.hit_latency,
+            )
+        )
+        self.l2_banks = [
+            Cache(slice_config, name=f"l2[{p}]")
+            for p in range(config.num_mem_partitions)
+        ]
+        self.dram = [
+            DRAMChannel(config.dram, line_bytes=config.l2.line_bytes)
+            for _ in range(config.num_mem_partitions)
+        ]
+
+    def partition_of(self, line: int) -> int:
+        """Address interleaving: consecutive lines hit consecutive partitions."""
+        return line % self.config.num_mem_partitions
+
+    def line_request(self, sm_id: int, line: int, store: bool, now: float) -> float:
+        """Service one line that missed the SM-side cache; returns completion."""
+        partition = self.partition_of(line)
+        store_bytes = self.config.l2.line_bytes if store else 0
+        at_l2 = self.network.request(sm_id, partition, int(now), store_bytes)
+        bank = self.l2_banks[partition]
+        if bank.access(line, store=store):
+            served = at_l2 + bank.config.hit_latency
+        else:
+            served = self.dram[partition].access(
+                line, at_l2 + bank.config.hit_latency
+            )
+        if store:
+            # Write data is accepted at the partition; no response needed.
+            return served
+        return self.network.response(
+            partition, sm_id, served, data_bytes=self.config.l2.line_bytes
+        )
+
+    def writeback(self, sm_id: int, line: int, now: float) -> None:
+        """An L1 dirty eviction: push the line to L2 (and DRAM on miss).
+
+        Fire-and-forget from the warp's perspective, but it consumes
+        NoC and DRAM bandwidth, which is where the write-heavy kernels'
+        DRAM utilization comes from.
+        """
+        partition = self.partition_of(line)
+        at_l2 = self.network.request(
+            sm_id, partition, int(now), self.config.l2.line_bytes
+        )
+        bank = self.l2_banks[partition]
+        if not bank.access(line, store=True):
+            self.dram[partition].access(line, at_l2 + bank.config.hit_latency)
+
+    def flush(self) -> None:
+        """Invalidate all L2 banks (host memcpy clobbers device data)."""
+        for bank in self.l2_banks:
+            bank.flush()

@@ -1,0 +1,70 @@
+"""CTA residency and SRAM utilization (Fig 6, Fig 11, Table III).
+
+How many CTAs of a kernel fit on one SM is the minimum over four
+limits: the CTA cap, the thread cap, the register file, and shared
+memory.  SRAM utilization (Fig 6) is the fraction of each structure the
+resident CTAs actually occupy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.config import GPUConfig
+from repro.sim.kernel import KernelProgram
+
+
+@dataclass(frozen=True)
+class OccupancyReport:
+    """Residency and the limiting resource for one kernel/config pair."""
+
+    ctas_per_sm: int
+    limiter: str  # "cta" | "threads" | "registers" | "shared_memory"
+    register_utilization: float
+    shared_utilization: float
+    constant_utilization: float
+    thread_utilization: float
+
+
+def ctas_per_sm(config: GPUConfig, kernel: KernelProgram) -> int:
+    """Concurrent CTAs of ``kernel`` on one SM under ``config``."""
+    return occupancy_report(config, kernel).ctas_per_sm
+
+
+def occupancy_report(config: GPUConfig, kernel: KernelProgram) -> OccupancyReport:
+    """Full occupancy analysis for Fig 6 / Fig 11."""
+    limits = {
+        "cta": config.max_ctas_per_sm,
+        "threads": config.max_threads_per_sm // kernel.cta_threads,
+    }
+    regs_per_cta = kernel.regs_per_thread * kernel.cta_threads
+    if regs_per_cta > 0:
+        limits["registers"] = config.registers_per_sm // regs_per_cta
+    if kernel.smem_per_cta > 0:
+        limits["shared_memory"] = config.shared_mem_per_sm // kernel.smem_per_cta
+
+    limiter = min(limits, key=lambda k: (limits[k], k))
+    resident = limits[limiter]
+    if resident == 0:
+        raise ValueError(
+            f"kernel {kernel.name} does not fit on an SM "
+            f"(limited by {limiter})"
+        )
+
+    threads = resident * kernel.cta_threads
+    return OccupancyReport(
+        ctas_per_sm=resident,
+        limiter=limiter,
+        register_utilization=min(
+            1.0, resident * regs_per_cta / config.registers_per_sm
+        ),
+        shared_utilization=min(
+            1.0, resident * kernel.smem_per_cta / config.shared_mem_per_sm
+        ),
+        constant_utilization=min(
+            1.0, kernel.const_bytes / config.const_cache.size_bytes
+        )
+        if config.const_cache.size_bytes
+        else 0.0,
+        thread_utilization=min(1.0, threads / config.max_threads_per_sm),
+    )

@@ -1,0 +1,117 @@
+"""Warp schedulers: LRR, GTO, OLD, and two-level (Fig 19).
+
+A scheduler picks among the warps that are ready to issue this cycle.
+All four policies from Table I are implemented with the semantics
+Accel-Sim documents:
+
+- **LRR** (loose round robin, the baseline) — rotate through warps.
+- **GTO** (greedy-then-oldest) — keep issuing the same warp until it
+  stalls, then fall back to the oldest ready warp.
+- **OLD** (oldest first) — always the oldest ready warp.
+- **2LV** (two level) — a small active set issues round robin; warps
+  that hit long-latency operations are demoted and replaced from the
+  pending pool.
+"""
+
+from __future__ import annotations
+
+from repro.sim.warp import Warp
+
+
+class WarpScheduler:
+    """Base policy; subclasses implement :meth:`select`."""
+
+    def __init__(self):
+        self._last: Warp | None = None
+
+    def select(self, ready: list[Warp]) -> Warp:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def issued(self, warp: Warp) -> None:
+        """Hook called after ``warp`` issues."""
+        self._last = warp
+
+    def retired(self, warp: Warp) -> None:
+        """Hook called when ``warp`` exits."""
+        if self._last is warp:
+            self._last = None
+
+
+class LooseRoundRobin(WarpScheduler):
+    """Rotate fairly among ready warps."""
+
+    def __init__(self):
+        super().__init__()
+        self._pointer = 0
+
+    def select(self, ready: list[Warp]) -> Warp:
+        self._pointer = (self._pointer + 1) % len(ready)
+        return ready[self._pointer]
+
+
+class GreedyThenOldest(WarpScheduler):
+    """Stick with the last warp while it stays ready; else oldest."""
+
+    def select(self, ready: list[Warp]) -> Warp:
+        if self._last is not None and not self._last.exited:
+            for warp in ready:
+                if warp is self._last:
+                    return warp
+        return min(ready, key=lambda w: w.age)
+
+
+class OldestFirst(WarpScheduler):
+    """Always issue the oldest ready warp."""
+
+    def select(self, ready: list[Warp]) -> Warp:
+        return min(ready, key=lambda w: w.age)
+
+
+class TwoLevel(WarpScheduler):
+    """Active set of ``active_size`` warps issuing LRR; demote on stall.
+
+    Demotion happens implicitly: a warp that is not ready (long-latency
+    operation outstanding) is dropped from the active set when the set
+    is refilled.
+    """
+
+    def __init__(self, active_size: int = 8):
+        super().__init__()
+        self.active_size = active_size
+        self._active: list[Warp] = []
+        self._pointer = 0
+
+    def select(self, ready: list[Warp]) -> Warp:
+        ready_set = set(id(w) for w in ready)
+        self._active = [w for w in self._active if id(w) in ready_set]
+        if len(self._active) < self.active_size:
+            for warp in ready:
+                if warp not in self._active:
+                    self._active.append(warp)
+                    if len(self._active) == self.active_size:
+                        break
+        self._pointer = (self._pointer + 1) % len(self._active)
+        return self._active[self._pointer]
+
+    def retired(self, warp: Warp) -> None:
+        super().retired(warp)
+        if warp in self._active:  # pragma: no cover - defensive
+            self._active.remove(warp)
+
+
+_POLICIES = {
+    "lrr": LooseRoundRobin,
+    "gto": GreedyThenOldest,
+    "old": OldestFirst,
+    "2lv": TwoLevel,
+}
+
+
+def build_scheduler(name: str) -> WarpScheduler:
+    """Instantiate a scheduler by Table I name."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; known: {sorted(_POLICIES)}"
+        ) from None

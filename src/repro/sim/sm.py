@@ -1,0 +1,308 @@
+"""Streaming multiprocessor: issue loop, hazards, stall attribution.
+
+Each SM owns a private L1, constant and texture cache, a warp
+scheduler, and a set of resident CTAs.  ``step`` makes one scheduling
+decision: issue from a ready warp, or account a stall and jump to the
+next wake-up time.  The event-driven jump keeps simulation fast while
+preserving per-cycle issue accounting.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import MemSpace, OpClass
+from repro.sim.cache import Cache
+from repro.sim.config import GPUConfig
+from repro.sim.kernel import KernelProgram
+from repro.sim.scheduler import build_scheduler
+from repro.sim.stats import RunStats, StallReason
+from repro.sim.warp import CTA, Grid, NEVER, Warp
+
+
+class StreamingMultiprocessor:
+    """One GPU core."""
+
+    def __init__(self, sm_id: int, config: GPUConfig, stats: RunStats):
+        self.sm_id = sm_id
+        self.config = config
+        self.stats = stats
+        self.time: float = 0.0
+        self.l1 = Cache(config.l1, name=f"sm{sm_id}.l1")
+        self.const_cache = Cache(config.const_cache, name=f"sm{sm_id}.const")
+        self.tex_cache = Cache(config.tex_cache, name=f"sm{sm_id}.tex")
+        self.scheduler = build_scheduler(config.scheduler)
+        self.ctas: list[CTA] = []
+        self.warps: list[Warp] = []
+        # Resource accounting for CTA admission.
+        self.used_threads = 0
+        self.used_regs = 0
+        self.used_smem = 0
+        # Heap bookkeeping (owned by the GPU).
+        self.in_heap = False
+        self.dormant_since: float | None = None
+        self.dormant_reason: StallReason | None = None
+
+    # -- CTA admission ------------------------------------------------------
+    def can_admit(self, kernel: KernelProgram) -> bool:
+        """Would one more CTA of ``kernel`` fit right now?"""
+        config = self.config
+        if len(self.ctas) >= config.max_ctas_per_sm:
+            return False
+        if self.used_threads + kernel.cta_threads > config.max_threads_per_sm:
+            return False
+        regs = kernel.regs_per_thread * kernel.cta_threads
+        if self.used_regs + regs > config.registers_per_sm:
+            return False
+        if self.used_smem + kernel.smem_per_cta > config.shared_mem_per_sm:
+            return False
+        return True
+
+    def admit_cta(self, grid: Grid, start_time: float) -> CTA:
+        """Instantiate and adopt the next CTA of ``grid``."""
+        kernel = grid.kernel
+        start = max(self.time, start_time)
+        cta = grid.make_cta(start)
+        self.ctas.append(cta)
+        self.warps.extend(cta.warps)
+        self.used_threads += kernel.cta_threads
+        self.used_regs += kernel.regs_per_thread * kernel.cta_threads
+        self.used_smem += kernel.smem_per_cta
+        return cta
+
+    def _release_cta(self, cta: CTA) -> None:
+        kernel = cta.grid.kernel
+        self.ctas.remove(cta)
+        self.warps = [w for w in self.warps if w.cta is not cta]
+        self.used_threads -= kernel.cta_threads
+        self.used_regs -= kernel.regs_per_thread * kernel.cta_threads
+        self.used_smem -= kernel.smem_per_cta
+
+    @property
+    def has_resident_work(self) -> bool:
+        return bool(self.warps)
+
+    # -- issue loop -----------------------------------------------------------
+    def step(self, gpu, now: float) -> None:
+        """One scheduling decision at time ``max(self.time, now)``.
+
+        ``gpu`` is the owning :class:`~repro.sim.gpu.GPUSimulator`,
+        used for memory access, device launches and completion hooks.
+        """
+        self.time = max(self.time, now)
+        if not self.warps:
+            return
+
+        t = self.time
+        ready = [
+            w for w in self.warps if not w.exited and w.next_ready <= t
+        ]
+        if not ready:
+            self._account_stall(t)
+            return
+
+        warp = self.scheduler.select(ready)
+        try:
+            instr = warp.fetch()
+        except StopIteration:  # pragma: no cover - traces must end with EXIT
+            raise RuntimeError(
+                f"trace of kernel {warp.cta.grid.kernel.name} ended "
+                "without an EXIT instruction"
+            ) from None
+        self._execute(gpu, warp, instr, t)
+        self.scheduler.issued(warp)
+
+    def _account_stall(self, t: float) -> None:
+        """No warp ready: attribute the gap and jump to the next wake."""
+        wake = NEVER
+        reasons: dict[StallReason, int] = {}
+        for warp in self.warps:
+            if warp.exited:
+                continue
+            wake = min(wake, warp.next_ready)
+            reason = warp.block_reason or StallReason.IDLE
+            reasons[reason] = reasons.get(reason, 0) + 1
+        dominant = self._dominant_reason(reasons)
+        if wake is NEVER or wake == NEVER:
+            # Every warp waits on an external event (device sync /
+            # barrier release from another path).  Go dormant; the GPU
+            # attributes the dormant period when it wakes us.
+            self.dormant_since = t
+            self.dormant_reason = dominant
+            return
+        self.stats.add_stall(dominant, int(wake - t))
+        self.time = wake
+
+    @staticmethod
+    def _dominant_reason(reasons: dict[StallReason, int]) -> StallReason:
+        if not reasons:
+            return StallReason.IDLE
+        # Ties break in a fixed priority order: memory is the paper's
+        # headline cause, so it wins ties.
+        priority = [
+            StallReason.MEMORY,
+            StallReason.CONTROL,
+            StallReason.SYNC,
+            StallReason.FUNCTIONAL_DONE,
+            StallReason.IDLE,
+        ]
+        best = max(reasons.values())
+        for reason in priority:
+            if reasons.get(reason) == best:
+                return reason
+        return StallReason.IDLE  # pragma: no cover - unreachable
+
+    def wake_accounting(self, wake_time: float) -> None:
+        """Charge a dormant period that just ended at ``wake_time``."""
+        if self.dormant_since is not None:
+            gap = int(wake_time - self.dormant_since)
+            if gap > 0 and self.dormant_reason is not None and self.warps:
+                self.stats.add_stall(self.dormant_reason, gap)
+            self.dormant_since = None
+            self.dormant_reason = None
+        self.time = max(self.time, wake_time)
+
+    # -- instruction semantics -------------------------------------------------
+    def _execute(self, gpu, warp: Warp, instr, t: float) -> None:
+        config = self.config
+        op = instr.op
+        self.stats.count_instruction(op, instr.active_lanes, instr.repeat)
+        self.stats.sm_instructions[self.sm_id] = (
+            self.stats.sm_instructions.get(self.sm_id, 0) + instr.repeat
+        )
+        warp.block_reason = None
+
+        if op in (OpClass.INT, OpClass.FP, OpClass.SFU):
+            latency = {
+                OpClass.INT: config.int_latency,
+                OpClass.FP: config.fp_latency,
+                OpClass.SFU: config.sfu_latency,
+            }[op]
+            # A repeat block monopolizes the issue port for `repeat`
+            # cycles; the dependent-use latency applies after the last.
+            warp.next_ready = t + instr.repeat - 1 + latency
+            self.time = t + instr.repeat
+            return
+
+        self.time = t + 1
+        if op is OpClass.LDST:
+            self._execute_memory(gpu, warp, instr, t)
+        elif op is OpClass.CTRL:
+            warp.next_ready = t + config.branch_latency
+            warp.block_reason = StallReason.CONTROL
+        elif op is OpClass.SYNC:
+            self._execute_barrier(warp, t)
+        elif op is OpClass.DEVSYNC:
+            if warp.pending_children > 0:
+                # Waiting for child kernels to be set up, run, and
+                # drain — the CDP face of "functional done" (Fig 5
+                # shows CDP and non-CDP breakdowns staying similar).
+                warp.waiting_device_sync = True
+                warp.next_ready = NEVER
+                warp.block_reason = StallReason.FUNCTIONAL_DONE
+            else:
+                warp.next_ready = t + 1
+        elif op is OpClass.LAUNCH:
+            gpu.device_launch(self, warp, instr.child, t)
+            warp.next_ready = t + config.cdp_launch_cycles
+            warp.block_reason = StallReason.FUNCTIONAL_DONE
+        elif op is OpClass.EXIT:
+            self._execute_exit(gpu, warp, t)
+        else:  # pragma: no cover - enum is closed
+            raise AssertionError(f"unhandled op {op}")
+
+    def _execute_memory(self, gpu, warp: Warp, instr, t: float) -> None:
+        config = self.config
+        mem = instr.mem
+        space = mem.space
+        self.stats.count_memory(space, mem.transactions)
+
+        if space is MemSpace.SHARED:
+            # On-chip scratchpad: unaffected by the Fig 15 perfect
+            # memory-system experiment.
+            warp.next_ready = t + config.shared_latency
+            warp.block_reason = StallReason.MEMORY
+            return
+
+        if config.perfect_memory:
+            # Zero-latency memory system: every access behaves like an
+            # L1 hit (one transaction retired per port cycle).
+            warp.next_ready = (
+                t + config.l1.hit_latency + max(0, len(mem.lines) - 1)
+            )
+            return
+        if space is MemSpace.PARAM:
+            # Parameter reads hit the constant path's dedicated storage.
+            warp.next_ready = t + config.const_cache.hit_latency
+            return
+
+        port = 1 if config.l1_port_serialization else 0
+        if space in (MemSpace.CONST, MemSpace.TEX):
+            cache = self.const_cache if space is MemSpace.CONST else self.tex_cache
+            completion = t
+            # The cache port retires one transaction per cycle.
+            for i, line in enumerate(mem.lines):
+                issue = t + i * port
+                if cache.access(line, store=mem.store):
+                    completion = max(completion, issue + cache.config.hit_latency)
+                else:
+                    completion = max(
+                        completion, gpu.memory.line_request(
+                            self.sm_id, line, mem.store, issue
+                        )
+                    )
+            warp.next_ready = completion
+            warp.block_reason = StallReason.MEMORY
+            return
+
+        # GLOBAL / LOCAL through the L1, one transaction per cycle —
+        # an uncoalesced access pays for all 32 of its transactions.
+        # Stores are write-back write-validate: they allocate dirty in
+        # the L1 without fetching; dirty evictions flow to L2/DRAM via
+        # the writeback sink.
+        completion = t
+        for i, line in enumerate(mem.lines):
+            issue = t + i * port
+            hit = self.l1.access(line, store=mem.store)
+            if mem.store or hit:
+                completion = max(completion, issue + config.l1.hit_latency)
+            else:
+                completion = max(
+                    completion,
+                    gpu.memory.line_request(self.sm_id, line, False, issue),
+                )
+        warp.next_ready = completion
+        if completion - t > config.l1.hit_latency:
+            warp.block_reason = StallReason.MEMORY
+
+    def _execute_barrier(self, warp: Warp, t: float) -> None:
+        cta = warp.cta
+        cta.barrier_arrived += 1
+        if cta.barrier_ready():
+            # Last arrival releases everyone.
+            for peer in cta.warps:
+                if not peer.exited:
+                    peer.next_ready = t + 1
+                    peer.block_reason = None
+            cta.barrier_arrived = 0
+        else:
+            warp.next_ready = NEVER
+            warp.block_reason = StallReason.SYNC
+
+    def _execute_exit(self, gpu, warp: Warp, t: float) -> None:
+        warp.exited = True
+        self.scheduler.retired(warp)
+        cta = warp.cta
+        if cta.live_warps == 0:
+            self._release_cta(cta)
+            grid = cta.grid
+            grid.remaining_ctas -= 1
+            if grid.finished:
+                grid.completion_time = t
+                gpu.on_grid_finished(grid, t)
+            gpu.refill_sm(self, t)
+        elif cta.barrier_arrived and cta.barrier_ready():
+            # An exiting warp can satisfy a barrier its peers wait on.
+            for peer in cta.warps:
+                if not peer.exited and peer.block_reason is StallReason.SYNC:
+                    peer.next_ready = t + 1
+                    peer.block_reason = None
+            cta.barrier_arrived = 0

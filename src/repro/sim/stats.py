@@ -1,0 +1,192 @@
+"""Run statistics: everything the paper's figures are drawn from."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import MemSpace, OpClass
+from repro.sim.cache import CacheStats
+from repro.sim.dram import DRAMStats
+from repro.sim.interconnect.network import NetworkStats
+
+
+class StallReason(enum.Enum):
+    """Why an SM issue slot went unused (Fig 5 categories)."""
+
+    MEMORY = "long_memory_latency"
+    CONTROL = "control_hazard"
+    SYNC = "synchronization"
+    IDLE = "pipeline_idle"
+    FUNCTIONAL_DONE = "functional_done"
+
+
+#: Warp-occupancy buckets: W1-4, W5-8, ..., W29-32 (Fig 10).
+OCCUPANCY_BUCKETS = ["W1-4", "W5-8", "W9-12", "W13-16", "W17-20",
+                     "W21-24", "W25-28", "W29-32"]
+
+
+def occupancy_bucket(active_lanes: int) -> str:
+    """Bucket label for an issued warp's active-lane count."""
+    if not 1 <= active_lanes <= 32:
+        raise ValueError("active lanes must be in [1, 32]")
+    return OCCUPANCY_BUCKETS[(active_lanes - 1) // 4]
+
+
+@dataclass
+class RunStats:
+    """Counters for one application (or kernel) execution."""
+
+    cycles: int = 0
+    instructions: int = 0
+    #: dynamic instruction count by OpClass value (Fig 8)
+    op_mix: dict = field(default_factory=dict)
+    #: memory instruction count by MemSpace value (Fig 9)
+    mem_mix: dict = field(default_factory=dict)
+    #: issued-warp histogram by occupancy bucket (Fig 10)
+    warp_occupancy: dict = field(
+        default_factory=lambda: {b: 0 for b in OCCUPANCY_BUCKETS}
+    )
+    #: unused issue-slot cycles by StallReason value (Fig 5)
+    stalls: dict = field(default_factory=dict)
+
+    l1: CacheStats = field(default_factory=CacheStats)
+    l2: CacheStats = field(default_factory=CacheStats)
+    const_cache: CacheStats = field(default_factory=CacheStats)
+    dram: DRAMStats = field(default_factory=DRAMStats)
+    noc: NetworkStats = field(default_factory=NetworkStats)
+
+    #: host-side activity (Fig 4)
+    kernel_launches: int = 0
+    memcpy_calls: int = 0
+    kernel_cycles: int = 0
+    pci_cycles: int = 0
+    #: host driver/runtime setup cycles (per-launch overhead)
+    launch_overhead_cycles: int = 0
+
+    #: device-side launches (CDP)
+    device_launches: int = 0
+
+    #: per-grid execution records, in completion order: dicts with
+    #: ``kernel``, ``start``, ``end``, ``ctas``, ``origin``
+    #: ("host" | "device") — the nvprof-style timeline Fig 4 is built
+    #: from (see :func:`repro.core.report.format_kernel_profile`)
+    kernel_timeline: list = field(default_factory=list)
+
+    #: dynamic instructions issued per SM (load-balance diagnostics)
+    sm_instructions: dict = field(default_factory=dict)
+
+    # -- recording helpers -------------------------------------------------
+    def count_instruction(self, op: OpClass, lanes: int, repeat: int = 1) -> None:
+        self.instructions += repeat
+        self.op_mix[op.value] = self.op_mix.get(op.value, 0) + repeat
+        bucket = occupancy_bucket(lanes)
+        self.warp_occupancy[bucket] += repeat
+
+    def count_memory(self, space: MemSpace, transactions: int = 1) -> None:
+        self.mem_mix[space.value] = self.mem_mix.get(space.value, 0) + transactions
+
+    def add_stall(self, reason: StallReason, cycles: int) -> None:
+        if cycles <= 0:
+            return
+        self.stalls[reason.value] = self.stalls.get(reason.value, 0) + cycles
+
+    # -- derived metrics ----------------------------------------------------
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle over the whole device run."""
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def total_stall_cycles(self) -> int:
+        return sum(self.stalls.values())
+
+    def stall_breakdown(self) -> dict:
+        """Fractions per stall reason (empty dict if no stalls)."""
+        total = self.total_stall_cycles
+        if total == 0:
+            return {}
+        return {k: v / total for k, v in sorted(self.stalls.items())}
+
+    def op_fractions(self) -> dict:
+        """Fig 8: fraction of dynamic instructions per class."""
+        if self.instructions == 0:
+            return {}
+        return {
+            k: v / self.instructions for k, v in sorted(self.op_mix.items())
+        }
+
+    def mem_fractions(self) -> dict:
+        """Fig 9: fraction of memory transactions per space."""
+        total = sum(self.mem_mix.values())
+        if total == 0:
+            return {}
+        return {k: v / total for k, v in sorted(self.mem_mix.items())}
+
+    def occupancy_fractions(self) -> dict:
+        """Fig 10: fraction of issued warps per occupancy bucket."""
+        total = sum(self.warp_occupancy.values())
+        if total == 0:
+            return {b: 0.0 for b in OCCUPANCY_BUCKETS}
+        return {b: n / total for b, n in self.warp_occupancy.items()}
+
+    def load_imbalance(self) -> float:
+        """Max/mean issued instructions over the SMs that did any work.
+
+        1.0 is perfectly balanced; STAR's static pair assignment and
+        single-CTA CDP children show up here.
+        """
+        active = [n for n in self.sm_instructions.values() if n]
+        if not active:
+            return 0.0
+        return max(active) / (sum(active) / len(active))
+
+    def dram_utilization(self) -> float:
+        """Fig 18: data-pin cycles / total execution cycles."""
+        if self.cycles == 0:
+            return 0.0
+        return min(1.0, self.dram.data_cycles / self.cycles)
+
+    def device_time(self) -> int:
+        """Kernel-side execution time: kernels plus launch overheads.
+
+        This is the "kernel execution time" metric Fig 3 compares for
+        CDP vs non-CDP: the CDP benefit of removing host launch
+        round-trips appears here.
+        """
+        return self.kernel_cycles + self.launch_overhead_cycles
+
+    def total_time(self) -> int:
+        """End-to-end host cycles (kernels + launches + PCI transfers)."""
+        return self.device_time() + self.pci_cycles
+
+    def merge(self, other: "RunStats") -> None:
+        """Accumulate another run's counters into this one."""
+        self.cycles += other.cycles
+        self.instructions += other.instructions
+        for key, value in other.op_mix.items():
+            self.op_mix[key] = self.op_mix.get(key, 0) + value
+        for key, value in other.mem_mix.items():
+            self.mem_mix[key] = self.mem_mix.get(key, 0) + value
+        for key, value in other.warp_occupancy.items():
+            self.warp_occupancy[key] += value
+        for key, value in other.stalls.items():
+            self.stalls[key] = self.stalls.get(key, 0) + value
+        self.l1.merge(other.l1)
+        self.l2.merge(other.l2)
+        self.const_cache.merge(other.const_cache)
+        self.dram.merge(other.dram)
+        self.noc.merge(other.noc)
+        self.kernel_launches += other.kernel_launches
+        self.memcpy_calls += other.memcpy_calls
+        self.kernel_cycles += other.kernel_cycles
+        self.pci_cycles += other.pci_cycles
+        self.launch_overhead_cycles += other.launch_overhead_cycles
+        self.device_launches += other.device_launches
+        self.kernel_timeline.extend(other.kernel_timeline)
+        for sm_id, count in other.sm_instructions.items():
+            self.sm_instructions[sm_id] = (
+                self.sm_instructions.get(sm_id, 0) + count
+            )

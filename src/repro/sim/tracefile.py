@@ -1,0 +1,136 @@
+"""Capture kernel traces to files and replay them without the generator.
+
+Accel-Sim runs from archived SASS traces rather than live applications;
+this module gives the model the same workflow: capture a kernel
+launch's complete warp traces to a JSONL file, then re-simulate from
+the file alone — no workload construction, no functional algorithm
+runs, bit-identical timing.
+
+Format: line 1 is a header object (kernel metadata + grid size), every
+further line is one instruction::
+
+    {"kernel": "nw_diag", "cta_threads": 128, ..., "num_ctas": 8}
+    {"cta": 0, "warp": 0, "op": "ldst", "mask": 4294967295,
+     "space": "global", "lines": [1048576], "store": false}
+
+CDP kernels cannot be captured: a ``launch`` instruction references a
+live child grid, which has no file representation.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator
+
+from repro.isa.instructions import (
+    MemAccess,
+    MemSpace,
+    OpClass,
+    WarpInstruction,
+)
+from repro.sim.kernel import KernelProgram, WarpContext
+from repro.sim.launch import KernelLaunch
+
+
+class TraceCaptureError(ValueError):
+    """The kernel's trace cannot be represented in a file."""
+
+
+def _instruction_record(cta: int, warp: int, instr: WarpInstruction) -> dict:
+    if instr.op is OpClass.LAUNCH:
+        raise TraceCaptureError(
+            "CDP device launches cannot be captured to a trace file"
+        )
+    record = {
+        "cta": cta,
+        "warp": warp,
+        "op": instr.op.value,
+        "mask": instr.mask,
+    }
+    if instr.repeat != 1:
+        record["repeat"] = instr.repeat
+    if instr.mem is not None:
+        record["space"] = instr.mem.space.value
+        record["lines"] = list(instr.mem.lines)
+        if instr.mem.store:
+            record["store"] = True
+    return record
+
+
+def capture_trace(launch: KernelLaunch, path: str | Path | None = None) -> str:
+    """Serialize every warp trace of ``launch`` to JSONL text."""
+    kernel = launch.kernel
+    header = {
+        "kernel": kernel.name,
+        "cta_threads": kernel.cta_threads,
+        "regs_per_thread": kernel.regs_per_thread,
+        "smem_per_cta": kernel.smem_per_cta,
+        "const_bytes": kernel.const_bytes,
+        "num_ctas": launch.num_ctas,
+    }
+    lines = [json.dumps(header)]
+    for cta in range(launch.num_ctas):
+        for warp in range(kernel.warps_per_cta):
+            ctx = WarpContext(
+                cta_id=cta,
+                warp_id=warp,
+                warps_per_cta=kernel.warps_per_cta,
+                num_ctas=launch.num_ctas,
+                args=launch.args,
+            )
+            for instr in kernel.warp_trace(ctx):
+                lines.append(json.dumps(_instruction_record(cta, warp, instr)))
+    text = "\n".join(lines) + "\n"
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+class ReplayKernel(KernelProgram):
+    """A kernel whose traces come from a captured file."""
+
+    def __init__(self, header: dict, traces: dict):
+        super().__init__(
+            header["kernel"],
+            cta_threads=header["cta_threads"],
+            regs_per_thread=header["regs_per_thread"],
+            smem_per_cta=header["smem_per_cta"],
+            const_bytes=header["const_bytes"],
+        )
+        self._traces = traces
+        self.captured_ctas = header["num_ctas"]
+
+    def warp_trace(self, ctx: WarpContext) -> Iterator[WarpInstruction]:
+        for record in self._traces.get((ctx.cta_id, ctx.warp_id), []):
+            mem = None
+            if "space" in record:
+                mem = MemAccess(
+                    MemSpace(record["space"]),
+                    tuple(record.get("lines", ())),
+                    store=record.get("store", False),
+                )
+            yield WarpInstruction(
+                OpClass(record["op"]),
+                mask=record["mask"],
+                mem=mem,
+                repeat=record.get("repeat", 1),
+            )
+
+
+def load_trace(source: str | Path) -> KernelLaunch:
+    """Load a trace file (path or JSONL text) into a replayable launch."""
+    if isinstance(source, Path) or "\n" not in str(source):
+        text = Path(source).read_text()
+    else:
+        text = str(source)
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ValueError("empty trace file")
+    header = json.loads(lines[0])
+    traces: dict = {}
+    for raw in lines[1:]:
+        record = json.loads(raw)
+        traces.setdefault((record["cta"], record["warp"]), []).append(record)
+    kernel = ReplayKernel(header, traces)
+    return KernelLaunch(kernel, num_ctas=header["num_ctas"])

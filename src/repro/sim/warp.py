@@ -1,0 +1,124 @@
+"""Dynamic execution state: warps, CTAs, grids."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Optional
+
+from repro.isa.instructions import WarpInstruction
+from repro.sim.kernel import KernelProgram, WarpContext
+from repro.sim.stats import StallReason
+
+#: Wake time of a warp blocked on an event (barrier, child completion).
+NEVER = float("inf")
+
+_warp_counter = itertools.count()
+
+
+class Warp:
+    """One resident warp: its trace iterator plus scheduling state."""
+
+    __slots__ = (
+        "trace",
+        "cta",
+        "warp_id",
+        "age",
+        "next_ready",
+        "block_reason",
+        "exited",
+        "pending_children",
+        "waiting_device_sync",
+    )
+
+    def __init__(self, trace: Iterator[WarpInstruction], cta: "CTA", warp_id: int):
+        self.trace = trace
+        self.cta = cta
+        self.warp_id = warp_id
+        self.age = next(_warp_counter)  # global issue-order age for GTO/OLD
+        self.next_ready: float = 0.0
+        self.block_reason: Optional[StallReason] = None
+        self.exited = False
+        self.pending_children = 0
+        self.waiting_device_sync = False
+
+    def fetch(self) -> WarpInstruction:
+        """Next instruction; EXIT semantics are handled by the SM."""
+        return next(self.trace)
+
+
+class CTA:
+    """A cooperative thread array resident on one SM."""
+
+    __slots__ = ("cta_id", "grid", "warps", "barrier_arrived", "sm")
+
+    def __init__(self, cta_id: int, grid: "Grid"):
+        self.cta_id = cta_id
+        self.grid = grid
+        self.warps: list[Warp] = []
+        self.barrier_arrived = 0
+        self.sm = None  # set on admission by the owning SM
+
+    @property
+    def live_warps(self) -> int:
+        return sum(1 for w in self.warps if not w.exited)
+
+    def barrier_ready(self) -> bool:
+        """True when every live warp has arrived at the barrier."""
+        return self.barrier_arrived >= self.live_warps
+
+
+class Grid:
+    """One kernel launch being executed (host- or device-initiated)."""
+
+    _seq = itertools.count()
+
+    def __init__(
+        self,
+        kernel: KernelProgram,
+        num_ctas: int,
+        args: dict | None = None,
+        available_time: float = 0.0,
+        parent_warp: Warp | None = None,
+    ):
+        if num_ctas <= 0:
+            raise ValueError("grid must have at least one CTA")
+        self.kernel = kernel
+        self.num_ctas = num_ctas
+        self.args = args or {}
+        self.available_time = available_time
+        self.parent_warp = parent_warp
+        self.seq = next(Grid._seq)
+        self.next_cta = 0
+        self.remaining_ctas = num_ctas
+        self.start_time: float | None = None
+        self.completion_time: float | None = None
+
+    @property
+    def dispatch_done(self) -> bool:
+        return self.next_cta >= self.num_ctas
+
+    @property
+    def finished(self) -> bool:
+        return self.remaining_ctas == 0
+
+    def make_cta(self, sm_time: float) -> CTA:
+        """Instantiate the next CTA with its warps' trace generators."""
+        if self.dispatch_done:
+            raise RuntimeError("all CTAs already dispatched")
+        cta = CTA(self.next_cta, self)
+        self.next_cta += 1
+        if self.start_time is None:
+            self.start_time = sm_time
+        kernel = self.kernel
+        for warp_id in range(kernel.warps_per_cta):
+            ctx = WarpContext(
+                cta_id=cta.cta_id,
+                warp_id=warp_id,
+                warps_per_cta=kernel.warps_per_cta,
+                num_ctas=self.num_ctas,
+                args=self.args,
+            )
+            warp = Warp(kernel.warp_trace(ctx), cta, warp_id)
+            warp.next_ready = sm_time
+            cta.warps.append(warp)
+        return cta

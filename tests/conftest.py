@@ -1,0 +1,17 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.sim.config import GPUConfig
+
+
+@pytest.fixture
+def small_gpu() -> GPUConfig:
+    """A 4-SM machine: fast to simulate, same per-SM parameters."""
+    return GPUConfig(num_sms=4)
+
+
+@pytest.fixture
+def tiny_gpu() -> GPUConfig:
+    """A 2-SM machine with 2 memory partitions for unit-level tests."""
+    return GPUConfig(num_sms=2, num_mem_partitions=2)

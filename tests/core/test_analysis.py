@@ -1,0 +1,80 @@
+"""Tests for roofline analysis and load-balance diagnostics."""
+
+import pytest
+
+from repro.core.analysis import machine_peaks, roofline_point, roofline_report
+from repro.core.runner import run_benchmark, run_suite
+from repro.sim.config import GPUConfig, a100_config, rtx3090_config
+from repro.sim.stats import RunStats
+
+CONFIG = GPUConfig(num_sms=8)
+
+
+class TestMachinePeaks:
+    def test_peaks_scale_with_machine(self):
+        ipc_small, bw_small = machine_peaks(GPUConfig(num_sms=8))
+        ipc_big, bw_big = machine_peaks(a100_config())
+        assert ipc_big > ipc_small
+        assert bw_big > bw_small
+
+    def test_presets_are_valid_configs(self):
+        assert rtx3090_config().num_sms == 82
+        assert a100_config().l2.size_bytes == 40 * 1024 * 1024
+        assert rtx3090_config(num_sms=4).num_sms == 4
+
+
+class TestRooflinePoint:
+    def test_pure_compute_run(self):
+        stats = RunStats(cycles=100, instructions=500)
+        point = roofline_point("x", stats, CONFIG)
+        assert point.bound == "compute"
+        assert point.intensity == float("inf")
+        assert point.attainable_ipc == CONFIG.num_sms
+
+    def test_bandwidth_bound_run(self):
+        stats = RunStats(cycles=1000, instructions=100)
+        stats.dram.requests = 10_000  # ~1.3MB moved for 100 instructions
+        point = roofline_point("y", stats, CONFIG)
+        assert point.bound == "bandwidth"
+        assert point.attainable_ipc < CONFIG.num_sms
+
+    def test_attainable_is_roofline_min(self):
+        stats = RunStats(cycles=10, instructions=10)
+        stats.dram.requests = 1
+        point = roofline_point("z", stats, CONFIG)
+        peak_ipc, peak_bw = machine_peaks(CONFIG)
+        expected = min(peak_ipc, point.intensity * peak_bw)
+        assert point.attainable_ipc == pytest.approx(expected)
+
+
+class TestRooflineReport:
+    def test_gksw_least_intense(self):
+        results = run_suite(["SW", "GKSW", "CLUSTER"], cdp_variants=False,
+                            config=CONFIG)
+        rows = roofline_report(results, CONFIG)
+        # Sorted by intensity: the bandwidth hog comes first.
+        assert rows[0]["benchmark"] == "GKSW"
+        assert rows[0]["bound"] == "bandwidth"
+
+    def test_compute_bound_kernels_detected(self):
+        results = run_suite(["CLUSTER"], cdp_variants=False, config=CONFIG)
+        rows = roofline_report(results, CONFIG)
+        assert rows[0]["bound"] == "compute"
+
+    def test_efficiency_bounded(self):
+        results = run_suite(["SW", "NW"], cdp_variants=False, config=CONFIG)
+        for row in roofline_report(results, CONFIG):
+            assert 0.0 <= row["efficiency"] <= 1.5  # model noise margin
+
+
+class TestLoadImbalance:
+    def test_balanced_grid_near_one(self):
+        stats = run_benchmark("GG", config=CONFIG)
+        assert stats.load_imbalance() >= 1.0
+
+    def test_empty_stats(self):
+        assert RunStats().load_imbalance() == 0.0
+
+    def test_per_sm_counts_sum_to_total(self):
+        stats = run_benchmark("NW", config=CONFIG)
+        assert sum(stats.sm_instructions.values()) == stats.instructions

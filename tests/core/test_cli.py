@@ -1,0 +1,113 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_benchmarks(self, capsys):
+        assert main(["list", "--sms", "4"]) == 0
+        out = capsys.readouterr().out
+        for abbr in ("SW", "NW", "STAR", "NvB"):
+            assert abbr in out
+
+
+class TestRun:
+    def test_run_prints_characterization(self, capsys):
+        assert main(["run", "STAR", "--sms", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "instructions" in out
+        assert "Stall breakdown" in out
+
+    def test_run_cdp_with_profile(self, capsys):
+        assert main(["run", "STAR", "--cdp", "--sms", "4", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-kernel profile" in out
+        assert "star_child" in out
+        assert "device" in out
+
+    def test_unknown_benchmark(self, capsys):
+        assert main(["run", "BLAST", "--sms", "4"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+
+class TestFigure:
+    def test_table3(self, capsys):
+        assert main(["figure", "table3", "--sms", "4"]) == 0
+        assert "Needleman-Wunsch" in capsys.readouterr().out
+
+    def test_fig7(self, capsys):
+        assert main(["figure", "fig7", "--sms", "8"]) == 0
+        assert "slowdown_without" in capsys.readouterr().out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figure", "fig99", "--sms", "4"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+
+class TestDataset:
+    def test_exports_pairwise_fasta(self, tmp_path, capsys):
+        assert main(["dataset", "SW", "--out", str(tmp_path)]) == 0
+        files = list(tmp_path.glob("*.fasta"))
+        assert len(files) == 1
+        assert files[0].read_text().startswith(">query")
+
+    def test_exports_nvb_reference_and_fastq(self, tmp_path):
+        assert main(["dataset", "NvB", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "nvb_reference.fasta").exists()
+        assert (tmp_path / "nvb_reads.fastq").exists()
+
+    def test_exports_pairhmm_two_files(self, tmp_path):
+        assert main(["dataset", "PairHMM", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "pairhmm_reads.fasta").exists()
+        assert (tmp_path / "pairhmm_haplotypes.fasta").exists()
+
+
+class TestAlign:
+    def test_global(self, capsys):
+        assert main(["align", "GATTACA", "GATCA"]) == 0
+        out = capsys.readouterr().out
+        assert "GATTACA" in out
+        assert "score=3" in out
+
+    def test_local(self, capsys):
+        assert main(["align", "TTTGATTACATTT", "CCGATTACACC",
+                     "--mode", "local"]) == 0
+        assert "GATTACA" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("mode", ["semiglobal", "banded"])
+    def test_other_modes(self, mode, capsys):
+        assert main(["align", "ACGTACGT", "ACGTTCGT", "--mode", mode]) == 0
+        assert "score=" in capsys.readouterr().out
+
+
+class TestSuiteCommand:
+    def test_suite_subset_runs(self, capsys):
+        # The full suite is exercised in benchmarks/; here just make
+        # sure the command wiring works end to end on a tiny machine.
+        assert main(["suite", "--sms", "4", "--no-cdp"]) == 0
+        out = capsys.readouterr().out
+        assert "device_time" in out
+        assert "NvB" in out
+
+
+class TestRoofline:
+    def test_roofline_subset(self, capsys):
+        assert main(["roofline", "SW", "CLUSTER", "--no-cdp",
+                     "--sms", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "intensity" in out
+        assert "bound" in out
+
+
+class TestTraceReplay:
+    def test_capture_and_replay(self, tmp_path, capsys):
+        trace = tmp_path / "star.trace"
+        assert main(["trace", "STAR", "--out", str(trace)]) == 0
+        assert trace.exists()
+        capsys.readouterr()
+        assert main(["replay", str(trace), "--sms", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "replayed" in out
+        assert "IPC" in out

@@ -1,0 +1,84 @@
+"""Tests for report formatting."""
+
+from repro.core.report import format_breakdown, format_table
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_alignment(self):
+        rows = [
+            {"name": "a", "value": 1},
+            {"name": "longer", "value": 123456},
+        ]
+        text = format_table(rows)
+        lines = text.split("\n")
+        assert lines[0].startswith("name")
+        assert len({len(line) for line in lines[:2]}) <= 2
+        assert "longer" in lines[3]
+
+    def test_floats_formatted(self):
+        text = format_table([{"x": 0.123456}])
+        assert "0.123" in text
+
+    def test_column_selection_and_order(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        header = text.split("\n")[0]
+        assert header.index("c") < header.index("a")
+        assert "b" not in header
+
+    def test_missing_keys_blank(self):
+        text = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert "2" in text
+
+
+class TestFormatBreakdown:
+    def test_empty(self):
+        assert format_breakdown({}) == "(no data)"
+
+    def test_sorted_by_fraction(self):
+        text = format_breakdown({"small": 0.1, "big": 0.9})
+        assert text.index("big") < text.index("small")
+
+    def test_percentages(self):
+        text = format_breakdown({"x": 0.5})
+        assert "50.00%" in text
+
+    def test_bar_lengths_proportional(self):
+        text = format_breakdown({"a": 1.0, "b": 0.5}, width=10)
+        lines = text.split("\n")
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+
+class TestFormatBarChart:
+    def test_empty(self):
+        from repro.core.report import format_bar_chart
+
+        assert format_bar_chart([], "x", ["y"]) == "(empty chart)"
+
+    def test_bars_scale_to_peak(self):
+        from repro.core.report import format_bar_chart
+
+        rows = [{"name": "a", "v": 10.0}, {"name": "b", "v": 5.0}]
+        text = format_bar_chart(rows, "name", ["v"], width=10)
+        lines = text.split("\n")
+        assert lines[0] == "a"
+        assert lines[1].count("#") == 10
+        assert lines[3].count("#") == 5
+
+    def test_zero_values_no_bar(self):
+        from repro.core.report import format_bar_chart
+
+        rows = [{"name": "a", "v": 0.0}, {"name": "b", "v": 2.0}]
+        text = format_bar_chart(rows, "name", ["v"], width=10)
+        assert "|          |" in text  # empty bar for the zero
+
+    def test_multiple_series_per_group(self):
+        from repro.core.report import format_bar_chart
+
+        rows = [{"name": "a", "x": 1.0, "y": 2.0}]
+        text = format_bar_chart(rows, "name", ["x", "y"])
+        assert text.count("|") == 4

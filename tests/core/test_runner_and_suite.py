@@ -1,0 +1,54 @@
+"""Tests for the public runner/suite API."""
+
+import pytest
+
+from repro.core import BenchmarkSuite, run_benchmark, run_suite, variant_name
+from repro.core.config_presets import baseline_config
+from repro.data.datasets import DatasetSize
+
+
+CONFIG = baseline_config(num_sms=8)
+
+
+class TestRunner:
+    def test_variant_name(self):
+        assert variant_name("NW", False) == "NW"
+        assert variant_name("NW", True) == "NW-CDP"
+
+    def test_run_benchmark_returns_stats(self):
+        stats = run_benchmark("SW", config=CONFIG)
+        assert stats.instructions > 0
+
+    def test_options_forwarded(self):
+        stats = run_benchmark("NW", config=CONFIG, use_shared=False)
+        assert stats.mem_fractions().get("shared", 0.0) == 0.0
+
+    def test_run_suite_subset(self):
+        results = run_suite(["SW", "STAR"], config=CONFIG)
+        assert set(results) == {"SW", "SW-CDP", "STAR", "STAR-CDP"}
+
+    def test_run_suite_without_cdp(self):
+        results = run_suite(["SW"], cdp_variants=False, config=CONFIG)
+        assert set(results) == {"SW"}
+
+
+class TestBenchmarkSuite:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return BenchmarkSuite(CONFIG, size=DatasetSize.SMALL)
+
+    def test_names(self, suite):
+        assert len(suite.names()) == 10
+
+    def test_properties(self, suite):
+        props = suite.properties("NW")
+        assert props.full_name == "Needleman-Wunsch"
+        assert props.cta_per_core_model == props.cta_per_core_paper == 6
+
+    def test_run(self, suite):
+        stats = suite.run("STAR", cdp=True)
+        assert stats.device_launches > 0
+
+    def test_run_all_subset(self, suite):
+        results = suite.run_all(["CLUSTER"], cdp_variants=False)
+        assert list(results) == ["CLUSTER"]

@@ -1,0 +1,103 @@
+"""Tests for the dataset registry and workload containers."""
+
+import pytest
+
+from repro.data.datasets import DatasetSize, dataset_for
+from repro.data.workloads import (
+    BatchAlignmentWorkload,
+    ClusterWorkload,
+    MSAWorkload,
+    PairHMMWorkload,
+    PairwiseWorkload,
+    ReadMappingWorkload,
+)
+from repro.genomics.sequence import PROTEIN, Sequence
+from repro.kernels import benchmark_names
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("abbr", benchmark_names())
+    def test_every_benchmark_has_a_dataset(self, abbr):
+        workload = dataset_for(abbr, DatasetSize.SMALL)
+        assert workload is not None
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            dataset_for("NOPE")
+
+    def test_deterministic(self):
+        a = dataset_for("SW", DatasetSize.SMALL)
+        b = dataset_for("SW", DatasetSize.SMALL)
+        assert a == b
+
+    def test_seed_changes_data(self):
+        a = dataset_for("SW", seed=1)
+        b = dataset_for("SW", seed=2)
+        assert a != b
+
+    def test_sizes_scale_up(self):
+        small = dataset_for("SW", DatasetSize.SMALL)
+        large = dataset_for("SW", DatasetSize.LARGE)
+        assert len(large.query) > len(small.query)
+
+    def test_workload_types(self):
+        assert isinstance(dataset_for("SW"), PairwiseWorkload)
+        assert isinstance(dataset_for("STAR"), MSAWorkload)
+        assert isinstance(dataset_for("GG"), BatchAlignmentWorkload)
+        assert isinstance(dataset_for("CLUSTER"), ClusterWorkload)
+        assert isinstance(dataset_for("PairHMM"), PairHMMWorkload)
+        assert isinstance(dataset_for("NvB"), ReadMappingWorkload)
+
+    def test_star_uses_proteins(self):
+        workload = dataset_for("STAR")
+        assert all(s.alphabet is PROTEIN for s in workload.sequences)
+
+    def test_gasal_kernels_share_dataset(self):
+        assert dataset_for("GG") == dataset_for("GL")
+
+    def test_pairhmm_reads_have_varied_lengths(self):
+        workload = dataset_for("PairHMM")
+        assert len({len(r) for r in workload.reads}) > 1
+
+    def test_nvb_reads_sampled_from_reference(self):
+        workload = dataset_for("NvB")
+        assert len(workload.reference) >= 10_000
+        assert len(workload.reads) >= 32
+
+
+class TestWorkloadContainers:
+    def test_pairwise_cells(self):
+        w = PairwiseWorkload(Sequence("q", "ACGT"), Sequence("t", "ACG"))
+        assert w.cells == 12
+
+    def test_batch_requires_pairing(self):
+        q = (Sequence("q", "AC"),)
+        with pytest.raises(ValueError):
+            BatchAlignmentWorkload(q, ())
+
+    def test_batch_not_empty(self):
+        with pytest.raises(ValueError):
+            BatchAlignmentWorkload((), ())
+
+    def test_batch_total_cells(self):
+        q = (Sequence("a", "AC"), Sequence("b", "ACG"))
+        t = (Sequence("c", "AC"), Sequence("d", "AC"))
+        w = BatchAlignmentWorkload(q, t)
+        assert w.total_cells == 4 + 6
+        assert len(w) == 2
+
+    def test_msa_needs_two(self):
+        with pytest.raises(ValueError):
+            MSAWorkload((Sequence("a", "AC"),))
+
+    def test_pairhmm_pairs(self):
+        w = PairHMMWorkload(("AC", "GT"), ("ACGT",))
+        assert w.pairs == 2
+
+    def test_pairhmm_not_empty(self):
+        with pytest.raises(ValueError):
+            PairHMMWorkload((), ("ACGT",))
+
+    def test_read_mapping_needs_reads(self):
+        with pytest.raises(ValueError):
+            ReadMappingWorkload(Sequence("r", "ACGT"), ())

@@ -1,0 +1,77 @@
+"""Tests for FASTA I/O."""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.fasta import parse_fasta, read_fasta, write_fasta
+from repro.genomics.sequence import PROTEIN, Sequence
+
+
+class TestParseFasta:
+    def test_basic_records(self):
+        text = ">a desc one\nACGT\n>b\nGG\nTT\n"
+        records = list(parse_fasta(io.StringIO(text)))
+        assert [r.name for r in records] == ["a", "b"]
+        assert records[0].description == "desc one"
+        assert records[1].residues == "GGTT"
+
+    def test_blank_lines_skipped(self):
+        text = ">a\n\nAC\n\nGT\n"
+        (record,) = parse_fasta(io.StringIO(text))
+        assert record.residues == "ACGT"
+
+    def test_data_before_header_rejected(self):
+        with pytest.raises(ValueError, match="before first header"):
+            list(parse_fasta(io.StringIO("ACGT\n>a\nACGT\n")))
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(ValueError, match="empty header"):
+            list(parse_fasta(io.StringIO(">\nACGT\n")))
+
+    def test_empty_stream(self):
+        assert list(parse_fasta(io.StringIO(""))) == []
+
+    def test_protein_alphabet(self):
+        text = ">p\nMKWV\n"
+        (record,) = parse_fasta(io.StringIO(text), PROTEIN)
+        assert record.residues == "MKWV"
+
+
+class TestWriteFasta:
+    def test_wraps_lines(self):
+        seq = Sequence("s", "A" * 150)
+        text = write_fasta([seq], line_width=70)
+        lines = text.strip().split("\n")
+        assert lines[0] == ">s"
+        assert len(lines[1]) == 70
+        assert len(lines[3]) == 10
+
+    def test_description_in_header(self):
+        text = write_fasta([Sequence("s", "ACGT", description="hello")])
+        assert text.startswith(">s hello\n")
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            write_fasta([Sequence("s", "ACGT")], line_width=0)
+
+    def test_roundtrip_via_file(self, tmp_path):
+        seqs = [Sequence("a", "ACGT" * 30), Sequence("b", "TTGG")]
+        path = tmp_path / "out.fasta"
+        write_fasta(seqs, path)
+        assert read_fasta(path) == seqs
+
+    @given(st.lists(
+        st.tuples(
+            st.text(alphabet="abcXYZ09", min_size=1, max_size=8),
+            st.text(alphabet="ACGTN", min_size=1, max_size=200),
+        ),
+        min_size=1, max_size=5,
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, items):
+        seqs = [Sequence(f"{i}_{name}", res) for i, (name, res) in enumerate(items)]
+        text = write_fasta(seqs)
+        parsed = list(parse_fasta(io.StringIO(text)))
+        assert parsed == seqs

@@ -1,0 +1,77 @@
+"""Tests for FASTQ I/O."""
+
+import io
+
+import pytest
+
+from repro.data.fastq import FastqRecord, parse_fastq, read_fastq, write_fastq
+from repro.genomics.sequence import Sequence
+
+
+def record(name="r", residues="ACGT", quality=30):
+    return FastqRecord(
+        Sequence(name, residues), tuple([quality] * len(residues))
+    )
+
+
+class TestFastqRecord:
+    def test_quality_length_must_match(self):
+        with pytest.raises(ValueError):
+            FastqRecord(Sequence("r", "ACGT"), (30, 30))
+
+    def test_quality_range_checked(self):
+        with pytest.raises(ValueError):
+            FastqRecord(Sequence("r", "A"), (94,))
+        with pytest.raises(ValueError):
+            FastqRecord(Sequence("r", "A"), (-1,))
+
+    def test_error_probabilities(self):
+        rec = record(quality=20)
+        assert rec.error_probabilities() == pytest.approx([0.01] * 4)
+
+    def test_quality_string_phred33(self):
+        rec = record(quality=0)
+        assert rec.quality_string() == "!!!!"
+
+    def test_name(self):
+        assert record(name="abc").name == "abc"
+
+
+class TestParseFastq:
+    def test_basic(self):
+        text = "@r1 pos=5\nACGT\n+\nIIII\n@r2\nGG\n+\nII\n"
+        records = list(parse_fastq(io.StringIO(text)))
+        assert len(records) == 2
+        assert records[0].name == "r1"
+        assert records[0].sequence.description == "pos=5"
+        assert records[0].qualities == (40, 40, 40, 40)
+
+    def test_missing_plus_rejected(self):
+        text = "@r\nACGT\nIIII\nIIII\n"
+        with pytest.raises(ValueError, match="missing '\\+'"):
+            list(parse_fastq(io.StringIO(text)))
+
+    def test_quality_length_mismatch_rejected(self):
+        text = "@r\nACGT\n+\nII\n"
+        with pytest.raises(ValueError):
+            list(parse_fastq(io.StringIO(text)))
+
+    def test_bad_header_rejected(self):
+        text = "r\nACGT\n+\nIIII\n"
+        with pytest.raises(ValueError, match="expected '@'"):
+            list(parse_fastq(io.StringIO(text)))
+
+    def test_empty(self):
+        assert list(parse_fastq(io.StringIO(""))) == []
+
+
+class TestWriteFastq:
+    def test_roundtrip(self, tmp_path):
+        records = [record("a", "ACGT", 30), record("b", "GGTT", 2)]
+        path = tmp_path / "reads.fastq"
+        write_fastq(records, path)
+        assert read_fastq(path) == records
+
+    def test_format(self):
+        text = write_fastq([record("r", "AC", 40)])
+        assert text == "@r\nAC\n+\nII\n"

@@ -1,0 +1,151 @@
+"""Tests for synthetic data generators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.synth import (
+    mutate,
+    random_dna,
+    random_protein,
+    sample_reads,
+    sequence_family,
+)
+from repro.genomics.sequence import DNA, PROTEIN, Sequence
+
+
+class TestRandomSequences:
+    def test_deterministic_for_seed(self):
+        assert random_dna(100, seed=1) == random_dna(100, seed=1)
+        assert random_dna(100, seed=1) != random_dna(100, seed=2)
+
+    def test_length(self):
+        assert len(random_dna(57, seed=0)) == 57
+        assert len(random_protein(31, seed=0)) == 31
+
+    def test_alphabets(self):
+        assert set(random_dna(500, seed=3)) <= set("ACGT")
+        assert set(random_protein(500, seed=3)) <= set(PROTEIN.letters)
+
+    def test_gc_content_respected(self):
+        high_gc = random_dna(5000, seed=4, gc=0.8)
+        frac = sum(1 for c in high_gc if c in "GC") / len(high_gc)
+        assert 0.75 < frac < 0.85
+
+    def test_rejects_negative_length(self):
+        with pytest.raises(ValueError):
+            random_dna(-1)
+
+    def test_rejects_bad_gc(self):
+        with pytest.raises(ValueError):
+            random_dna(10, gc=1.5)
+
+
+class TestMutate:
+    def test_zero_rates_identity(self):
+        text = random_dna(200, seed=5)
+        assert mutate(text, seed=1, substitution_rate=0.0) == text
+
+    def test_substitution_rate_approximate(self):
+        text = random_dna(5000, seed=6)
+        mutated = mutate(text, seed=7, substitution_rate=0.1)
+        diffs = sum(1 for a, b in zip(text, mutated) if a != b)
+        assert 0.07 < diffs / len(text) < 0.13
+
+    def test_deletions_shorten(self):
+        text = random_dna(2000, seed=8)
+        mutated = mutate(text, seed=9, deletion_rate=0.1)
+        assert len(mutated) < len(text)
+
+    def test_insertions_lengthen(self):
+        text = random_dna(2000, seed=10)
+        mutated = mutate(text, seed=11, insertion_rate=0.1)
+        assert len(mutated) > len(text)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            mutate("ACGT", substitution_rate=1.5)
+
+    def test_accepts_rng_instance(self):
+        rng = random.Random(0)
+        out = mutate("ACGT" * 10, rng, substitution_rate=0.5)
+        assert len(out) == 40
+
+    @given(st.text(alphabet="ACGT", min_size=1, max_size=100),
+           st.floats(min_value=0.0, max_value=0.5))
+    @settings(max_examples=40)
+    def test_substitutions_preserve_length_and_alphabet(self, text, rate):
+        mutated = mutate(text, seed=1, substitution_rate=rate)
+        assert len(mutated) == len(text)
+        assert set(mutated) <= set("ACGT")
+
+
+class TestSequenceFamily:
+    def test_first_member_is_ancestor(self):
+        fam_a = sequence_family(4, 100, seed=12)
+        fam_b = sequence_family(1, 100, seed=12)
+        assert fam_a[0].residues == fam_b[0].residues
+
+    def test_members_related(self):
+        fam = sequence_family(5, 200, divergence=0.05, seed=13)
+        ancestor = fam[0].residues
+        for member in fam[1:]:
+            # Lengths should stay within a few percent.
+            assert abs(len(member) - len(ancestor)) < 0.1 * len(ancestor)
+
+    def test_protein_family(self):
+        fam = sequence_family(3, 50, seed=14, protein=True)
+        assert all(s.alphabet is PROTEIN for s in fam)
+
+    def test_names(self):
+        fam = sequence_family(3, 50, seed=15, name_prefix="x")
+        assert [s.name for s in fam] == ["x0", "x1", "x2"]
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ValueError):
+            sequence_family(0, 50)
+
+
+class TestSampleReads:
+    @pytest.fixture
+    def reference(self):
+        return Sequence("ref", random_dna(3000, seed=16))
+
+    def test_read_properties(self, reference):
+        reads = sample_reads(reference, 25, 100, seed=17)
+        assert len(reads) == 25
+        for record in reads:
+            assert len(record.sequence) == 100
+            assert len(record.qualities) == 100
+
+    def test_description_carries_truth(self, reference):
+        (record,) = sample_reads(reference, 1, 50, seed=18)
+        fields = dict(
+            part.split("=") for part in record.sequence.description.split()
+        )
+        pos = int(fields["pos"])
+        assert 0 <= pos <= len(reference) - 50
+        assert fields["strand"] in "+-"
+
+    def test_zero_error_reads_match_reference(self, reference):
+        reads = sample_reads(
+            reference, 10, 60, seed=19, error_rate=0.0, reverse_fraction=0.0
+        )
+        for record in reads:
+            pos = int(record.sequence.description.split()[0].split("=")[1])
+            assert record.sequence.residues == reference.residues[pos:pos + 60]
+
+    def test_reverse_reads_are_reverse_complements(self, reference):
+        reads = sample_reads(
+            reference, 10, 60, seed=20, error_rate=0.0, reverse_fraction=1.0
+        )
+        for record in reads:
+            pos = int(record.sequence.description.split()[0].split("=")[1])
+            fragment = Sequence("f", reference.residues[pos:pos + 60])
+            assert record.sequence.residues == \
+                fragment.reverse_complement().residues
+
+    def test_read_longer_than_reference_rejected(self, reference):
+        with pytest.raises(ValueError):
+            sample_reads(reference, 1, len(reference) + 1)

@@ -1,0 +1,197 @@
+"""Tests for the Gotoh affine-gap aligner, including brute-force checks."""
+
+from functools import lru_cache
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.genomics.align import (
+    AlignmentMode,
+    align,
+    needleman_wunsch,
+    semi_global,
+    smith_waterman,
+)
+from repro.genomics.scoring import ScoringScheme, SubstitutionMatrix
+from repro.genomics.sequence import DNA, Sequence
+
+SCHEME = ScoringScheme.dna_default()
+
+short_dna = st.text(alphabet="ACGT", min_size=1, max_size=7)
+
+
+def brute_force_global(q: str, t: str, scheme: ScoringScheme) -> int:
+    """Exhaustive affine-gap global alignment score (reference)."""
+
+    @lru_cache(maxsize=None)
+    def best(i: int, j: int, state: int) -> int:
+        if i == len(q) and j == len(t):
+            return 0
+        options = []
+        if i < len(q) and j < len(t):
+            options.append(scheme.score(q[i], t[j]) + best(i + 1, j + 1, 0))
+        if i < len(q):  # query residue against a gap (CIGAR I)
+            cost = scheme.gap_extend + (scheme.gap_open if state != 1 else 0)
+            options.append(-cost + best(i + 1, j, 1))
+        if j < len(t):  # target residue against a gap (CIGAR D)
+            cost = scheme.gap_extend + (scheme.gap_open if state != 2 else 0)
+            options.append(-cost + best(i, j + 1, 2))
+        return max(options)
+
+    return best(0, 0, 0)
+
+
+def brute_force_local(q: str, t: str, scheme: ScoringScheme) -> int:
+    """Best global score over all substring pairs, floored at 0."""
+    best = 0
+    for qs in range(len(q)):
+        for qe in range(qs + 1, len(q) + 1):
+            for ts in range(len(t)):
+                for te in range(ts + 1, len(t) + 1):
+                    score = brute_force_global(q[qs:qe], t[ts:te], scheme)
+                    best = max(best, score)
+    return best
+
+
+def rescore(result, scheme: ScoringScheme) -> int:
+    """Recompute the score from the aligned strings (affine gaps)."""
+    score = 0
+    gap_q = gap_t = False
+    for a, b in zip(result.aligned_query, result.aligned_target):
+        if a == "-":
+            score -= scheme.gap_extend + (0 if gap_q else scheme.gap_open)
+            gap_q, gap_t = True, False
+        elif b == "-":
+            score -= scheme.gap_extend + (0 if gap_t else scheme.gap_open)
+            gap_q, gap_t = False, True
+        else:
+            score += scheme.score(a, b)
+            gap_q = gap_t = False
+    return score
+
+
+class TestGlobalAlignment:
+    def test_identical_sequences(self):
+        r = needleman_wunsch("GATTACA", "GATTACA", SCHEME)
+        assert r.score == 14
+        assert r.cigar == "7M"
+        assert r.identity() == 1.0
+
+    def test_single_mismatch(self):
+        r = needleman_wunsch("GATTACA", "GATCACA", SCHEME)
+        assert r.score == 6 * 2 - 3
+        assert r.cigar == "7M"
+
+    def test_deletion(self):
+        r = needleman_wunsch("GATTACA", "GATCA", SCHEME)
+        assert r.aligned_query == "GATTACA"
+        assert "-" in r.aligned_target
+
+    def test_empty_query(self):
+        r = needleman_wunsch("", "ACG", SCHEME)
+        assert r.score == -SCHEME.gap_cost(3)
+        assert r.cigar == "3D"
+
+    def test_empty_target(self):
+        r = needleman_wunsch("ACG", "", SCHEME)
+        assert r.cigar == "3I"
+
+    def test_both_empty(self):
+        r = needleman_wunsch("", "", SCHEME)
+        assert r.score == 0
+        assert r.cigar == ""
+
+    def test_accepts_sequence_objects(self):
+        r = needleman_wunsch(
+            Sequence("q", "ACGT"), Sequence("t", "ACGT"), SCHEME
+        )
+        assert r.score == 8
+
+    @given(short_dna, short_dna)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force(self, q, t):
+        result = needleman_wunsch(q, t, SCHEME)
+        assert result.score == brute_force_global(q, t, SCHEME)
+
+    @given(short_dna, short_dna)
+    @settings(max_examples=60, deadline=None)
+    def test_reported_score_matches_alignment(self, q, t):
+        result = needleman_wunsch(q, t, SCHEME)
+        assert rescore(result, SCHEME) == result.score
+
+    @given(short_dna, short_dna)
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry(self, q, t):
+        # Global alignment score is symmetric for a symmetric matrix.
+        assert (
+            needleman_wunsch(q, t, SCHEME).score
+            == needleman_wunsch(t, q, SCHEME).score
+        )
+
+
+class TestLocalAlignment:
+    def test_finds_embedded_match(self):
+        r = smith_waterman("TTTGATTACATTT", "CCGATTACACC", SCHEME)
+        assert r.aligned_query == "GATTACA"
+        assert r.aligned_target == "GATTACA"
+        assert r.query_start == 3
+        assert r.target_start == 2
+
+    def test_no_positive_score_is_empty(self):
+        r = smith_waterman("AAAA", "CCCC", SCHEME)
+        assert r.score == 0
+        assert r.cigar == ""
+
+    def test_score_never_negative(self):
+        r = smith_waterman("AC", "GT", SCHEME)
+        assert r.score >= 0
+
+    @given(short_dna, short_dna)
+    @settings(max_examples=25, deadline=None)
+    def test_matches_brute_force(self, q, t):
+        result = smith_waterman(q, t, SCHEME)
+        assert result.score == brute_force_local(q, t, SCHEME)
+
+    @given(short_dna, short_dna)
+    @settings(max_examples=40, deadline=None)
+    def test_local_at_least_zero_and_at_most_self(self, q, t):
+        result = smith_waterman(q, t, SCHEME)
+        assert result.score >= 0
+        perfect = SCHEME.score("A", "A") * min(len(q), len(t))
+        assert result.score <= perfect
+
+
+class TestSemiGlobalAlignment:
+    def test_free_target_ends(self):
+        r = semi_global("GATTACA", "CCCCGATTACACCCC", SCHEME)
+        assert r.score == 14
+        assert r.target_start == 4
+        assert r.target_end == 11
+        assert r.cigar == "7M"
+
+    def test_query_fully_consumed(self):
+        r = semi_global("ACGT", "TTTTACGTTTTT", SCHEME)
+        assert r.query_start == 0
+        assert r.query_end == 4
+
+    @given(short_dna, short_dna)
+    @settings(max_examples=40, deadline=None)
+    def test_at_least_global_score(self, q, t):
+        # Free end gaps can only help.
+        sg = semi_global(q, t, SCHEME)
+        nw = needleman_wunsch(q, t, SCHEME)
+        assert sg.score >= nw.score
+
+    @given(short_dna)
+    @settings(max_examples=30, deadline=None)
+    def test_exact_substring_scores_perfectly(self, q):
+        target = "TT" + q + "TT"
+        r = semi_global(q, target, SCHEME)
+        assert r.score == SCHEME.score("A", "A") * len(q)
+
+
+class TestAlignDispatch:
+    @pytest.mark.parametrize("mode", list(AlignmentMode))
+    def test_all_modes_run(self, mode):
+        r = align("GATTACA", "GATCA", SCHEME, mode)
+        assert r.length >= 1

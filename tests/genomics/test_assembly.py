@@ -1,0 +1,107 @@
+"""Tests for de Bruijn graph assembly."""
+
+import pytest
+
+from repro.data.synth import random_dna, sample_reads
+from repro.genomics.assembly import DeBruijnGraph, assemble
+from repro.genomics.sequence import Sequence
+
+
+class TestDeBruijnGraph:
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            DeBruijnGraph(2)
+
+    def test_single_read_one_unitig(self):
+        graph = DeBruijnGraph(4)
+        graph.add_read("ACGTACCA")
+        unitigs = graph.unitigs()
+        assert unitigs == ["ACGTACCA"]
+
+    def test_coverage_accumulates(self):
+        graph = DeBruijnGraph(4)
+        graph.add_read("ACGTA")
+        graph.add_read("ACGTA")
+        assert graph.graph["ACG"]["CGT"]["coverage"] == 2
+
+    def test_prune_removes_singletons(self):
+        graph = DeBruijnGraph(4)
+        graph.add_read("ACGTA")
+        graph.add_read("ACGTA")
+        graph.add_read("GGCCAT")  # coverage-1 path
+        removed = graph.prune(min_coverage=2)
+        assert removed > 0
+        assert graph.unitigs() == ["ACGTA"]
+
+    def test_branch_splits_unitigs(self):
+        graph = DeBruijnGraph(4)
+        # Two reads sharing a prefix: the branch ends the first unitig.
+        graph.add_read("AACGTTGG")
+        graph.add_read("AACGTTCC")
+        unitigs = graph.unitigs()
+        assert any(u.startswith("AACGTT") for u in unitigs)
+        assert len(unitigs) == 3  # shared stem + two branches
+
+    def test_cycle_emitted_once(self):
+        graph = DeBruijnGraph(4)
+        graph.add_read("ACGACGACG")  # pure repeat: a 3-cycle
+        unitigs = graph.unitigs()
+        assert len(unitigs) == 1
+
+
+class TestAssemble:
+    def test_reconstructs_genome_from_clean_reads(self):
+        genome = random_dna(600, seed=80)
+        reference = Sequence("g", genome)
+        records = sample_reads(
+            reference, count=300, read_length=60, seed=81,
+            error_rate=0.0, reverse_fraction=0.0,
+        )
+        result = assemble([r.sequence for r in records], k=21)
+        assert result.contigs
+        # The longest contig should recover most of the genome.
+        assert result.longest > 0.8 * len(genome)
+        assert genome.find(result.contigs[0]) != -1
+
+    def test_errors_pruned(self):
+        genome = random_dna(400, seed=82)
+        reference = Sequence("g", genome)
+        records = sample_reads(
+            reference, count=400, read_length=50, seed=83,
+            error_rate=0.01, reverse_fraction=0.0,
+        )
+        result = assemble([r.sequence for r in records], k=21,
+                          min_coverage=3)
+        assert result.pruned_edges > 0
+        # Every surviving contig is genuine genome sequence.
+        for contig in result.contigs:
+            assert genome.find(contig) != -1
+
+    def test_n50(self):
+        genome = random_dna(500, seed=84)
+        reference = Sequence("g", genome)
+        records = sample_reads(
+            reference, count=250, read_length=60, seed=85,
+            error_rate=0.0, reverse_fraction=0.0,
+        )
+        result = assemble([r.sequence for r in records], k=21)
+        assert 0 < result.n50() <= result.longest
+        assert result.total_length >= result.longest
+
+    def test_empty_input(self):
+        result = assemble([], k=5)
+        assert result.contigs == ()
+        assert result.n50() == 0
+
+    def test_min_contig_filter(self):
+        result = assemble(["ACGTACGTAC"], k=4, min_coverage=1,
+                          min_contig=50)
+        assert result.contigs == ()
+
+    def test_deterministic(self):
+        genome = random_dna(300, seed=86)
+        reference = Sequence("g", genome)
+        records = sample_reads(reference, 150, 50, seed=87,
+                               error_rate=0.0, reverse_fraction=0.0)
+        reads = [r.sequence for r in records]
+        assert assemble(reads, k=15) == assemble(reads, k=15)

@@ -1,0 +1,79 @@
+"""Tests for KSW-style banded global alignment."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.genomics.align import banded_global, needleman_wunsch
+from repro.genomics.align.banded import band_cells, band_limits
+from repro.genomics.scoring import ScoringScheme
+
+SCHEME = ScoringScheme.dna_default()
+
+short_dna = st.text(alphabet="ACGT", min_size=1, max_size=10)
+
+
+class TestBandedGlobal:
+    def test_wide_band_equals_full_nw(self):
+        q, t = "GATTACAGATTACA", "GATCAGATTACA"
+        full = needleman_wunsch(q, t, SCHEME)
+        banded = banded_global(q, t, SCHEME, band=max(len(q), len(t)))
+        assert banded.score == full.score
+
+    def test_narrow_band_still_aligns_similar_sequences(self):
+        q = "ACGTACGTACGTACGT"
+        t = "ACGTACGAACGTACGT"  # one substitution
+        r = banded_global(q, t, SCHEME, band=2)
+        assert r.score == 15 * 2 - 3
+
+    def test_band_too_narrow_raises(self):
+        # Query much longer than target: the band cannot reach the
+        # final column (the slack only widens toward longer targets).
+        with pytest.raises(ValueError, match="too narrow"):
+            banded_global("A" * 10 + "C" * 20, "A" * 3, SCHEME, band=1)
+
+    def test_negative_band_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            banded_global("ACGT", "ACGT", SCHEME, band=-1)
+
+    def test_identical_band_zero_with_slack(self):
+        r = banded_global("ACGTACGT", "ACGTACGT", SCHEME, band=0)
+        assert r.cigar == "8M"
+
+    @given(short_dna, short_dna)
+    @settings(max_examples=50, deadline=None)
+    def test_wide_band_matches_nw_property(self, q, t):
+        width = len(q) + len(t)
+        banded = banded_global(q, t, SCHEME, band=width)
+        assert banded.score == needleman_wunsch(q, t, SCHEME).score
+
+    @given(short_dna, st.integers(min_value=2, max_value=12))
+    @settings(max_examples=40, deadline=None)
+    def test_band_never_beats_full_dp(self, q, band):
+        # The band restricts the search space, so it can only lose.
+        t = q[::-1]
+        try:
+            banded = banded_global(q, t, SCHEME, band=band)
+        except ValueError:
+            return
+        assert banded.score <= needleman_wunsch(q, t, SCHEME).score
+
+
+class TestBandGeometry:
+    def test_band_limits_clamped(self):
+        lo, hi = band_limits(1, 10, 10, band=3)
+        assert lo == 1
+        assert hi == 4
+
+    def test_band_limits_length_difference(self):
+        # Longer target shifts the upper edge of the band.
+        lo, hi = band_limits(5, 8, 12, band=2)
+        assert lo == 3
+        assert hi == 11
+
+    def test_band_cells_full_matrix_when_wide(self):
+        assert band_cells(6, 6, band=12) == 36
+
+    def test_band_cells_monotonic_in_band(self):
+        cells = [band_cells(20, 20, band=b) for b in (1, 2, 4, 8, 16)]
+        assert cells == sorted(cells)
+        assert cells[-1] <= 400

@@ -1,0 +1,120 @@
+"""Tests for Center-Star multiple sequence alignment."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.synth import sequence_family
+from repro.genomics.msa import center_star
+from repro.genomics.msa.center_star import choose_center
+from repro.genomics.scoring import ScoringScheme
+from repro.genomics.sequence import Sequence
+
+SCHEME = ScoringScheme.dna_default()
+
+
+def seqs(*texts):
+    return [Sequence(f"s{i}", t) for i, t in enumerate(texts)]
+
+
+class TestCenterStar:
+    def test_identical_sequences(self):
+        msa = center_star(seqs("ACGT", "ACGT", "ACGT"), SCHEME)
+        assert msa.rows == ["ACGT", "ACGT", "ACGT"]
+        assert msa.consensus() == "ACGT"
+
+    def test_rows_have_equal_width(self):
+        msa = center_star(seqs("ACGTT", "ACGT", "AGT"), SCHEME)
+        assert len({len(row) for row in msa.rows}) == 1
+
+    def test_rows_preserve_residues(self):
+        inputs = seqs("ACGTT", "ACGT", "AGTTT")
+        msa = center_star(inputs, SCHEME)
+        for seq, row in zip(inputs, msa.rows):
+            assert row.replace("-", "") == seq.residues
+
+    def test_single_sequence(self):
+        msa = center_star(seqs("ACGT"), SCHEME)
+        assert msa.rows == ["ACGT"]
+        assert msa.center_index == 0
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            center_star([], SCHEME)
+
+    def test_explicit_center(self):
+        inputs = seqs("ACGT", "ACGA", "ACGC")
+        msa = center_star(inputs, SCHEME, center_index=2)
+        assert msa.center_index == 2
+
+    def test_center_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            center_star(seqs("ACGT", "ACGA"), SCHEME, center_index=5)
+
+    def test_names_preserved_in_order(self):
+        inputs = seqs("ACGT", "ACGA", "AGT")
+        msa = center_star(inputs, SCHEME)
+        assert msa.names == ["s0", "s1", "s2"]
+
+    def test_insertion_creates_gap_column(self):
+        msa = center_star(seqs("ACGT", "ACXGT".replace("X", "G")), SCHEME)
+        assert msa.width == 5
+        assert "-" in msa.rows[0]
+
+    def test_family_alignment_recovers_consensus(self):
+        from repro.genomics.align import needleman_wunsch
+
+        family = sequence_family(6, 80, divergence=0.05, seed=11)
+        msa = center_star(family, SCHEME)
+        # The consensus should align to the ancestor (row 0) at >90%
+        # identity (gap columns shift raw offsets, so align first).
+        aln = needleman_wunsch(msa.consensus(), family[0].residues, SCHEME)
+        assert aln.identity() > 0.9
+
+    @given(st.lists(st.text(alphabet="ACGT", min_size=1, max_size=8),
+                    min_size=2, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_msa_invariants(self, texts):
+        inputs = seqs(*texts)
+        msa = center_star(inputs, SCHEME)
+        widths = {len(row) for row in msa.rows}
+        assert len(widths) == 1
+        for seq, row in zip(inputs, msa.rows):
+            assert row.replace("-", "") == seq.residues
+        assert msa.width >= max(len(t) for t in texts)
+
+
+class TestChooseCenter:
+    def test_center_maximizes_pairwise_sum(self):
+        inputs = seqs("ACGTACGT", "ACGTACGA", "ACGTACGC", "TTTTTTTT")
+        center, scores = choose_center(inputs, SCHEME)
+        sums = [sum(row) for row in scores]
+        assert sums[center] == max(sums)
+        assert center != 3  # the outlier cannot be the center
+
+    def test_score_matrix_symmetric_zero_diagonal(self):
+        inputs = seqs("ACGT", "ACGA", "AGT")
+        _, scores = choose_center(inputs, SCHEME)
+        for i in range(3):
+            assert scores[i][i] == 0
+            for j in range(3):
+                assert scores[i][j] == scores[j][i]
+
+
+class TestMSAAnalysis:
+    def test_snp_columns(self):
+        msa = center_star(seqs("ACGT", "ACGT", "ATGT"), SCHEME)
+        assert msa.snp_columns() == [1]
+
+    def test_snp_min_minor_filters_singletons(self):
+        msa = center_star(seqs("ACGT", "ACGT", "ACGT", "ATGT"), SCHEME)
+        assert msa.snp_columns(min_minor=1) == [1]
+        assert msa.snp_columns(min_minor=2) == []
+
+    def test_sum_of_pairs_identical(self):
+        msa = center_star(seqs("ACGT", "ACGT"), SCHEME)
+        assert msa.sum_of_pairs(SCHEME) == 8
+
+    def test_sum_of_pairs_counts_gaps_affinely(self):
+        msa = center_star(seqs("AACGTT", "AATT"), SCHEME)
+        # Alignment has one 2-residue gap: 4 matches - (open + 2*extend).
+        assert msa.sum_of_pairs(SCHEME) == 4 * 2 - (5 + 2)

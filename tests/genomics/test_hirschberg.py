@@ -1,0 +1,67 @@
+"""Tests for Hirschberg linear-space alignment."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.genomics.align import hirschberg, linear_scheme, needleman_wunsch
+from repro.genomics.scoring import ScoringScheme
+
+SCHEME = linear_scheme()
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=40)
+
+
+class TestHirschberg:
+    def test_identical(self):
+        r = hirschberg("GATTACA", "GATTACA", SCHEME)
+        assert r.cigar == "7M"
+        assert r.score == 14
+
+    def test_simple_gap(self):
+        r = hirschberg("GATTACA", "GATACA", SCHEME)
+        assert r.score == needleman_wunsch("GATTACA", "GATACA", SCHEME).score
+
+    def test_empty_cases(self):
+        assert hirschberg("", "ACG", SCHEME).cigar == "3D"
+        assert hirschberg("ACG", "", SCHEME).cigar == "3I"
+        assert hirschberg("", "", SCHEME).cigar == ""
+
+    def test_single_residue_query(self):
+        r = hirschberg("G", "ACGT", SCHEME)
+        assert r.score == needleman_wunsch("G", "ACGT", SCHEME).score
+
+    def test_rejects_affine_scheme(self):
+        with pytest.raises(ValueError, match="linear gap"):
+            hirschberg("ACGT", "ACGT", ScoringScheme.dna_default())
+
+    def test_long_sequences(self):
+        from repro.data.synth import mutate, random_dna
+
+        target = random_dna(600, seed=33)
+        query = mutate(target, seed=34, substitution_rate=0.05,
+                       insertion_rate=0.01, deletion_rate=0.01)
+        r = hirschberg(query, target, SCHEME)
+        full = needleman_wunsch(query, target, SCHEME)
+        assert r.score == full.score
+
+    @given(dna, dna)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_full_dp_property(self, q, t):
+        """Hirschberg is exact: same optimal score as quadratic NW."""
+        assert hirschberg(q, t, SCHEME).score == \
+            needleman_wunsch(q, t, SCHEME).score
+
+    @given(dna, dna)
+    @settings(max_examples=40, deadline=None)
+    def test_alignment_internally_consistent(self, q, t):
+        r = hirschberg(q, t, SCHEME)
+        assert r.aligned_query.replace("-", "") == q
+        assert r.aligned_target.replace("-", "") == t
+        # Recompute the score from the alignment columns.
+        score = 0
+        for a, b in zip(r.aligned_query, r.aligned_target):
+            if "-" in (a, b):
+                score -= SCHEME.gap_extend
+            else:
+                score += SCHEME.score(a, b)
+        assert score == r.score

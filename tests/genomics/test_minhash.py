@@ -1,0 +1,102 @@
+"""Tests for MinHash sketching."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.synth import mutate, random_dna
+from repro.genomics.cluster.minhash import (
+    MinHashSketch,
+    jaccard_for_identity,
+    sketch_filter,
+)
+
+dna = st.text(alphabet="ACGT", min_size=20, max_size=120)
+
+
+class TestSketch:
+    def test_sketch_is_bounded(self):
+        sketch = MinHashSketch.of(random_dna(500, seed=1), k=8, size=32)
+        assert len(sketch.hashes) == 32
+        assert list(sketch.hashes) == sorted(sketch.hashes)
+
+    def test_short_sequence_small_sketch(self):
+        sketch = MinHashSketch.of("ACGTACGT", k=8, size=64)
+        assert len(sketch.hashes) == 1
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            MinHashSketch.of("ACGT", k=0)
+        with pytest.raises(ValueError):
+            MinHashSketch.of("ACGT", k=2, size=0)
+
+    def test_deterministic(self):
+        text = random_dna(200, seed=2)
+        assert MinHashSketch.of(text) == MinHashSketch.of(text)
+
+
+class TestJaccard:
+    def test_identical_sequences(self):
+        sketch = MinHashSketch.of(random_dna(300, seed=3))
+        assert sketch.jaccard(sketch) == 1.0
+
+    def test_unrelated_sequences_near_zero(self):
+        a = MinHashSketch.of(random_dna(400, seed=4))
+        b = MinHashSketch.of(random_dna(400, seed=5))
+        assert a.jaccard(b) < 0.1
+
+    def test_similar_sequences_high(self):
+        text = random_dna(400, seed=6)
+        similar = mutate(text, seed=7, substitution_rate=0.01)
+        a = MinHashSketch.of(text)
+        b = MinHashSketch.of(similar)
+        assert a.jaccard(b) > 0.4
+
+    def test_mismatched_k_rejected(self):
+        a = MinHashSketch.of("ACGTACGTACGT", k=4)
+        b = MinHashSketch.of("ACGTACGTACGT", k=5)
+        with pytest.raises(ValueError):
+            a.jaccard(b)
+
+    def test_symmetric(self):
+        a = MinHashSketch.of(random_dna(300, seed=8))
+        b = MinHashSketch.of(random_dna(300, seed=9))
+        assert a.jaccard(b) == b.jaccard(a)
+
+    @given(dna, st.floats(min_value=0.0, max_value=0.1))
+    @settings(max_examples=30, deadline=None)
+    def test_jaccard_in_unit_interval(self, text, rate):
+        a = MinHashSketch.of(text, k=5, size=16)
+        b = MinHashSketch.of(mutate(text, seed=1, substitution_rate=rate),
+                             k=5, size=16)
+        assert 0.0 <= a.jaccard(b) <= 1.0
+
+
+class TestIdentityRelation:
+    def test_monotone_in_identity(self):
+        values = [jaccard_for_identity(a, 8) for a in (0.8, 0.9, 0.95, 1.0)]
+        assert values == sorted(values)
+        assert values[-1] == 1.0
+
+    def test_rejects_bad_identity(self):
+        with pytest.raises(ValueError):
+            jaccard_for_identity(0.0, 8)
+
+
+class TestSketchFilter:
+    def test_true_pairs_pass(self):
+        """Soundness: pairs at/above the identity threshold must pass."""
+        for seed in range(8):
+            text = random_dna(300, seed=100 + seed)
+            similar = mutate(text, seed=seed, substitution_rate=0.03)
+            a, b = MinHashSketch.of(text), MinHashSketch.of(similar)
+            assert sketch_filter(a, b, identity=0.95)
+
+    def test_unrelated_pairs_rejected(self):
+        a = MinHashSketch.of(random_dna(300, seed=20))
+        b = MinHashSketch.of(random_dna(300, seed=21))
+        assert not sketch_filter(a, b, identity=0.9)
+
+    def test_safety_validated(self):
+        a = MinHashSketch.of(random_dna(100, seed=22))
+        with pytest.raises(ValueError):
+            sketch_filter(a, a, identity=0.9, safety=0.0)

@@ -1,0 +1,107 @@
+"""Tests for Myers' bit-parallel edit distance."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.genomics.align.myers import (
+    best_edit_window,
+    edit_distance,
+    within_distance,
+)
+
+dna = st.text(alphabet="ACGT", min_size=0, max_size=40)
+
+
+def dp_edit_distance(a: str, b: str) -> int:
+    """Classic O(mn) Wagner-Fischer reference."""
+    prev = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        cur = [i] + [0] * len(b)
+        for j, cb in enumerate(b, start=1):
+            cur[j] = min(
+                prev[j] + 1,
+                cur[j - 1] + 1,
+                prev[j - 1] + (ca != cb),
+            )
+        prev = cur
+    return prev[-1]
+
+
+class TestEditDistance:
+    @pytest.mark.parametrize("a,b,expected", [
+        ("", "", 0),
+        ("ACGT", "ACGT", 0),
+        ("ACGT", "AGGT", 1),
+        ("ACGT", "ACG", 1),
+        ("ACGT", "", 4),
+        ("", "ACGT", 4),
+        ("GATTACA", "GCATGCT", 4),
+        ("AAAA", "TTTT", 4),
+    ])
+    def test_known_values(self, a, b, expected):
+        assert edit_distance(a, b) == expected
+
+    @given(dna, dna)
+    @settings(max_examples=80, deadline=None)
+    def test_matches_dp_reference(self, a, b):
+        assert edit_distance(a, b) == dp_edit_distance(a, b)
+
+    @given(dna, dna)
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry(self, a, b):
+        assert edit_distance(a, b) == edit_distance(b, a)
+
+    @given(dna, dna, dna)
+    @settings(max_examples=30, deadline=None)
+    def test_triangle_inequality(self, a, b, c):
+        assert edit_distance(a, c) <= \
+            edit_distance(a, b) + edit_distance(b, c)
+
+
+class TestWithinDistance:
+    def test_filter_accepts_close_pairs(self):
+        assert within_distance("GATTACA", "GATTACA", 0)
+        assert within_distance("GATTACA", "GATTCCA", 1)
+
+    def test_filter_rejects_far_pairs(self):
+        assert not within_distance("AAAA", "TTTT", 3)
+
+    def test_length_shortcut(self):
+        assert not within_distance("A" * 10, "A" * 20, 5)
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(ValueError):
+            within_distance("A", "A", -1)
+
+    @given(dna, dna, st.integers(min_value=0, max_value=10))
+    @settings(max_examples=40, deadline=None)
+    def test_never_wrong(self, a, b, k):
+        assert within_distance(a, b, k) == (dp_edit_distance(a, b) <= k)
+
+
+class TestBestEditWindow:
+    def test_exact_occurrence(self):
+        result = best_edit_window("GATTACA", "TTTGATTACATTT")
+        assert result == (10, 0)  # window ends after the match
+
+    def test_one_error_occurrence(self):
+        result = best_edit_window("GATTACA", "TTTGATCACATTT")
+        assert result is not None
+        assert result[1] == 1
+
+    def test_max_k_rejects(self):
+        assert best_edit_window("AAAA", "TTTTTTTT", max_k=2) is None
+
+    def test_empty_inputs(self):
+        assert best_edit_window("", "ACGT") is None
+        assert best_edit_window("ACGT", "") is None
+
+    @given(dna.filter(lambda s: len(s) >= 3),
+           st.text(alphabet="ACGT", min_size=0, max_size=10),
+           st.text(alphabet="ACGT", min_size=0, max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_embedded_pattern_found_exactly(self, pattern, left, right):
+        target = left + pattern + right
+        result = best_edit_window(pattern, target)
+        assert result is not None
+        assert result[1] == 0

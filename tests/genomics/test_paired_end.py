@@ -1,0 +1,94 @@
+"""Tests for paired-end read simulation and mapping."""
+
+import pytest
+
+from repro.data.synth import random_dna, sample_paired_reads
+from repro.genomics.index import ReadAligner
+from repro.genomics.sequence import Sequence
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return Sequence("ref", random_dna(8000, seed=71))
+
+
+@pytest.fixture(scope="module")
+def pairs(reference):
+    return sample_paired_reads(
+        reference, count=15, read_length=80, insert_size=300, seed=72
+    )
+
+
+class TestSamplePairedReads:
+    def test_pair_structure(self, pairs):
+        for r1, r2 in pairs:
+            assert r1.name.endswith("/1")
+            assert r2.name.endswith("/2")
+            assert len(r1.sequence) == len(r2.sequence) == 80
+
+    def test_truth_positions_bracket_fragment(self, pairs):
+        for r1, r2 in pairs:
+            pos1 = int(r1.sequence.description.split()[0].split("=")[1])
+            pos2 = int(r2.sequence.description.split()[0].split("=")[1])
+            assert pos2 >= pos1
+            assert pos2 - pos1 <= 300 + 5 * 30  # insert + 5 sigma
+
+    def test_mate2_is_reverse_strand(self, reference):
+        pairs = sample_paired_reads(
+            reference, 5, 60, insert_size=200, seed=73, error_rate=0.0
+        )
+        for _, r2 in pairs:
+            pos2 = int(r2.sequence.description.split()[0].split("=")[1])
+            fragment = Sequence("f", reference.residues[pos2:pos2 + 60])
+            assert r2.sequence.residues == \
+                fragment.reverse_complement().residues
+
+    def test_insert_must_cover_read(self, reference):
+        with pytest.raises(ValueError):
+            sample_paired_reads(reference, 1, 100, insert_size=50)
+
+
+class TestMapPair:
+    def test_concordant_pair_mapped(self, reference, pairs):
+        aligner = ReadAligner(reference)
+        r1, r2 = pairs[0]
+        m1, m2 = aligner.map_pair(r1.sequence, r2.sequence)
+        assert m1 is not None and m2 is not None
+        assert {m1.strand, m2.strand} == {"+", "-"}
+        assert abs(m2.position - m1.position) < 500
+
+    def test_concordance_boosts_mapq(self, reference, pairs):
+        aligner = ReadAligner(reference)
+        r1, r2 = pairs[1]
+        single = aligner.map_read(r1.sequence)
+        paired, _ = aligner.map_pair(r1.sequence, r2.sequence)
+        assert paired.mapq >= single.mapq
+
+    def test_batch_accuracy(self, reference, pairs):
+        aligner = ReadAligner(reference)
+        correct = 0
+        for r1, r2 in pairs:
+            m1, m2 = aligner.map_pair(r1.sequence, r2.sequence)
+            t1 = int(r1.sequence.description.split()[0].split("=")[1])
+            t2 = int(r2.sequence.description.split()[0].split("=")[1])
+            if (m1 and abs(m1.position - t1) <= 3
+                    and m2 and abs(m2.position - t2) <= 3):
+                correct += 1
+        assert correct >= len(pairs) - 2
+
+    def test_discordant_pair_returned_as_singles(self, reference):
+        aligner = ReadAligner(reference)
+        # Two forward-strand reads: never concordant (same strand).
+        r1 = Sequence("a/1", reference.residues[100:180])
+        r2 = Sequence("a/2", reference.residues[400:480])
+        m1, m2 = aligner.map_pair(r1, r2, max_insert=1000)
+        assert m1 is not None and m2 is not None
+        assert m1.strand == m2.strand == "+"
+
+    def test_unmappable_mate(self, reference):
+        aligner = ReadAligner(reference)
+        r1 = Sequence("b/1", reference.residues[100:180])
+        r2 = Sequence("b/2", random_dna(80, seed=99))
+        m1, m2 = aligner.map_pair(r1, r2)
+        assert m1 is not None
+        assert m2 is None

@@ -1,0 +1,133 @@
+"""Tests for the Pair-HMM forward algorithm."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.genomics.hmm import (
+    PairHMMParameters,
+    forward_likelihood,
+    forward_log_likelihood,
+    likelihood_matrix,
+)
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=12)
+
+
+class TestParameters:
+    def test_defaults_valid(self):
+        p = PairHMMParameters()
+        assert 0 < p.match_continue < 1
+        assert 0 < p.gap_to_match < 1
+
+    @pytest.mark.parametrize("field,value", [
+        ("gap_open", 0.0), ("gap_open", 1.0),
+        ("gap_extend", -0.1), ("base_error", 2.0),
+    ])
+    def test_rejects_out_of_range(self, field, value):
+        with pytest.raises(ValueError):
+            PairHMMParameters(**{field: value})
+
+    def test_rejects_too_large_gap_open(self):
+        with pytest.raises(ValueError, match="gap_open"):
+            PairHMMParameters(gap_open=0.6)
+
+
+class TestForwardLikelihood:
+    def test_perfect_match_is_likely(self):
+        assert forward_likelihood("ACGT", "ACGT") > 0.1
+
+    def test_mismatch_much_less_likely(self):
+        perfect = forward_likelihood("ACGT", "ACGT")
+        mismatched = forward_likelihood("ACGA", "ACGT")
+        assert mismatched < perfect / 50
+
+    def test_probability_in_unit_interval(self):
+        p = forward_likelihood("ACGTACGT", "ACGTACGT")
+        assert 0.0 < p <= 1.0
+
+    def test_read_matching_haplotype_interior(self):
+        # Free alignment start/end: interior matches stay likely.
+        p = forward_likelihood("ACGT", "TTTTACGTTTTT")
+        assert p > 0.05
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            forward_likelihood("", "ACGT")
+        with pytest.raises(ValueError):
+            forward_likelihood("ACGT", "")
+
+    def test_qualities_length_checked(self):
+        with pytest.raises(ValueError):
+            forward_likelihood("ACGT", "ACGT", qualities=[0.01])
+
+    def test_qualities_override_base_error(self):
+        low_q = forward_likelihood("ACGA", "ACGT", qualities=[0.2] * 4)
+        high_q = forward_likelihood("ACGA", "ACGT", qualities=[0.001] * 4)
+        # With low base quality the mismatch is cheaper to explain.
+        assert low_q > high_q
+
+    def test_better_haplotype_wins(self):
+        read = "ACGTACGT"
+        right = forward_likelihood(read, "ACGTACGT")
+        wrong = forward_likelihood(read, "ACGTTCGT")
+        assert right > wrong
+
+    @given(dna, dna)
+    @settings(max_examples=50, deadline=None)
+    def test_likelihood_is_probability(self, read, hap):
+        p = forward_likelihood(read, hap)
+        assert 0.0 <= p <= 1.0
+
+    @given(dna)
+    @settings(max_examples=30, deadline=None)
+    def test_self_alignment_beats_shuffled(self, read):
+        shuffled = read[::-1]
+        p_self = forward_likelihood(read, read)
+        p_shuf = forward_likelihood(read, shuffled)
+        assert p_self >= p_shuf or read == shuffled or p_self > 1e-12
+
+    def test_invariant_under_tandem_padding(self):
+        """Repeating the haplotype multiplies alignment starts but the
+        uniform 1/H prior divides them back out: the likelihood is
+        (nearly) invariant, never inflated."""
+        core = forward_likelihood("ACG", "ACG")
+        padded = forward_likelihood("ACG", "ACG" * 4)
+        assert padded == pytest.approx(core, rel=0.01)
+
+
+class TestLogLikelihood:
+    def test_log10_of_forward(self):
+        p = forward_likelihood("ACGT", "ACGT")
+        assert forward_log_likelihood("ACGT", "ACGT") == pytest.approx(
+            math.log10(p)
+        )
+
+    def test_negative_for_probabilities(self):
+        assert forward_log_likelihood("ACGT", "ACGT") < 0
+
+
+class TestLikelihoodMatrix:
+    def test_shape(self):
+        m = likelihood_matrix(["ACGT", "AAAA"], ["ACGT", "CCCC", "ACGA"])
+        assert m.shape == (2, 3)
+
+    def test_diagonal_dominance(self):
+        haps = ["ACGTACGTAC", "TTTTGGGGCC"]
+        reads = [h for h in haps]
+        m = likelihood_matrix(reads, haps)
+        assert m[0, 0] > m[0, 1]
+        assert m[1, 1] > m[1, 0]
+
+    def test_matches_scalar_calls(self):
+        reads, haps = ["ACGT"], ["ACGTT"]
+        m = likelihood_matrix(reads, haps)
+        assert m[0, 0] == pytest.approx(
+            forward_log_likelihood("ACGT", "ACGTT")
+        )
+
+    def test_all_finite(self):
+        m = likelihood_matrix(["ACGT", "GGGG"], ["CCCC", "ACGT"])
+        assert np.isfinite(m).all()

@@ -1,0 +1,114 @@
+"""Tests for SAM output and pileup analysis."""
+
+import pytest
+
+from repro.data.synth import random_dna, sample_reads
+from repro.genomics.index import ReadAligner
+from repro.genomics.index.sam import (
+    FLAG_REVERSE,
+    FLAG_UNMAPPED,
+    coverage_summary,
+    pileup,
+    sam_header,
+    sam_record,
+    write_sam,
+)
+from repro.genomics.sequence import Sequence
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return Sequence("chr1", random_dna(3000, seed=61))
+
+
+@pytest.fixture(scope="module")
+def mapped_reads(reference):
+    aligner = ReadAligner(reference)
+    records = sample_reads(reference, 30, 80, seed=62, error_rate=0.005)
+    return [(r.sequence, aligner.map_read(r.sequence)) for r in records]
+
+
+class TestSamFormat:
+    def test_header(self, reference):
+        header = sam_header(reference)
+        assert "@SQ\tSN:chr1\tLN:3000" in header
+        assert header.startswith("@HD")
+
+    def test_mapped_record_fields(self, reference, mapped_reads):
+        read, mapping = next(
+            (r, m) for r, m in mapped_reads if m is not None
+        )
+        fields = sam_record(mapping, read, reference.name).split("\t")
+        assert fields[0] == read.name
+        assert fields[2] == "chr1"
+        assert int(fields[3]) == mapping.position + 1
+        assert fields[5] == mapping.cigar
+        assert fields[11] == f"AS:i:{mapping.score}"
+
+    def test_unmapped_record(self, reference):
+        read = Sequence("lost", "ACGT" * 10)
+        fields = sam_record(None, read, reference.name).split("\t")
+        assert int(fields[1]) & FLAG_UNMAPPED
+        assert fields[2] == "*"
+
+    def test_reverse_flag_and_sequence(self, reference):
+        aligner = ReadAligner(reference)
+        fragment = Sequence("rev", reference.residues[200:280])
+        read = fragment.reverse_complement()
+        mapping = aligner.map_read(read)
+        fields = sam_record(mapping, read, reference.name).split("\t")
+        assert int(fields[1]) & FLAG_REVERSE
+        # SAM stores the forward-strand sequence.
+        assert fields[9] == fragment.residues
+
+    def test_write_sam_roundtrip_lines(self, reference, mapped_reads, tmp_path):
+        path = tmp_path / "out.sam"
+        text = write_sam(reference, mapped_reads, path)
+        assert path.read_text() == text
+        body = [l for l in text.strip().split("\n") if not l.startswith("@")]
+        assert len(body) == len(mapped_reads)
+
+
+class TestPileup:
+    def test_mapped_positions_covered(self, reference, mapped_reads):
+        columns = pileup(reference, mapped_reads)
+        assert columns
+        for column in columns.values():
+            assert column.depth == len(column.bases)
+            assert 0 <= column.position < len(reference)
+
+    def test_low_error_reads_mostly_match(self, reference, mapped_reads):
+        columns = pileup(reference, mapped_reads)
+        mismatch = sum(
+            c.mismatch_fraction() for c in columns.values()
+        ) / len(columns)
+        assert mismatch < 0.05
+
+    def test_consensus_recovers_reference(self, reference, mapped_reads):
+        columns = pileup(reference, mapped_reads)
+        deep = [c for c in columns.values() if c.depth >= 3]
+        agree = sum(1 for c in deep if c.consensus() == c.reference_base)
+        assert deep and agree / len(deep) > 0.95
+
+    def test_coverage_summary(self, reference, mapped_reads):
+        columns = pileup(reference, mapped_reads)
+        summary = coverage_summary(reference, columns)
+        assert summary["covered_positions"] == len(columns)
+        assert 0 < summary["breadth"] <= 1.0
+        assert summary["mean_depth"] >= 1.0
+        assert summary["mismatch_rate"] < 0.05
+
+    def test_empty_pileup(self, reference):
+        assert coverage_summary(reference, {})["covered_positions"] == 0
+
+    def test_deletion_skips_reference(self, reference):
+        # Construct a read with a deletion and check the pileup walks
+        # past the deleted base.
+        aligner = ReadAligner(reference)
+        residues = reference.residues[500:540] + reference.residues[543:583]
+        read = Sequence("del", residues)
+        mapping = aligner.map_read(read)
+        assert mapping is not None
+        columns = pileup(reference, [(read, mapping)])
+        assert 500 in columns
+        assert max(columns) >= 580

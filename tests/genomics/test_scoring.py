@@ -1,0 +1,70 @@
+"""Tests for substitution matrices and scoring schemes."""
+
+import pytest
+
+from repro.genomics.scoring import ScoringScheme, SubstitutionMatrix, blosum62
+from repro.genomics.sequence import DNA, PROTEIN
+
+
+class TestSubstitutionMatrix:
+    def test_match_mismatch(self):
+        m = SubstitutionMatrix.match_mismatch(DNA, match=3, mismatch=-2)
+        assert m.score("A", "A") == 3
+        assert m.score("A", "C") == -2
+
+    def test_wildcard_scores_worst(self):
+        m = SubstitutionMatrix.match_mismatch(DNA, match=2, mismatch=-3)
+        assert m.score("N", "A") == -3
+        assert m.score("A", "N") == -3
+
+    def test_as_table_shape(self):
+        m = SubstitutionMatrix.match_mismatch(DNA)
+        table = m.as_table()
+        assert len(table) == 4
+        assert all(len(row) == 4 for row in table)
+        for i in range(4):
+            for j in range(4):
+                expected = 2 if i == j else -3
+                assert table[i][j] == expected
+
+
+class TestBlosum62:
+    def test_is_symmetric(self):
+        m = blosum62()
+        for a in PROTEIN.letters:
+            for b in PROTEIN.letters:
+                assert m.score(a, b) == m.score(b, a)
+
+    def test_diagonal_positive(self):
+        m = blosum62()
+        for a in PROTEIN.letters:
+            assert m.score(a, a) > 0
+
+    def test_known_values(self):
+        m = blosum62()
+        assert m.score("W", "W") == 11
+        assert m.score("A", "A") == 4
+        assert m.score("I", "L") == 2
+        assert m.score("W", "D") == -4
+
+
+class TestScoringScheme:
+    def test_gap_cost_affine(self):
+        s = ScoringScheme(gap_open=5, gap_extend=1)
+        assert s.gap_cost(0) == 0
+        assert s.gap_cost(1) == 6
+        assert s.gap_cost(3) == 8
+
+    def test_rejects_negative_penalties(self):
+        with pytest.raises(ValueError):
+            ScoringScheme(gap_open=-1)
+
+    def test_dna_default(self):
+        s = ScoringScheme.dna_default()
+        assert s.score("A", "A") == 2
+        assert s.score("A", "G") == -3
+
+    def test_protein_default_uses_blosum(self):
+        s = ScoringScheme.protein_default()
+        assert s.score("W", "W") == 11
+        assert s.gap_open == 11

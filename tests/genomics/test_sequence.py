@@ -1,0 +1,100 @@
+"""Tests for sequences and alphabets."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.genomics.sequence import DNA, PROTEIN, RNA, Alphabet, Sequence
+
+dna_text = st.text(alphabet="ACGT", min_size=0, max_size=64)
+
+
+class TestAlphabet:
+    def test_encode_decode_roundtrip(self):
+        codes = DNA.encode("ACGTN")
+        assert codes == [0, 1, 2, 3, 4]
+        assert DNA.decode(codes) == "ACGTN"
+
+    def test_encode_rejects_foreign_letters(self):
+        with pytest.raises(ValueError, match="not in alphabet"):
+            DNA.encode("ACGZ")
+
+    def test_validate_rejects_lowercase(self):
+        with pytest.raises(ValueError):
+            DNA.validate("acgt")
+
+    def test_duplicate_letters_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Alphabet("bad", "AAC")
+
+    def test_contains(self):
+        assert "A" in DNA
+        assert "N" in DNA  # wildcard counts
+        assert "Z" not in DNA
+
+    def test_sizes(self):
+        assert DNA.size == 4
+        assert RNA.size == 4
+        assert PROTEIN.size == 20
+
+    @given(dna_text)
+    def test_encode_decode_property(self, text):
+        assert DNA.decode(DNA.encode(text)) == text
+
+
+class TestSequence:
+    def test_uppercases_residues(self):
+        seq = Sequence("s", "acgt")
+        assert seq.residues == "ACGT"
+
+    def test_rejects_invalid_residues(self):
+        with pytest.raises(ValueError):
+            Sequence("s", "ACGB")
+
+    def test_len_iter_getitem(self):
+        seq = Sequence("s", "ACGT")
+        assert len(seq) == 4
+        assert list(seq) == ["A", "C", "G", "T"]
+        assert seq[1] == "C"
+        assert seq[1:3] == "CG"
+
+    def test_equality_ignores_description(self):
+        a = Sequence("s", "ACGT", description="one")
+        b = Sequence("s", "ACGT", description="two")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_reverse_complement(self):
+        seq = Sequence("s", "AACGTN")
+        assert seq.reverse_complement().residues == "NACGTT"
+
+    def test_reverse_complement_involution(self):
+        seq = Sequence("s", "GATTACA")
+        assert seq.reverse_complement().reverse_complement() == seq
+
+    def test_reverse_complement_rejects_protein(self):
+        seq = Sequence("p", "MKV", PROTEIN)
+        with pytest.raises(ValueError):
+            seq.reverse_complement()
+
+    def test_kmers(self):
+        seq = Sequence("s", "ACGTA")
+        assert list(seq.kmers(3)) == ["ACG", "CGT", "GTA"]
+        assert list(seq.kmers(5)) == ["ACGTA"]
+        assert list(seq.kmers(6)) == []
+
+    def test_kmers_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            list(Sequence("s", "ACGT").kmers(0))
+
+    def test_gc_content(self):
+        assert Sequence("s", "GGCC").gc_content() == 1.0
+        assert Sequence("s", "AATT").gc_content() == 0.0
+        assert Sequence("s", "ACGT").gc_content() == 0.5
+        assert Sequence("s", "").gc_content() == 0.0
+
+    @given(dna_text)
+    def test_reverse_complement_property(self, text):
+        seq = Sequence("s", text)
+        rc = seq.reverse_complement()
+        assert len(rc) == len(seq)
+        assert rc.reverse_complement().residues == seq.residues

@@ -1,0 +1,74 @@
+"""Tests for the warp instruction model."""
+
+import pytest
+
+from repro.isa.instructions import (
+    FULL_MASK,
+    MemAccess,
+    MemSpace,
+    OpClass,
+    WarpInstruction,
+    popcount,
+)
+
+
+class TestPopcount:
+    def test_full_mask(self):
+        assert popcount(FULL_MASK) == 32
+
+    def test_empty(self):
+        assert popcount(0) == 0
+
+    def test_truncates_to_warp_width(self):
+        assert popcount(1 << 40) == 0
+
+    @pytest.mark.parametrize("lanes", [1, 4, 17, 31])
+    def test_contiguous_masks(self, lanes):
+        assert popcount((1 << lanes) - 1) == lanes
+
+
+class TestMemAccess:
+    def test_requires_lines_for_offchip_spaces(self):
+        with pytest.raises(ValueError):
+            MemAccess(MemSpace.GLOBAL, ())
+
+    def test_shared_needs_no_lines(self):
+        access = MemAccess(MemSpace.SHARED, ())
+        assert access.transactions == 1
+
+    def test_transactions_counts_lines(self):
+        access = MemAccess(MemSpace.GLOBAL, (1, 2, 3))
+        assert access.transactions == 3
+
+
+class TestWarpInstruction:
+    def test_defaults(self):
+        instr = WarpInstruction(OpClass.INT)
+        assert instr.active_lanes == 32
+        assert instr.repeat == 1
+
+    def test_repeat_only_for_alu(self):
+        WarpInstruction(OpClass.FP, repeat=4)
+        with pytest.raises(ValueError):
+            WarpInstruction(OpClass.CTRL, repeat=2)
+
+    def test_repeat_positive(self):
+        with pytest.raises(ValueError):
+            WarpInstruction(OpClass.INT, repeat=0)
+
+    def test_ldst_requires_mem(self):
+        with pytest.raises(ValueError):
+            WarpInstruction(OpClass.LDST)
+
+    def test_mem_requires_ldst(self):
+        access = MemAccess(MemSpace.GLOBAL, (1,))
+        with pytest.raises(ValueError):
+            WarpInstruction(OpClass.INT, mem=access)
+
+    def test_child_requires_launch(self):
+        with pytest.raises(ValueError):
+            WarpInstruction(OpClass.INT, child=object())
+
+    def test_mask_truncated(self):
+        instr = WarpInstruction(OpClass.INT, mask=(1 << 40) - 1)
+        assert instr.active_lanes == 32

@@ -1,0 +1,34 @@
+"""Scale smoke tests: the MEDIUM datasets run end to end.
+
+The benches use SMALL; these confirm the suite scales to the next size
+without deadlocks or trace errors (and that times actually grow).
+"""
+
+import pytest
+
+from repro.core.runner import run_benchmark
+from repro.data.datasets import DatasetSize
+from repro.sim.config import GPUConfig
+
+CONFIG = GPUConfig(num_sms=16)
+
+#: MEDIUM-scale smoke subset: one benchmark per trace-model family.
+SUBSET = ["SW", "GG", "CLUSTER", "PairHMM"]
+
+
+@pytest.mark.parametrize("abbr", SUBSET)
+def test_medium_runs_and_scales(abbr):
+    small = run_benchmark(abbr, size=DatasetSize.SMALL, config=CONFIG)
+    medium = run_benchmark(abbr, size=DatasetSize.MEDIUM, config=CONFIG)
+    assert medium.instructions > small.instructions
+    assert medium.kernel_cycles > small.kernel_cycles
+
+
+def test_medium_cdp_still_helps_star():
+    small = run_benchmark(
+        "STAR", cdp=False, size=DatasetSize.MEDIUM, config=CONFIG
+    ).device_time()
+    cdp = run_benchmark(
+        "STAR", cdp=True, size=DatasetSize.MEDIUM, config=CONFIG
+    ).device_time()
+    assert cdp < small

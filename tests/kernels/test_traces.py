@@ -1,0 +1,167 @@
+"""Trace-level unit tests for the benchmark kernels.
+
+Every kernel's per-warp trace must be well formed: terminate with an
+EXIT, keep memory operands in the right address regions, and respect
+the structural signatures the applications rely on.
+"""
+
+import pytest
+
+from repro.isa.instructions import MemSpace, OpClass
+from repro.kernels import benchmark_names, build_application
+from repro.kernels.base import CONST_BASE, GLOBAL_BASE, LOCAL_BASE
+from repro.sim.kernel import WarpContext
+from repro.sim.launch import HostLaunch
+
+
+def first_launch(app):
+    for op in app.host_program():
+        if isinstance(op, HostLaunch):
+            return op.launch
+    raise AssertionError("application never launches a kernel")
+
+
+def trace_of(launch, cta_id=0, warp_id=0):
+    kernel = launch.kernel
+    ctx = WarpContext(
+        cta_id=cta_id,
+        warp_id=warp_id,
+        warps_per_cta=kernel.warps_per_cta,
+        num_ctas=launch.num_ctas,
+        args=launch.args,
+    )
+    return list(kernel.warp_trace(ctx))
+
+
+class TestTraceWellFormedness:
+    @pytest.mark.parametrize("abbr", benchmark_names())
+    @pytest.mark.parametrize("cdp", [False, True])
+    def test_every_warp_trace_ends_with_exit(self, abbr, cdp):
+        app = build_application(abbr, cdp=cdp)
+        launch = first_launch(app)
+        for cta in range(min(2, launch.num_ctas)):
+            for warp in range(launch.kernel.warps_per_cta):
+                trace = trace_of(launch, cta, warp)
+                assert trace, (abbr, cta, warp)
+                assert trace[-1].op is OpClass.EXIT
+                # EXIT appears exactly once, at the end.
+                assert sum(
+                    1 for i in trace if i.op is OpClass.EXIT
+                ) == 1
+
+    @pytest.mark.parametrize("abbr", benchmark_names())
+    def test_address_regions_respected(self, abbr):
+        app = build_application(abbr)
+        launch = first_launch(app)
+        for instr in trace_of(launch):
+            if instr.op is not OpClass.LDST or not instr.mem.lines:
+                continue
+            space = instr.mem.space
+            for line in instr.mem.lines:
+                if space in (MemSpace.CONST, MemSpace.PARAM):
+                    assert CONST_BASE <= line < GLOBAL_BASE, abbr
+                elif space is MemSpace.LOCAL:
+                    assert line >= LOCAL_BASE, abbr
+                elif space is MemSpace.GLOBAL:
+                    assert GLOBAL_BASE <= line < LOCAL_BASE, abbr
+
+    @pytest.mark.parametrize("abbr", benchmark_names())
+    def test_masks_always_valid(self, abbr):
+        app = build_application(abbr)
+        launch = first_launch(app)
+        for instr in trace_of(launch):
+            assert 1 <= instr.active_lanes <= 32
+
+
+class TestStructuralSignatures:
+    def test_sw_trace_is_const_and_global(self):
+        launch = first_launch(build_application("SW"))
+        spaces = {
+            i.mem.space for i in trace_of(launch)
+            if i.op is OpClass.LDST
+        }
+        assert MemSpace.CONST in spaces
+        assert MemSpace.GLOBAL in spaces
+        assert MemSpace.SHARED not in spaces
+
+    def test_nw_trace_uses_shared_and_barriers(self):
+        launch = first_launch(build_application("NW"))
+        trace = trace_of(launch)
+        assert any(
+            i.op is OpClass.LDST and i.mem.space is MemSpace.SHARED
+            for i in trace
+        )
+        assert any(i.op is OpClass.SYNC for i in trace)
+
+    def test_gasal_uses_local_ring_buffer(self):
+        launch = first_launch(build_application("GG"))
+        local_lines = [
+            line
+            for i in trace_of(launch)
+            if i.op is OpClass.LDST and i.mem.space is MemSpace.LOCAL
+            for line in i.mem.lines
+        ]
+        assert local_lines
+        # Ring buffer: the footprint is small (reused), not streaming.
+        from repro.kernels.gasal2 import GasalKernel
+
+        assert len(set(local_lines)) <= GasalKernel.LOCAL_LINES
+
+    def test_gksw_streams_traceback(self):
+        gg = first_launch(build_application("GG"))
+        gksw = first_launch(build_application("GKSW"))
+        gg_stores = sum(
+            i.mem.transactions for i in trace_of(gg)
+            if i.op is OpClass.LDST and i.mem.store
+            and i.mem.space is MemSpace.GLOBAL
+        )
+        gksw_stores = sum(
+            i.mem.transactions for i in trace_of(gksw)
+            if i.op is OpClass.LDST and i.mem.store
+            and i.mem.space is MemSpace.GLOBAL
+        )
+        assert gksw_stores > 10 * max(1, gg_stores)
+
+    def test_pairhmm_trace_is_fp_heavy(self):
+        launch = first_launch(build_application("PairHMM"))
+        trace = trace_of(launch)
+        fp = sum(i.repeat for i in trace if i.op is OpClass.FP)
+        ints = sum(i.repeat for i in trace if i.op is OpClass.INT)
+        assert fp > ints
+
+    def test_cdp_parents_launch_and_sync(self):
+        for abbr in ("SW", "NW", "STAR", "PairHMM"):
+            app = build_application(abbr, cdp=True)
+            launch = first_launch(app)
+            found_launch = found_sync = False
+            for cta in range(min(4, launch.num_ctas)):
+                for warp in range(launch.kernel.warps_per_cta):
+                    for i in trace_of(launch, cta, warp):
+                        found_launch |= i.op is OpClass.LAUNCH
+                        found_sync |= i.op is OpClass.DEVSYNC
+            assert found_launch and found_sync, abbr
+
+    def test_cluster_divergence_follows_trail(self):
+        app = build_application("CLUSTER")
+        result = app.run_functional()
+        launch = first_launch(app)
+        # Warp 0 screens the first (longest) sequence, which has no
+        # representatives to reject yet — divergence builds up on the
+        # later warps, whose candidates fight the filter cascade.
+        narrow = 0
+        for cta in range(launch.num_ctas):
+            for warp in range(launch.kernel.warps_per_cta):
+                narrow += sum(
+                    i.repeat for i in trace_of(launch, cta, warp)
+                    if i.active_lanes <= 4
+                )
+        assert narrow > 0
+        assert result.trail  # the trace was derived from a real trail
+
+    def test_star_lockstep_half_warps(self):
+        launch = first_launch(build_application("STAR"))
+        trace = trace_of(launch)
+        halves = sum(
+            i.repeat for i in trace if i.active_lanes == 16
+        )
+        assert halves > len(trace) // 2

@@ -1,0 +1,156 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.cache import Cache, CacheStats
+from repro.sim.config import CacheConfig
+
+
+def make_cache(size=1024, assoc=2, line=128):
+    return Cache(CacheConfig(size, assoc, line_bytes=line))
+
+
+class TestCacheBasics:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        assert cache.access(5) is False
+        assert cache.access(5) is True
+
+    def test_num_sets(self):
+        # 1024B / 128B = 8 lines, 2-way -> 4 sets.
+        assert CacheConfig(1024, 2).num_sets == 4
+
+    def test_disabled_cache_always_misses(self):
+        cache = Cache(CacheConfig(0, 1))
+        assert cache.access(1) is False
+        assert cache.access(1) is False
+        assert cache.stats.misses == 2
+
+    def test_cache_smaller_than_line_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(64, 1)
+
+    def test_contains_no_side_effects(self):
+        cache = make_cache()
+        cache.access(4)
+        before = cache.stats.accesses
+        assert cache.contains(4)
+        assert not cache.contains(8)
+        assert cache.stats.accesses == before
+
+
+class TestLRUReplacement:
+    def test_lru_eviction_order(self):
+        # 4 sets, 2 ways: lines 0, 4, 8 share set 0.
+        cache = make_cache()
+        cache.access(0)
+        cache.access(4)
+        cache.access(0)  # refresh line 0
+        cache.access(8)  # evicts line 4 (LRU)
+        assert cache.contains(0)
+        assert not cache.contains(4)
+        assert cache.contains(8)
+
+    def test_associativity_respected(self):
+        cache = make_cache(assoc=2)
+        cache.access(0)
+        cache.access(4)
+        assert cache.contains(0) and cache.contains(4)
+
+    def test_different_sets_no_conflict(self):
+        cache = make_cache()
+        for line in range(4):  # one line per set
+            cache.access(line)
+        assert all(cache.contains(line) for line in range(4))
+
+    @given(st.lists(st.integers(min_value=0, max_value=63),
+                    min_size=1, max_size=200))
+    @settings(max_examples=40)
+    def test_occupancy_never_exceeds_capacity(self, lines):
+        cache = make_cache(size=1024, assoc=2)
+        for line in lines:
+            cache.access(line)
+        resident = sum(1 for line in set(lines) if cache.contains(line))
+        assert resident <= 8  # total ways
+
+    @given(st.lists(st.integers(min_value=0, max_value=63),
+                    min_size=1, max_size=100))
+    @settings(max_examples=40)
+    def test_stats_consistent(self, lines):
+        cache = make_cache()
+        for line in lines:
+            cache.access(line)
+        s = cache.stats
+        assert s.hits + s.misses == s.accesses == len(lines)
+        assert s.load_accesses == len(lines)
+
+
+class TestWritePolicy:
+    def test_store_miss_allocates_dirty(self):
+        cache = make_cache()
+        cache.access(3, store=True)
+        assert cache.contains(3)
+
+    def test_dirty_eviction_hits_sink(self):
+        evicted = []
+        cache = make_cache()
+        cache.writeback_sink = evicted.append
+        cache.access(0, store=True)
+        cache.access(4)
+        cache.access(8)  # evicts dirty line 0
+        assert evicted == [0]
+        assert cache.stats.writebacks == 1
+
+    def test_clean_eviction_silent(self):
+        evicted = []
+        cache = make_cache()
+        cache.writeback_sink = evicted.append
+        cache.access(0)
+        cache.access(4)
+        cache.access(8)
+        assert evicted == []
+
+    def test_store_hit_marks_dirty(self):
+        evicted = []
+        cache = make_cache()
+        cache.writeback_sink = evicted.append
+        cache.access(0)  # clean fill
+        cache.access(0, store=True)  # now dirty
+        cache.access(4)
+        cache.access(8)
+        assert evicted == [0]
+
+    def test_miss_rate_is_load_only(self):
+        cache = make_cache()
+        cache.access(0, store=True)  # store miss: excluded
+        cache.access(0)  # load hit
+        assert cache.stats.miss_rate == 0.0
+        assert cache.stats.total_miss_rate == 0.5
+
+
+class TestFlush:
+    def test_flush_invalidates(self):
+        cache = make_cache()
+        cache.access(1)
+        cache.access(2, store=True)
+        dirty = cache.flush()
+        assert dirty == 1
+        assert not cache.contains(1)
+        assert not cache.contains(2)
+
+    def test_flush_does_not_call_sink(self):
+        evicted = []
+        cache = make_cache()
+        cache.writeback_sink = evicted.append
+        cache.access(2, store=True)
+        cache.flush()
+        assert evicted == []
+
+
+class TestCacheStatsMerge:
+    def test_merge_adds_counters(self):
+        a, b = CacheStats(accesses=2, hits=1, misses=1), CacheStats(accesses=3, misses=3)
+        a.merge(b)
+        assert a.accesses == 5
+        assert a.misses == 4

@@ -1,0 +1,82 @@
+"""Tests for the config-file loader."""
+
+import pytest
+
+from repro.sim.config import GPUConfig
+from repro.sim.configfile import load_config, parse_config, save_config
+
+
+class TestParseConfig:
+    def test_empty_is_baseline(self):
+        assert parse_config("") == GPUConfig()
+
+    def test_comments_and_blanks_ignored(self):
+        cfg = parse_config("# a comment\n\nnum_sms = 16  # trailing\n")
+        assert cfg.num_sms == 16
+
+    def test_top_level_keys(self):
+        cfg = parse_config("num_sms = 8\nscheduler = gto\n")
+        assert cfg.num_sms == 8
+        assert cfg.scheduler == "gto"
+
+    def test_nested_keys(self):
+        cfg = parse_config(
+            "l1.size_bytes = 32768\n"
+            "dram.controller = fifo\n"
+            "noc.topology = mesh\n"
+            "noc.router_delay = 8\n"
+        )
+        assert cfg.l1.size_bytes == 32768
+        assert cfg.l1.assoc == GPUConfig().l1.assoc  # untouched
+        assert cfg.dram.controller == "fifo"
+        assert cfg.noc.topology == "mesh"
+        assert cfg.noc.router_delay == 8
+
+    def test_booleans(self):
+        assert parse_config("perfect_memory = true\n").perfect_memory
+        assert not parse_config("perfect_memory = off\n").perfect_memory
+
+    def test_hex_integers(self):
+        assert parse_config("num_sms = 0x10\n").num_sms == 16
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown key"):
+            parse_config("num_smz = 8\n")
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(ValueError, match="unknown component"):
+            parse_config("l3.size_bytes = 1024\n")
+
+    def test_unknown_component_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown key"):
+            parse_config("l1.ways = 4\n")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError, match="expected 'key = value'"):
+            parse_config("just some words\n")
+
+    def test_validation_still_applies(self):
+        with pytest.raises(ValueError):
+            parse_config("scheduler = fifo\n")  # not a scheduler name
+
+
+class TestSaveLoadRoundtrip:
+    def test_roundtrip_baseline(self, tmp_path):
+        path = tmp_path / "gpu.cfg"
+        save_config(GPUConfig(), path)
+        assert load_config(path) == GPUConfig()
+
+    def test_roundtrip_modified(self, tmp_path):
+        original = parse_config(
+            "num_sms = 24\nl2.size_bytes = 1048576\n"
+            "dram.controller = ooo128\nperfect_memory = true\n"
+        )
+        path = tmp_path / "gpu.cfg"
+        save_config(original, path)
+        assert load_config(path) == original
+
+    def test_save_mentions_all_knobs(self):
+        text = save_config(GPUConfig())
+        for key in ("num_sms", "l1.size_bytes", "dram.controller",
+                    "noc.channel_bytes", "pci.latency_cycles"):
+            assert key in text

@@ -1,0 +1,117 @@
+"""Tests for the DRAM channel model."""
+
+import pytest
+
+from repro.sim.config import DRAMConfig
+from repro.sim.dram import DRAMChannel
+
+
+def channel(controller="frfcfs", **kwargs):
+    return DRAMChannel(DRAMConfig(controller=controller, **kwargs))
+
+
+class TestConfig:
+    def test_unknown_controller_rejected(self):
+        with pytest.raises(ValueError):
+            DRAMConfig(controller="magic")
+
+    def test_needs_banks(self):
+        with pytest.raises(ValueError):
+            DRAMConfig(banks=0)
+
+
+class TestRowBuffer:
+    def test_same_row_hits_after_activation(self):
+        ch = channel()
+        ch.access(0, 0)   # opens the row
+        ch.access(1, 500)  # same 2KB row (lines 0..15)
+        assert ch.stats.row_hits == 1
+        assert ch.stats.row_misses == 1
+
+    def test_different_row_same_bank_misses(self):
+        ch = channel()
+        cfg = ch.config
+        lines_per_row = cfg.row_bytes // 128
+        ch.access(0, 0)
+        # Row `banks` maps back to bank 0 with a different row.
+        far = cfg.banks * lines_per_row
+        ch.access(far, 500)
+        assert ch.stats.row_misses == 2
+
+    def test_row_hit_is_faster(self):
+        miss_done = channel().access(0, 0)
+        ch = channel()
+        ch.access(0, 0)
+        hit_done = ch.access(1, 1000) - 1000
+        assert hit_done < miss_done
+
+    def test_frfcfs_reorder_window_keeps_two_rows_open(self):
+        ch = channel()
+        cfg = ch.config
+        lines_per_row = cfg.row_bytes // 128
+        row_a, row_b = 0, cfg.banks * lines_per_row
+        ch.access(row_a, 0)
+        ch.access(row_b, 1000)
+        # Both rows in the window: either stream continues hitting.
+        ch.access(row_a + 1, 2000)
+        ch.access(row_b + 1, 3000)
+        assert ch.stats.row_hits == 2
+
+    def test_fifo_loses_interleaved_locality(self):
+        ch = channel("fifo")
+        cfg = ch.config
+        lines_per_row = cfg.row_bytes // 128
+        row_a, row_b = 0, cfg.banks * lines_per_row
+        ch.access(row_a, 0)
+        ch.access(row_b, 1000)  # closes row_a physically
+        ch.access(row_a + 1, 2000)  # FIFO: miss again
+        assert ch.stats.row_hits == 0
+
+
+class TestTimingAndCounters:
+    def test_bus_serializes_transfers(self):
+        ch = channel()
+        first = ch.access(0, 0)
+        second = ch.access(16, 0)  # different bank, same instant
+        assert second >= first + ch.config.burst_cycles
+
+    def test_banks_overlap_latency(self):
+        ch = channel()
+        # Two different banks issued together: the second should not
+        # wait for the first's full latency, only the shared bus.
+        first = ch.access(0, 0)
+        second = ch.access(16, 0)
+        assert second < first + ch.config.row_miss_latency
+
+    def test_data_cycles_accumulate(self):
+        ch = channel()
+        ch.access(0, 0)
+        ch.access(1, 0)
+        assert ch.stats.data_cycles == 2 * ch.config.burst_cycles
+
+    def test_efficiency_high_for_saturated_stream(self):
+        ch = channel()
+        now = 0
+        for i in range(200):
+            ch.access(i, now)  # all arrive at once: deep queue
+        assert ch.stats.efficiency > 0.5
+
+    def test_efficiency_low_for_sparse_random(self):
+        ch = channel()
+        lines_per_row = ch.config.row_bytes // 128
+        for i in range(20):
+            # One isolated row-missing request every 10k cycles.
+            ch.access(i * 17 * lines_per_row * ch.config.banks, i * 10_000)
+        assert ch.stats.efficiency < 0.2
+
+    def test_row_hit_rate(self):
+        ch = channel()
+        for i in range(16):
+            ch.access(i, i * 10)
+        assert ch.stats.row_hit_rate == 15 / 16
+
+    def test_completion_monotonic_per_bank(self):
+        ch = channel()
+        t1 = ch.access(0, 0)
+        t2 = ch.access(0, 1)
+        assert t2 > t1

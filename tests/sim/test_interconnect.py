@@ -1,0 +1,116 @@
+"""Tests for topologies and the network timing model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.config import NoCConfig
+from repro.sim.interconnect import Network, build_topology
+
+
+class TestTopologies:
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            build_topology("torus", 8, 4)
+
+    def test_crossbar_is_single_hop(self):
+        topo = build_topology("xbar", 16, 8)
+        for sm in range(16):
+            assert topo.hops(sm, 16 + sm % 8) == 1
+
+    def test_mesh_hops_manhattan(self):
+        topo = build_topology("mesh", 14, 2)  # 16 nodes, 4x4 grid
+        assert topo.hops(0, 15) == 7  # corner to corner: 3+3+1
+        assert topo.hops(0, 1) == 2
+        assert topo.hops(5, 5) == 1
+
+    def test_mesh_hops_symmetric(self):
+        topo = build_topology("mesh", 14, 2)
+        for a in range(16):
+            for b in range(16):
+                assert topo.hops(a, b) == topo.hops(b, a)
+
+    def test_butterfly_uniform_hops(self):
+        topo = build_topology("butterfly", 14, 2)
+        hops = {topo.hops(a, b) for a in range(16) for b in range(16)}
+        assert hops == {4}  # log2(16)
+
+    def test_fattree_nearest_common_ancestor(self):
+        topo = build_topology("fattree", 14, 2)
+        assert topo.hops(0, 1) == 2   # siblings under one switch
+        assert topo.hops(0, 15) > topo.hops(0, 1)
+
+    def test_average_hops_ordering(self):
+        # The crossbar beats every multi-hop topology on average.
+        xbar = build_topology("xbar", 16, 8).average_hops()
+        mesh = build_topology("mesh", 16, 8).average_hops()
+        bfly = build_topology("butterfly", 16, 8).average_hops()
+        assert xbar < mesh
+        assert xbar < bfly
+
+    def test_bisection_links(self):
+        assert build_topology("xbar", 16, 8).bisection_links() is None
+        assert build_topology("mesh", 14, 2).bisection_links() == 4
+        assert build_topology("butterfly", 14, 2).bisection_links() == 8
+
+    @given(st.sampled_from(["xbar", "mesh", "fattree", "butterfly"]),
+           st.integers(min_value=1, max_value=40),
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=40)
+    def test_hops_positive(self, name, sms, parts):
+        topo = build_topology(name, sms, parts)
+        for sm in range(0, sms, max(1, sms // 3)):
+            for p in range(parts):
+                assert topo.hops(sm, sms + p) >= 1
+
+
+class TestNetworkTiming:
+    def make(self, **noc_kwargs):
+        return Network(NoCConfig(**noc_kwargs), num_sms=4, num_partitions=2)
+
+    def test_request_response_complete(self):
+        net = self.make()
+        at_l2 = net.request(0, 1, now=0)
+        back = net.response(1, 0, now=at_l2)
+        assert back > at_l2 > 0
+
+    def test_wider_channel_is_faster(self):
+        slow = self.make(channel_bytes=8)
+        fast = self.make(channel_bytes=40)
+        assert slow.response(0, 1, 0) > fast.response(0, 1, 0)
+
+    def test_router_delay_adds_latency(self):
+        base = self.make(topology="mesh", router_delay=0)
+        delayed = self.make(topology="mesh", router_delay=8)
+        assert delayed.request(0, 1, 0) > base.request(0, 1, 0)
+
+    def test_mesh_slower_than_crossbar(self):
+        xbar = self.make(topology="xbar")
+        mesh = self.make(topology="mesh")
+        assert mesh.request(0, 1, 0) >= xbar.request(0, 1, 0)
+
+    def test_port_contention_serializes(self):
+        net = self.make()
+        first = net.request(0, 0, now=0)
+        second = net.request(0, 1, now=0)  # same injection port
+        assert second > first - 1  # delayed behind the first message
+        assert net.stats.contention_cycles > 0
+
+    def test_distinct_ports_parallel(self):
+        net = self.make()
+        a = net.request(0, 0, now=0)
+        b = net.request(1, 1, now=0)
+        assert b == a  # symmetric paths, no shared port
+
+    def test_stats_accumulate(self):
+        net = self.make()
+        net.request(0, 0, 0, store_bytes=128)
+        net.response(0, 0, 100)
+        assert net.stats.messages == 2
+        assert net.stats.bytes > 256
+        assert net.stats.average_latency > 0
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            NoCConfig(topology="ring")
+        with pytest.raises(ValueError):
+            NoCConfig(channel_bytes=0)

@@ -1,0 +1,76 @@
+"""Tests for the shared memory subsystem (L2 banks + NoC + DRAM)."""
+
+import pytest
+
+from repro.sim.config import GPUConfig
+from repro.sim.memory import MemorySubsystem
+
+
+@pytest.fixture
+def memory():
+    return MemorySubsystem(GPUConfig(num_sms=4, num_mem_partitions=4))
+
+
+class TestAddressInterleaving:
+    def test_consecutive_lines_hit_consecutive_partitions(self, memory):
+        assert [memory.partition_of(line) for line in range(8)] == \
+            [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_l2_banked_per_partition(self, memory):
+        assert len(memory.l2_banks) == 4
+        assert len(memory.dram) == 4
+
+    def test_bank_capacity_is_slice(self, memory):
+        total = GPUConfig().l2.size_bytes
+        assert memory.l2_banks[0].config.size_bytes == total // 4
+
+
+class TestLineRequests:
+    def test_l2_hit_faster_than_miss(self, memory):
+        first = memory.line_request(0, 100, False, 0)
+        # Same line again (resident in L2): must return sooner
+        # relative to issue time.
+        second = memory.line_request(0, 100, False, first)
+        assert second - first < first - 0
+
+    def test_load_miss_reaches_dram(self, memory):
+        memory.line_request(0, 64, False, 0)
+        assert sum(ch.stats.requests for ch in memory.dram) == 1
+
+    def test_store_fills_l2(self, memory):
+        memory.line_request(1, 40, True, 0)
+        bank = memory.l2_banks[memory.partition_of(40)]
+        assert bank.contains(40)
+
+    def test_completion_after_now(self, memory):
+        done = memory.line_request(2, 7, False, 1000)
+        assert done > 1000
+
+
+class TestWriteback:
+    def test_writeback_fills_l2_without_blocking(self, memory):
+        memory.writeback(0, 24, now=0)
+        bank = memory.l2_banks[memory.partition_of(24)]
+        assert bank.contains(24)
+
+    def test_writeback_miss_charges_dram(self, memory):
+        memory.writeback(0, 24, now=0)
+        assert sum(ch.stats.requests for ch in memory.dram) == 1
+
+    def test_writeback_hit_skips_dram(self, memory):
+        memory.line_request(0, 24, False, 0)  # line now in L2
+        before = sum(ch.stats.requests for ch in memory.dram)
+        memory.writeback(0, 24, now=5000)
+        assert sum(ch.stats.requests for ch in memory.dram) == before
+
+
+class TestFlush:
+    def test_flush_empties_all_banks(self, memory):
+        for line in range(16):
+            memory.line_request(0, line, False, 0)
+        memory.flush()
+        assert all(
+            not bank.contains(line)
+            for line in range(16)
+            for bank in memory.l2_banks
+        )

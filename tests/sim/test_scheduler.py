@@ -1,0 +1,94 @@
+"""Tests for warp scheduler policies."""
+
+import pytest
+
+from repro.sim.scheduler import (
+    GreedyThenOldest,
+    LooseRoundRobin,
+    OldestFirst,
+    TwoLevel,
+    build_scheduler,
+)
+
+
+class FakeWarp:
+    """Minimal stand-in with the attributes schedulers read."""
+
+    def __init__(self, age):
+        self.age = age
+        self.exited = False
+
+    def __repr__(self):
+        return f"W{self.age}"
+
+
+@pytest.fixture
+def warps():
+    return [FakeWarp(i) for i in range(4)]
+
+
+class TestBuildScheduler:
+    @pytest.mark.parametrize("name,cls", [
+        ("lrr", LooseRoundRobin),
+        ("gto", GreedyThenOldest),
+        ("old", OldestFirst),
+        ("2lv", TwoLevel),
+    ])
+    def test_registry(self, name, cls):
+        assert isinstance(build_scheduler(name), cls)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            build_scheduler("fifo")
+
+
+class TestLRR:
+    def test_rotates_through_ready_warps(self, warps):
+        sched = LooseRoundRobin()
+        picks = [sched.select(warps) for _ in range(8)]
+        counts = {w.age: picks.count(w) for w in warps}
+        assert all(count == 2 for count in counts.values())
+
+
+class TestGTO:
+    def test_greedy_sticks_with_last(self, warps):
+        sched = GreedyThenOldest()
+        first = sched.select(warps)
+        sched.issued(first)
+        assert sched.select(warps) is first
+
+    def test_falls_back_to_oldest(self, warps):
+        sched = GreedyThenOldest()
+        sched.issued(warps[3])
+        ready = warps[:3]  # last-issued warp not ready
+        assert sched.select(ready) is warps[0]
+
+    def test_retired_warp_not_chased(self, warps):
+        sched = GreedyThenOldest()
+        sched.issued(warps[2])
+        sched.retired(warps[2])
+        assert sched.select(warps) is warps[0]
+
+
+class TestOldestFirst:
+    def test_always_oldest(self, warps):
+        sched = OldestFirst()
+        assert sched.select(list(reversed(warps))) is warps[0]
+        assert sched.select(warps[2:]) is warps[2]
+
+
+class TestTwoLevel:
+    def test_prefers_active_set(self):
+        warps = [FakeWarp(i) for i in range(12)]
+        sched = TwoLevel(active_size=4)
+        picks = {sched.select(warps).age for _ in range(20)}
+        assert picks <= {0, 1, 2, 3}
+
+    def test_refills_when_active_warps_stall(self):
+        warps = [FakeWarp(i) for i in range(12)]
+        sched = TwoLevel(active_size=4)
+        sched.select(warps)
+        # The whole active set stalls: only 8..11 remain ready.
+        ready = warps[8:]
+        pick = sched.select(ready)
+        assert pick.age >= 8

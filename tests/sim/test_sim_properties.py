@@ -1,0 +1,150 @@
+"""Property-based tests: simulator invariants over random toy kernels.
+
+Hypothesis generates random (but well-formed) warp traces; the
+simulator must uphold its global invariants regardless: every yielded
+instruction is counted, stall fractions normalize, time is monotone,
+and runs are deterministic.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import TraceBuilder
+from repro.sim import (
+    Application,
+    GPUConfig,
+    GPUSimulator,
+    HostLaunch,
+    HostMemcpy,
+    KernelLaunch,
+    KernelProgram,
+)
+
+# One random "step" of a warp trace: (kind, magnitude).
+step = st.tuples(
+    st.sampled_from(["int", "fp", "ld", "st", "shared", "const", "branch"]),
+    st.integers(min_value=1, max_value=6),
+)
+trace_spec = st.lists(step, min_size=0, max_size=25)
+
+
+class SpecKernel(KernelProgram):
+    """Kernel whose trace follows a generated (kind, magnitude) list."""
+
+    def __init__(self, spec, cta_threads=64):
+        super().__init__("spec", cta_threads, regs_per_thread=32)
+        self.spec = spec
+
+    def warp_trace(self, ctx):
+        b = TraceBuilder()
+        for kind, mag in self.spec:
+            if kind == "int":
+                yield b.ints(mag)
+            elif kind == "fp":
+                yield b.fps(mag)
+            elif kind == "ld":
+                yield b.ld_global(
+                    [ctx.global_warp * 131 + mag * 7 + k for k in range(mag)]
+                )
+            elif kind == "st":
+                yield b.st_global([ctx.global_warp * 131 + mag])
+            elif kind == "shared":
+                yield b.ld_shared()
+            elif kind == "const":
+                yield b.ld_const([mag])
+            elif kind == "branch":
+                b.set_lanes(max(1, mag * 5))
+                yield b.branch()
+        yield b.exit()
+
+
+def run_spec(spec, num_ctas=3):
+    class App(Application):
+        name = "property"
+
+        def host_program(self):
+            yield HostMemcpy(1024, "h2d")
+            yield HostLaunch(KernelLaunch(SpecKernel(spec), num_ctas))
+
+    sim = GPUSimulator(GPUConfig(num_sms=2, num_mem_partitions=2))
+    return sim.run_application(App())
+
+
+def expected_instructions(spec, num_ctas=3, warps_per_cta=2):
+    per_warp = sum(
+        mag if kind in ("int", "fp") else 1 for kind, mag in spec
+    ) + 1  # the exit
+    return per_warp * num_ctas * warps_per_cta
+
+
+class TestSimulatorInvariants:
+    @given(trace_spec)
+    @settings(max_examples=40, deadline=None)
+    def test_every_instruction_counted(self, spec):
+        stats = run_spec(spec)
+        assert stats.instructions == expected_instructions(spec)
+
+    @given(trace_spec)
+    @settings(max_examples=30, deadline=None)
+    def test_occupancy_histogram_totals(self, spec):
+        stats = run_spec(spec)
+        assert sum(stats.warp_occupancy.values()) == stats.instructions
+        fractions = stats.occupancy_fractions()
+        assert abs(sum(fractions.values()) - 1.0) < 1e-9
+
+    @given(trace_spec)
+    @settings(max_examples=30, deadline=None)
+    def test_stall_fractions_normalized(self, spec):
+        stats = run_spec(spec)
+        breakdown = stats.stall_breakdown()
+        if breakdown:
+            assert abs(sum(breakdown.values()) - 1.0) < 1e-9
+
+    @given(trace_spec)
+    @settings(max_examples=25, deadline=None)
+    def test_deterministic(self, spec):
+        a = run_spec(spec)
+        b = run_spec(spec)
+        assert a.kernel_cycles == b.kernel_cycles
+        assert a.stalls == b.stalls
+        assert a.l1.misses == b.l1.misses
+
+    @given(trace_spec)
+    @settings(max_examples=25, deadline=None)
+    def test_cache_accounting_consistent(self, spec):
+        stats = run_spec(spec)
+        assert stats.l1.hits + stats.l1.misses == stats.l1.accesses
+        assert stats.l1.load_misses <= stats.l1.misses
+        assert stats.l2.accesses >= stats.l2.misses
+
+    @given(trace_spec, st.sampled_from(["lrr", "gto", "old", "2lv"]))
+    @settings(max_examples=25, deadline=None)
+    def test_all_schedulers_complete_all_work(self, spec, scheduler):
+        class App(Application):
+            name = "sched"
+
+            def host_program(self):
+                yield HostLaunch(KernelLaunch(SpecKernel(spec), 3))
+
+        sim = GPUSimulator(
+            GPUConfig(num_sms=2, num_mem_partitions=2, scheduler=scheduler)
+        )
+        stats = sim.run_application(App())
+        assert stats.instructions == expected_instructions(spec)
+
+    @given(trace_spec)
+    @settings(max_examples=20, deadline=None)
+    def test_perfect_memory_never_slower(self, spec):
+        base = run_spec(spec)
+
+        class App(Application):
+            name = "perfect"
+
+            def host_program(self):
+                yield HostMemcpy(1024, "h2d")
+                yield HostLaunch(KernelLaunch(SpecKernel(spec), 3))
+
+        sim = GPUSimulator(GPUConfig(
+            num_sms=2, num_mem_partitions=2, perfect_memory=True
+        ))
+        perfect = sim.run_application(App())
+        assert perfect.kernel_cycles <= base.kernel_cycles

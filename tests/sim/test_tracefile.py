@@ -1,0 +1,114 @@
+"""Tests for trace capture and replay."""
+
+import pytest
+
+from repro.isa import TraceBuilder
+from repro.kernels import build_application
+from repro.sim import (
+    Application,
+    GPUConfig,
+    GPUSimulator,
+    HostLaunch,
+    HostMemcpy,
+    KernelLaunch,
+    KernelProgram,
+)
+from repro.sim.launch import HostLaunch as _HostLaunch
+from repro.sim.tracefile import TraceCaptureError, capture_trace, load_trace
+
+
+class ToyKernel(KernelProgram):
+    def __init__(self):
+        super().__init__("toy", 64, regs_per_thread=40, smem_per_cta=2048,
+                         const_bytes=256)
+
+    def warp_trace(self, ctx):
+        b = TraceBuilder()
+        yield b.ld_const([3])
+        for i in range(4):
+            yield b.ints(3)
+            yield b.ld_global([ctx.global_warp * 16 + i])
+        b.set_lanes(7)
+        yield b.branch()
+        yield b.st_global([ctx.global_warp])
+        yield b.ld_shared()
+        yield b.barrier()
+        yield b.exit()
+
+
+def run_launch(launch):
+    class App(Application):
+        name = "replay"
+
+        def host_program(self):
+            yield HostMemcpy(512, "h2d")
+            yield HostLaunch(launch)
+
+    sim = GPUSimulator(GPUConfig(num_sms=2, num_mem_partitions=2))
+    return sim.run_application(App())
+
+
+class TestCaptureReplayRoundtrip:
+    def test_header_and_metadata_preserved(self, tmp_path):
+        launch = KernelLaunch(ToyKernel(), num_ctas=3)
+        path = tmp_path / "toy.trace"
+        capture_trace(launch, path)
+        replay = load_trace(path)
+        assert replay.kernel.name == "toy"
+        assert replay.kernel.cta_threads == 64
+        assert replay.kernel.smem_per_cta == 2048
+        assert replay.num_ctas == 3
+
+    def test_replay_is_timing_identical(self, tmp_path):
+        launch = KernelLaunch(ToyKernel(), num_ctas=3)
+        live = run_launch(launch)
+        path = tmp_path / "toy.trace"
+        capture_trace(launch, path)
+        replayed = run_launch(load_trace(path))
+        assert replayed.kernel_cycles == live.kernel_cycles
+        assert replayed.instructions == live.instructions
+        assert replayed.stalls == live.stalls
+        assert replayed.l1.misses == live.l1.misses
+        assert replayed.mem_mix == live.mem_mix
+        assert replayed.warp_occupancy == live.warp_occupancy
+
+    def test_benchmark_kernel_roundtrip(self, tmp_path):
+        app = build_application("NW")
+        launch = None
+        for op in app.host_program():
+            if isinstance(op, _HostLaunch):
+                launch = op.launch
+                break
+        live = run_launch(launch)
+        path = tmp_path / "nw.trace"
+        capture_trace(launch, path)
+        replayed = run_launch(load_trace(path))
+        assert replayed.kernel_cycles == live.kernel_cycles
+
+    def test_text_roundtrip_without_file(self):
+        launch = KernelLaunch(ToyKernel(), num_ctas=1)
+        text = capture_trace(launch)
+        replay = load_trace(text)
+        assert replay.kernel.name == "toy"
+
+
+class TestCaptureLimits:
+    def test_cdp_kernels_rejected(self):
+        child = ToyKernel()
+
+        class Parent(KernelProgram):
+            def __init__(self):
+                super().__init__("parent", 32)
+
+            def warp_trace(self, ctx):
+                b = TraceBuilder()
+                yield b.launch(KernelLaunch(child, 1))
+                yield b.device_sync()
+                yield b.exit()
+
+        with pytest.raises(TraceCaptureError):
+            capture_trace(KernelLaunch(Parent(), num_ctas=1))
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            load_trace("   \n  ")
