@@ -35,7 +35,31 @@ from repro.bench.experiments import (
     suite_variants,
 )
 
-__all__ = [name for name in dir() if name.startswith(("table", "fig"))] + [
+__all__ = [
+    "table1_configs",
+    "table2_configs",
+    "table3_properties",
+    "fig2_cpu_gpu",
+    "fig3_cdp",
+    "fig4_kernel_pci",
+    "fig5_stalls",
+    "fig6_sram",
+    "fig7_shared_memory",
+    "fig8_instruction_mix",
+    "fig9_memory_mix",
+    "fig10_warp_occupancy",
+    "fig11_cta_sweep",
+    "fig12_cache_speedup",
+    "fig13_l1_miss",
+    "fig14_l2_miss",
+    "fig15_perfect_memory",
+    "fig16_mem_controller",
+    "fig17_dram_efficiency",
+    "fig18_dram_utilization",
+    "fig19_scheduler",
+    "fig20_topology",
+    "fig21_noc_latency",
+    "fig22_noc_bandwidth",
     "cache_sweep_results",
     "suite_variants",
 ]

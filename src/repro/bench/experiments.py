@@ -32,11 +32,12 @@ from repro.core.config_presets import (
 )
 from repro.core.runner import run_benchmark, variant_name
 from repro.core.suite import BenchmarkSuite
+from repro.core.sweep import run_sweep, sweep_point
 from repro.cpu.timing import cpu_cycles
 from repro.data.datasets import DatasetSize, dataset_for
-from repro.kernels import BENCHMARKS, benchmark_names
+from repro.kernels import benchmark_names
 from repro.sim.config import GPUConfig
-from repro.sim.stats import OCCUPANCY_BUCKETS
+from repro.sim.stats import RunStats
 
 
 def suite_variants() -> list[tuple[str, bool]]:
@@ -44,12 +45,14 @@ def suite_variants() -> list[tuple[str, bool]]:
     return [(abbr, cdp) for abbr in benchmark_names() for cdp in (False, True)]
 
 
-def _run_all(config: GPUConfig, size: DatasetSize):
-    """Run every variant once; returns {variant_name: RunStats}."""
-    return {
-        variant_name(abbr, cdp): run_benchmark(abbr, cdp=cdp, size=size, config=config)
-        for abbr, cdp in suite_variants()
-    }
+def _sweep_variants(
+    benchmarks: list[str] | None = None,
+) -> list[tuple[str, bool]]:
+    """``suite_variants`` filtered to an optional benchmark subset."""
+    return [
+        (abbr, cdp) for abbr, cdp in suite_variants()
+        if not benchmarks or abbr in benchmarks
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -290,6 +293,7 @@ def fig11_cta_sweep(
     size: DatasetSize = DatasetSize.SMALL,
     benchmarks: list[str] | None = None,
     num_sms: int = 4,
+    jobs: int | None = 0,
 ) -> list[dict]:
     """Fig 11: speedup when CTA/core (and linked resources) scale.
 
@@ -301,21 +305,26 @@ def fig11_cta_sweep(
     the paper's PairHMM-CDP scaling trend to be visible.
     """
     config = (config or baseline_config()).with_(num_sms=num_sms)
+    variants = _sweep_variants(benchmarks)
+    points = [
+        sweep_point(
+            f"{variant_name(abbr, cdp)}|x{factor}",
+            abbr,
+            scale_cta_resources(config, factor),
+            cdp=cdp,
+            size=DatasetSize.MEDIUM if abbr == "PairHMM" else size,
+        )
+        for abbr, cdp in variants
+        for factor in CTA_SCALING
+    ]
+    stats = run_sweep(points, jobs=jobs)
     rows = []
-    for abbr, cdp in suite_variants():
-        if benchmarks and abbr not in benchmarks:
-            continue
-        bench_size = DatasetSize.MEDIUM if abbr == "PairHMM" else size
-        base_time = None
-        row = {"benchmark": variant_name(abbr, cdp)}
+    for abbr, cdp in variants:
+        name = variant_name(abbr, cdp)
+        row = {"benchmark": name}
         for factor in CTA_SCALING:
-            cfg = scale_cta_resources(config, factor)
-            time = run_benchmark(
-                abbr, cdp=cdp, size=bench_size, config=cfg
-            ).device_time()
-            if factor == 1.0:
-                base_time = time
-            row[f"x{factor}"] = time
+            row[f"x{factor}"] = stats[f"{name}|x{factor}"].device_time()
+        base_time = row["x1.0"]
         for factor in CTA_SCALING:
             row[f"speedup_x{factor}"] = base_time / row[f"x{factor}"]
         rows.append(row)
@@ -326,18 +335,30 @@ def cache_sweep_results(
     config: GPUConfig | None = None,
     size: DatasetSize = DatasetSize.SMALL,
     benchmarks: list[str] | None = None,
+    jobs: int | None = 0,
 ) -> list[dict]:
     """Shared sweep behind Figs 12-14: one row per (variant, cache pair)."""
     config = config or baseline_config()
+    variants = _sweep_variants(benchmarks)
+    points = [
+        sweep_point(
+            f"{variant_name(abbr, cdp)}|l1={l1_bytes}|l2={l2_bytes}",
+            abbr,
+            with_cache_sizes(config, l1_bytes, l2_bytes),
+            cdp=cdp,
+            size=size,
+        )
+        for abbr, cdp in variants
+        for l1_bytes, l2_bytes in CACHE_SWEEP
+    ]
+    results = run_sweep(points, jobs=jobs)
     rows = []
-    for abbr, cdp in suite_variants():
-        if benchmarks and abbr not in benchmarks:
-            continue
+    for abbr, cdp in variants:
+        name = variant_name(abbr, cdp)
         for l1_bytes, l2_bytes in CACHE_SWEEP:
-            cfg = with_cache_sizes(config, l1_bytes, l2_bytes)
-            stats = run_benchmark(abbr, cdp=cdp, size=size, config=cfg)
+            stats = results[f"{name}|l1={l1_bytes}|l2={l2_bytes}"]
             rows.append({
-                "benchmark": variant_name(abbr, cdp),
+                "benchmark": name,
                 "l1_bytes": l1_bytes,
                 "l2_bytes": l2_bytes,
                 "cycles": stats.device_time(),
@@ -390,40 +411,71 @@ def fig14_l2_miss(sweep: list[dict] | None = None, **kwargs) -> list[dict]:
 
 
 def fig15_perfect_memory(
-    config: GPUConfig | None = None, size: DatasetSize = DatasetSize.SMALL
+    config: GPUConfig | None = None,
+    size: DatasetSize = DatasetSize.SMALL,
+    jobs: int | None = 0,
 ) -> list[dict]:
     """Fig 15: speedup with a zero-latency memory system."""
     config = config or baseline_config()
+    perfect_config = config.with_(perfect_memory=True)
+    variants = _sweep_variants()
+    points = []
+    for abbr, cdp in variants:
+        name = variant_name(abbr, cdp)
+        points.append(sweep_point(f"{name}|base", abbr, config,
+                                  cdp=cdp, size=size))
+        points.append(sweep_point(f"{name}|perfect", abbr, perfect_config,
+                                  cdp=cdp, size=size))
+    results = run_sweep(points, jobs=jobs)
     rows = []
-    for abbr, cdp in suite_variants():
-        base = run_benchmark(abbr, cdp=cdp, size=size, config=config)
-        perfect = run_benchmark(
-            abbr, cdp=cdp, size=size, config=config.with_(perfect_memory=True)
-        )
+    for abbr, cdp in variants:
+        name = variant_name(abbr, cdp)
+        base = results[f"{name}|base"].device_time()
+        perfect = results[f"{name}|perfect"].device_time()
         rows.append({
-            "benchmark": variant_name(abbr, cdp),
-            "baseline_cycles": base.device_time(),
-            "perfect_cycles": perfect.device_time(),
-            "speedup": base.device_time() / perfect.device_time(),
+            "benchmark": name,
+            "baseline_cycles": base,
+            "perfect_cycles": perfect,
+            "speedup": base / perfect,
         })
     return rows
 
 
+def _controller_sweep(
+    config: GPUConfig, size: DatasetSize, jobs: int | None
+) -> dict[str, RunStats]:
+    """Shared Figs 16/17 sweep: variant x controller, one run each."""
+    points = [
+        sweep_point(
+            f"{variant_name(abbr, cdp)}|{controller}",
+            abbr,
+            with_controller(config, controller),
+            cdp=cdp,
+            size=size,
+        )
+        for abbr, cdp in _sweep_variants()
+        for controller in MEM_CONTROLLERS
+    ]
+    return run_sweep(points, jobs=jobs)
+
+
 def fig16_mem_controller(
-    config: GPUConfig | None = None, size: DatasetSize = DatasetSize.SMALL
+    config: GPUConfig | None = None,
+    size: DatasetSize = DatasetSize.SMALL,
+    jobs: int | None = 0,
 ) -> list[dict]:
     """Fig 16: FR-FCFS vs FIFO vs OoO-128 memory controllers."""
     config = config or baseline_config()
+    results = _controller_sweep(config, size, jobs)
     rows = []
-    for abbr, cdp in suite_variants():
-        row = {"benchmark": variant_name(abbr, cdp)}
-        times = {}
-        for controller in MEM_CONTROLLERS:
-            cfg = with_controller(config, controller)
-            times[controller] = run_benchmark(
-                abbr, cdp=cdp, size=size, config=cfg
-            ).device_time()
-            row[controller] = times[controller]
+    for abbr, cdp in _sweep_variants():
+        name = variant_name(abbr, cdp)
+        row = {"benchmark": name}
+        times = {
+            controller: results[f"{name}|{controller}"].device_time()
+            for controller in MEM_CONTROLLERS
+        }
+        row.update(times)
         for controller in MEM_CONTROLLERS:
             row[f"norm_{controller}"] = times["frfcfs"] / times[controller]
         rows.append(row)
@@ -431,17 +483,19 @@ def fig16_mem_controller(
 
 
 def fig17_dram_efficiency(
-    config: GPUConfig | None = None, size: DatasetSize = DatasetSize.SMALL
+    config: GPUConfig | None = None,
+    size: DatasetSize = DatasetSize.SMALL,
+    jobs: int | None = 0,
 ) -> list[dict]:
     """Fig 17: DRAM efficiency per benchmark and controller."""
     config = config or baseline_config()
+    results = _controller_sweep(config, size, jobs)
     rows = []
-    for abbr, cdp in suite_variants():
-        row = {"benchmark": variant_name(abbr, cdp)}
+    for abbr, cdp in _sweep_variants():
+        name = variant_name(abbr, cdp)
+        row = {"benchmark": name}
         for controller in MEM_CONTROLLERS:
-            cfg = with_controller(config, controller)
-            stats = run_benchmark(abbr, cdp=cdp, size=size, config=cfg)
-            row[controller] = stats.dram.efficiency
+            row[controller] = results[f"{name}|{controller}"].dram.efficiency
         rows.append(row)
     return rows
 
@@ -461,85 +515,105 @@ def fig18_dram_utilization(
     return rows
 
 
+def _axis_sweep(
+    config: GPUConfig,
+    size: DatasetSize,
+    jobs: int | None,
+    axis: list,
+    make_config,
+    key,
+    norm_value,
+) -> list[dict]:
+    """One-knob sweeps behind Figs 19-22: variant rows, axis columns.
+
+    ``make_config(value)`` builds the config for one axis value,
+    ``key(value)`` names its column, and ``norm_value`` is the axis
+    value every other one is normalized against.
+    """
+    variants = _sweep_variants()
+    points = [
+        sweep_point(
+            f"{variant_name(abbr, cdp)}|{key(value)}",
+            abbr,
+            make_config(value),
+            cdp=cdp,
+            size=size,
+        )
+        for abbr, cdp in variants
+        for value in axis
+    ]
+    results = run_sweep(points, jobs=jobs)
+    rows = []
+    for abbr, cdp in variants:
+        name = variant_name(abbr, cdp)
+        row = {"benchmark": name}
+        times = {
+            value: results[f"{name}|{key(value)}"].device_time()
+            for value in axis
+        }
+        for value in axis:
+            row[key(value)] = times[value]
+        for value in axis:
+            row[f"norm_{key(value)}"] = times[norm_value] / times[value]
+        rows.append(row)
+    return rows
+
+
 def fig19_scheduler(
-    config: GPUConfig | None = None, size: DatasetSize = DatasetSize.SMALL
+    config: GPUConfig | None = None,
+    size: DatasetSize = DatasetSize.SMALL,
+    jobs: int | None = 0,
 ) -> list[dict]:
     """Fig 19: warp-scheduler sensitivity (normalized to LRR)."""
     config = config or baseline_config()
-    rows = []
-    for abbr, cdp in suite_variants():
-        row = {"benchmark": variant_name(abbr, cdp)}
-        times = {}
-        for sched in SCHEDULERS:
-            cfg = config.with_(scheduler=sched)
-            times[sched] = run_benchmark(
-                abbr, cdp=cdp, size=size, config=cfg
-            ).device_time()
-            row[sched] = times[sched]
-        for sched in SCHEDULERS:
-            row[f"norm_{sched}"] = times["lrr"] / times[sched]
-        rows.append(row)
-    return rows
+    return _axis_sweep(
+        config, size, jobs, SCHEDULERS,
+        lambda sched: config.with_(scheduler=sched),
+        lambda sched: sched,
+        "lrr",
+    )
 
 
 def fig20_topology(
-    config: GPUConfig | None = None, size: DatasetSize = DatasetSize.SMALL
+    config: GPUConfig | None = None,
+    size: DatasetSize = DatasetSize.SMALL,
+    jobs: int | None = 0,
 ) -> list[dict]:
     """Fig 20: interconnect topology (normalized to the local crossbar)."""
     config = config or baseline_config()
-    rows = []
-    for abbr, cdp in suite_variants():
-        row = {"benchmark": variant_name(abbr, cdp)}
-        times = {}
-        for topology in TOPOLOGIES:
-            cfg = with_topology(config, topology)
-            times[topology] = run_benchmark(
-                abbr, cdp=cdp, size=size, config=cfg
-            ).device_time()
-            row[topology] = times[topology]
-        for topology in TOPOLOGIES:
-            row[f"norm_{topology}"] = times["xbar"] / times[topology]
-        rows.append(row)
-    return rows
+    return _axis_sweep(
+        config, size, jobs, TOPOLOGIES,
+        lambda topology: with_topology(config, topology),
+        lambda topology: topology,
+        "xbar",
+    )
 
 
 def fig21_noc_latency(
-    config: GPUConfig | None = None, size: DatasetSize = DatasetSize.SMALL
+    config: GPUConfig | None = None,
+    size: DatasetSize = DatasetSize.SMALL,
+    jobs: int | None = 0,
 ) -> list[dict]:
     """Fig 21: router latency +0/4/8/16 cycles on a mesh."""
     config = config or baseline_config()
-    rows = []
-    for abbr, cdp in suite_variants():
-        row = {"benchmark": variant_name(abbr, cdp)}
-        times = {}
-        for delay in NOC_LATENCY_SWEEP:
-            cfg = with_topology(config, "mesh", router_delay=delay)
-            times[delay] = run_benchmark(
-                abbr, cdp=cdp, size=size, config=cfg
-            ).device_time()
-            row[f"delay{delay}"] = times[delay]
-        for delay in NOC_LATENCY_SWEEP:
-            row[f"norm_delay{delay}"] = times[0] / times[delay]
-        rows.append(row)
-    return rows
+    return _axis_sweep(
+        config, size, jobs, NOC_LATENCY_SWEEP,
+        lambda delay: with_topology(config, "mesh", router_delay=delay),
+        lambda delay: f"delay{delay}",
+        0,
+    )
 
 
 def fig22_noc_bandwidth(
-    config: GPUConfig | None = None, size: DatasetSize = DatasetSize.SMALL
+    config: GPUConfig | None = None,
+    size: DatasetSize = DatasetSize.SMALL,
+    jobs: int | None = 0,
 ) -> list[dict]:
     """Fig 22: channel width 8/16/32/40B on a mesh (normalized to 40B)."""
     config = config or baseline_config()
-    rows = []
-    for abbr, cdp in suite_variants():
-        row = {"benchmark": variant_name(abbr, cdp)}
-        times = {}
-        for width in NOC_BANDWIDTH_SWEEP:
-            cfg = with_topology(config, "mesh", channel_bytes=width)
-            times[width] = run_benchmark(
-                abbr, cdp=cdp, size=size, config=cfg
-            ).device_time()
-            row[f"bw{width}"] = times[width]
-        for width in NOC_BANDWIDTH_SWEEP:
-            row[f"norm_bw{width}"] = times[40] / times[width]
-        rows.append(row)
-    return rows
+    return _axis_sweep(
+        config, size, jobs, NOC_BANDWIDTH_SWEEP,
+        lambda width: with_topology(config, "mesh", channel_bytes=width),
+        lambda width: f"bw{width}",
+        40,
+    )

@@ -8,6 +8,9 @@ run ABBR
     Run one benchmark on the GPU model and print its characterization.
 suite
     Run every benchmark (with CDP variants) and print a summary table.
+sweep AXIS
+    Run a config sweep across the suite through the sweep engine
+    (``--jobs N`` fans points out over worker processes).
 figure NAME
     Regenerate one of the paper's tables/figures (e.g. ``fig3``).
 dataset ABBR
@@ -125,6 +128,37 @@ def cmd_suite(args) -> int:
                              key=stats.stall_breakdown().get)
             if stats.stalls else "-",
         })
+    print(format_table(rows))
+    return 0
+
+
+#: ``repro sweep`` axes -> the figure harness that runs them.
+SWEEP_AXES = {
+    "cache": "cache_sweep_results",
+    "cta": "fig11_cta_sweep",
+    "memory": "fig15_perfect_memory",
+    "controller": "fig16_mem_controller",
+    "scheduler": "fig19_scheduler",
+    "topology": "fig20_topology",
+    "noc-latency": "fig21_noc_latency",
+    "noc-bandwidth": "fig22_noc_bandwidth",
+}
+
+
+def _nonneg_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
+def cmd_sweep(args) -> int:
+    from repro import bench
+    from repro.core.sweep import default_jobs
+
+    jobs = default_jobs() if args.jobs is None else args.jobs
+    func = getattr(bench, SWEEP_AXES[args.axis])
+    rows = func(config=_config(args), size=args.size, jobs=jobs)
     print(format_table(rows))
     return 0
 
@@ -317,6 +351,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="skip the CDP variants")
     _add_machine_args(p_suite)
     p_suite.set_defaults(func=cmd_suite)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a config sweep through the sweep engine"
+    )
+    p_sweep.add_argument("axis", choices=sorted(SWEEP_AXES),
+                         help="which config axis to sweep")
+    p_sweep.add_argument(
+        "--jobs", type=_nonneg_int, default=None, metavar="N",
+        help="worker processes (default: one per CPU; 0 = in-process)",
+    )
+    _add_machine_args(p_sweep)
+    p_sweep.set_defaults(func=cmd_sweep)
 
     p_roof = sub.add_parser("roofline", help="roofline analysis of the suite")
     p_roof.add_argument("benchmarks", nargs="*",

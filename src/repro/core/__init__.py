@@ -15,6 +15,16 @@ The suite object wraps the registry for bulk runs:
 
 from repro.core.runner import run_benchmark, run_suite, variant_name
 from repro.core.suite import BenchmarkSuite
+from repro.core.sweep import (
+    SweepPoint,
+    TraceCache,
+    default_jobs,
+    run_point,
+    run_sweep,
+    suite_points,
+    sweep_point,
+    trace_signature,
+)
 from repro.core.config_presets import (
     CACHE_SWEEP,
     CTA_SCALING,
@@ -45,6 +55,14 @@ __all__ = [
     "run_suite",
     "variant_name",
     "BenchmarkSuite",
+    "SweepPoint",
+    "TraceCache",
+    "default_jobs",
+    "run_point",
+    "run_sweep",
+    "suite_points",
+    "sweep_point",
+    "trace_signature",
     "CACHE_SWEEP",
     "CTA_SCALING",
     "MEM_CONTROLLERS",

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.sim.config import CacheConfig, DRAMConfig, GPUConfig, NoCConfig
+from repro.sim.config import GPUConfig
 
 
 def baseline_config(**overrides) -> GPUConfig:

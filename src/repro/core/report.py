@@ -94,7 +94,6 @@ def format_bar_chart(
     peak = max((abs(v) for group in numeric for v in group), default=0.0)
     if peak == 0.0:
         peak = 1.0
-    label_w = max(len(str(row.get(label, ""))) for row in rows)
     col_w = max(len(col) for col in values)
     lines = []
     for row, group in zip(rows, numeric):

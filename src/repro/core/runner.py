@@ -37,8 +37,22 @@ def run_suite(
     cdp_variants: bool = True,
     size: DatasetSize = DatasetSize.SMALL,
     config: GPUConfig | None = None,
+    jobs: int | None = None,
 ) -> dict[str, RunStats]:
-    """Run the whole suite; keys are variant names (``NW``, ``NW-CDP``...)."""
+    """Run the whole suite; keys are variant names (``NW``, ``NW-CDP``...).
+
+    ``jobs`` routes the runs through the sweep engine: ``0`` in-process
+    with trace reuse, ``N`` across N worker processes (see
+    :func:`repro.core.sweep.run_sweep`).  ``None`` (the default) keeps
+    the direct serial path; all three produce identical results.
+    """
+    if jobs is not None:
+        from repro.core.sweep import run_sweep, suite_points
+
+        return run_sweep(
+            suite_points(benchmarks, cdp_variants, size, config),
+            jobs=jobs,
+        )
     results: dict[str, RunStats] = {}
     for abbr in benchmarks or benchmark_names():
         results[variant_name(abbr, False)] = run_benchmark(

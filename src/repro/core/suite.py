@@ -82,14 +82,23 @@ class BenchmarkSuite:
         )
 
     def run_all(
-        self, benchmarks: list[str] | None = None, cdp_variants: bool = True
+        self,
+        benchmarks: list[str] | None = None,
+        cdp_variants: bool = True,
+        jobs: int | None = None,
     ) -> dict[str, RunStats]:
-        """Run every benchmark (and CDP variant); keys are variant names."""
+        """Run every benchmark (and CDP variant); keys are variant names.
+
+        ``jobs`` is forwarded to :func:`repro.core.runner.run_suite`:
+        ``0`` reuses traces in-process, ``N`` fans out over worker
+        processes, ``None`` keeps the direct serial path.
+        """
         return run_suite(
             benchmarks=benchmarks,
             cdp_variants=cdp_variants,
             size=self.size,
             config=self.config,
+            jobs=jobs,
         )
 
     @staticmethod

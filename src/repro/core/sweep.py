@@ -1,0 +1,270 @@
+"""Sweep execution engine: run many simulation points fast.
+
+The figure harnesses re-simulate each benchmark across large config
+grids (Figs 11-22 are 20 variants x 3-6 configs each).  Two properties
+make those sweeps embarrassingly accelerable:
+
+1. Points are independent — a ``(benchmark, cdp, size, config)`` tuple
+   fully determines its :class:`RunStats` — so they fan out across a
+   :class:`~concurrent.futures.ProcessPoolExecutor` (``jobs=N``).
+2. Instruction traces depend only on the *application*, never on the
+   timing config being swept, so each worker materializes a
+   benchmark's traces once (:mod:`repro.sim.replay`) and replays them
+   at every config point that shares the application.
+
+Both paths return results bit-identical to a fresh serial
+:func:`~repro.core.runner.run_benchmark` per point
+(``tests/core/test_sweep.py``).
+
+Cache keying
+------------
+A materialized application is reused across points whose
+:func:`app_key` matches: ``(abbr, cdp, size, options, trace_signature(config))``.
+``trace_signature`` is the explicit invalidation path: any config knob
+that changes *trace shape* (not timing) must be listed there, so two
+configs differing in such a knob never share traces.  Today that is
+only ``warp_size``; timing knobs (cache geometry, schedulers, DRAM,
+NoC, CTA limits, ``perfect_memory``...) deliberately do not invalidate.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.data.datasets import DatasetSize
+from repro.kernels import build_application
+from repro.sim.config import GPUConfig
+from repro.sim.gpu import GPUSimulator
+from repro.sim.replay import CachedApplication, replay_application
+from repro.sim.stats import RunStats
+
+
+def default_jobs() -> int:
+    """The ``--jobs`` default: one worker per available CPU."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent simulation point of a sweep.
+
+    Everything here crosses the process-pool boundary, so every field
+    must pickle cheaply: plain benchmark identity plus a
+    :class:`GPUConfig` (a frozen dataclass tree).  ``options`` are the
+    extra :func:`repro.kernels.build_application` keyword arguments as
+    a sorted ``(name, value)`` tuple — use :func:`sweep_point` instead
+    of spelling that by hand.
+    """
+
+    label: str
+    abbr: str
+    cdp: bool = False
+    size: DatasetSize = DatasetSize.SMALL
+    config: GPUConfig = field(default_factory=GPUConfig)
+    options: tuple = ()
+
+
+def sweep_point(
+    label: str,
+    abbr: str,
+    config: GPUConfig,
+    cdp: bool = False,
+    size: DatasetSize = DatasetSize.SMALL,
+    **options,
+) -> SweepPoint:
+    """Build a :class:`SweepPoint`, normalizing ``options`` for keying."""
+    return SweepPoint(
+        label=label,
+        abbr=abbr,
+        cdp=cdp,
+        size=size,
+        config=config,
+        options=tuple(sorted(options.items())),
+    )
+
+
+def trace_signature(config: GPUConfig) -> tuple:
+    """The config knobs that change *trace shape* (not timing).
+
+    This is the cache-invalidation contract: a materialized trace is
+    shared between two configs iff their signatures match.  Add any new
+    knob here the moment a kernel's ``warp_trace`` starts reading it —
+    timing-only knobs must stay out, or sweeps lose all trace reuse.
+    """
+    return (("warp_size", config.warp_size),)
+
+
+def app_key(point: SweepPoint) -> tuple:
+    """The trace-cache key of a point's application."""
+    return (
+        point.abbr,
+        point.cdp,
+        point.size,
+        point.options,
+        trace_signature(point.config),
+    )
+
+
+class TraceCache:
+    """Materialized applications, keyed by :func:`app_key`."""
+
+    def __init__(self):
+        self._entries: dict[tuple, CachedApplication] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, point: SweepPoint) -> CachedApplication | None:
+        """The cached application for ``point``, building it on miss.
+
+        Returns ``None`` when the application declares
+        ``replayable = False`` (see ``repro.kernels.base``) — such
+        points must be simulated fresh.
+        """
+        key = app_key(point)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        app = build_application(
+            point.abbr,
+            cdp=point.cdp,
+            size=point.size,
+            **dict(point.options),
+        )
+        if not getattr(app, "replayable", True):
+            return None
+        entry = CachedApplication(app)
+        self._entries[key] = entry
+        return entry
+
+    def invalidate(self, abbr: str | None = None) -> int:
+        """Drop entries (all, or one benchmark's); returns the count."""
+        if abbr is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+            return dropped
+        stale = [key for key in self._entries if key[0] == abbr]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+
+def run_point(point: SweepPoint, cache: TraceCache | None = None) -> RunStats:
+    """Simulate one sweep point (through ``cache`` when given)."""
+    if cache is None:
+        from repro.core.runner import run_benchmark
+
+        return run_benchmark(
+            point.abbr,
+            cdp=point.cdp,
+            size=point.size,
+            config=point.config,
+            **dict(point.options),
+        )
+    entry = cache.get(point)
+    if entry is None:  # application opted out of trace replay
+        return run_point(point)
+    return replay_application(entry, GPUSimulator(point.config))
+
+
+# Per-worker cache: fork gives each pool worker its own copy, and a
+# worker processes whole same-application groups, so every point after
+# a group's first replays materialized traces.
+_worker_cache: TraceCache | None = None
+
+
+def _run_group(points: tuple[SweepPoint, ...]) -> list[RunStats]:
+    """Pool task: run one same-application group of points, in order."""
+    global _worker_cache
+    if _worker_cache is None:
+        _worker_cache = TraceCache()
+    return [run_point(point, _worker_cache) for point in points]
+
+
+def _group_by_app(points: list[SweepPoint]) -> list[list[int]]:
+    """Indices of ``points`` grouped by application key, order kept."""
+    groups: dict[tuple, list[int]] = {}
+    for index, point in enumerate(points):
+        groups.setdefault(app_key(point), []).append(index)
+    return list(groups.values())
+
+
+def run_sweep(
+    points: list[SweepPoint],
+    jobs: int | None = 0,
+    cache: TraceCache | None = None,
+) -> dict[str, RunStats]:
+    """Run every point; returns ``{point.label: RunStats}`` in input order.
+
+    ``jobs=0`` runs in-process (sharing ``cache``, or a private one);
+    ``jobs=N`` fans same-application groups out over ``N`` worker
+    processes; ``jobs=None`` uses one worker per CPU.  Results are
+    bit-identical across all three paths.  If a process pool cannot be
+    created (restricted environments), the sweep falls back to the
+    in-process path rather than failing.
+    """
+    labels = [point.label for point in points]
+    if len(set(labels)) != len(labels):
+        raise ValueError("sweep point labels must be unique")
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs < 0:
+        raise ValueError("jobs must be >= 0")
+
+    if jobs == 0:
+        local = cache if cache is not None else TraceCache()
+        return {
+            point.label: run_point(point, local) for point in points
+        }
+
+    groups = _group_by_app(points)
+    results: list[RunStats | None] = [None] * len(points)
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                (indices, pool.submit(
+                    _run_group, tuple(points[i] for i in indices)
+                ))
+                for indices in groups
+            ]
+            for indices, future in futures:
+                for i, stats in zip(indices, future.result()):
+                    results[i] = stats
+    except (OSError, PermissionError):
+        # No process pool available (sandboxed /dev/shm, fork limits):
+        # degrade to the in-process cached path, same results.
+        return run_sweep(points, jobs=0, cache=cache)
+    return {
+        point.label: stats
+        for point, stats in zip(points, results)
+    }
+
+
+def suite_points(
+    benchmarks: list[str] | None = None,
+    cdp_variants: bool = True,
+    size: DatasetSize = DatasetSize.SMALL,
+    config: GPUConfig | None = None,
+) -> list[SweepPoint]:
+    """The whole-suite point list (labels match ``run_suite`` keys)."""
+    from repro.core.runner import variant_name
+    from repro.kernels import benchmark_names
+
+    config = config or GPUConfig()
+    points = []
+    for abbr in benchmarks or benchmark_names():
+        for cdp in (False, True) if cdp_variants else (False,):
+            points.append(
+                sweep_point(variant_name(abbr, cdp), abbr, config,
+                            cdp=cdp, size=size)
+            )
+    return points

@@ -80,7 +80,7 @@ class WarpInstruction:
     cheap.  Memory/control/sync instructions must use ``repeat == 1``.
     """
 
-    __slots__ = ("op", "mask", "mem", "child", "repeat")
+    __slots__ = ("op", "mask", "mem", "child", "repeat", "active_lanes")
 
     def __init__(
         self,
@@ -105,10 +105,10 @@ class WarpInstruction:
         self.mem = mem
         self.child = child
         self.repeat = repeat
-
-    @property
-    def active_lanes(self) -> int:
-        return popcount(self.mask)
+        # Computed eagerly: each instruction is issued at least once, and
+        # trace replays (see repro.sim.replay) reuse the same objects, so
+        # the popcount amortizes across sweep points.
+        self.active_lanes = popcount(self.mask)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         extra = f" mem={self.mem.space.value}x{len(self.mem.lines)}" if self.mem else ""

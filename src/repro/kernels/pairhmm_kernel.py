@@ -25,7 +25,7 @@ import math
 from typing import Iterator
 
 from repro.genomics.hmm import likelihood_matrix
-from repro.isa import TraceBuilder, lines_for_stride
+from repro.isa import TraceBuilder
 from repro.isa.instructions import WarpInstruction
 from repro.kernels.base import CONST_BASE, GLOBAL_BASE, GenomicsApplication
 from repro.sim.kernel import KernelProgram, WarpContext
@@ -172,10 +172,6 @@ class PairHMMApplication(GenomicsApplication):
         haps = self.workload.haplotypes
         pairs = self._pairs()
         info = self.info
-        num_ctas = min(
-            info.num_ctas,
-            max(1, math.ceil(len(pairs) / self.kernel.warps_per_cta)),
-        )
 
         yield HostMemcpy(sum(len(r) for r in reads), "h2d")
         yield HostMemcpy(sum(len(h) for h in haps), "h2d")

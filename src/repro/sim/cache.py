@@ -64,44 +64,52 @@ class Cache:
         self.stats = CacheStats()
         #: called with (line,) when a dirty line is evicted
         self.writeback_sink = None
+        # Geometry hoisted out of the per-access path (CacheConfig's
+        # accessors are computed properties).
+        self._num_sets = config.num_sets
+        self._assoc = config.assoc
+        self._disabled = config.disabled
+        self._resident = 0
         # sets[set_index] maps line -> dirty flag, in LRU order
         # (oldest first).
         self._sets: list[OrderedDict[int, bool]] = [
-            OrderedDict() for _ in range(config.num_sets)
+            OrderedDict() for _ in range(self._num_sets)
         ]
 
     def access(self, line: int, store: bool = False) -> bool:
         """Access a line; returns ``True`` on hit.  Misses auto-fill."""
-        self.stats.accesses += 1
+        stats = self.stats
+        stats.accesses += 1
         if not store:
-            self.stats.load_accesses += 1
-        if self.config.disabled:
-            self.stats.misses += 1
+            stats.load_accesses += 1
+        if self._disabled:
+            stats.misses += 1
             if not store:
-                self.stats.load_misses += 1
+                stats.load_misses += 1
             return False
-        index = line % self.config.num_sets
-        ways = self._sets[index]
+        ways = self._sets[line % self._num_sets]
         if line in ways:
-            self.stats.hits += 1
+            stats.hits += 1
             ways.move_to_end(line)
             if store:
                 ways[line] = True
             return True
-        self.stats.misses += 1
+        stats.misses += 1
         if not store:
-            self.stats.load_misses += 1
+            stats.load_misses += 1
         self._fill(ways, line, dirty=store)
         return False
 
     def _fill(self, ways: OrderedDict[int, bool], line: int, dirty: bool) -> None:
-        if len(ways) >= self.config.assoc:
+        if len(ways) >= self._assoc:
             victim, victim_dirty = ways.popitem(last=False)
             self.stats.evictions += 1
             if victim_dirty:
                 self.stats.writebacks += 1
                 if self.writeback_sink is not None:
                     self.writeback_sink(victim)
+        else:
+            self._resident += 1
         ways[line] = dirty
 
     def contains(self, line: int) -> bool:
@@ -118,9 +126,13 @@ class Cache:
         Flushed dirty lines are dropped, not propagated — the host has
         already overwritten the data.
         """
+        if not self._resident:
+            return 0
         writebacks = 0
         for ways in self._sets:
-            writebacks += sum(1 for dirty in ways.values() if dirty)
-            ways.clear()
+            if ways:
+                writebacks += sum(1 for dirty in ways.values() if dirty)
+                ways.clear()
+        self._resident = 0
         self.stats.writebacks += writebacks
         return writebacks

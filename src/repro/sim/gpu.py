@@ -14,7 +14,6 @@ import itertools
 import math
 
 from repro.sim.config import GPUConfig
-from repro.sim.kernel import KernelProgram
 from repro.sim.launch import Application, HostLaunch, HostMemcpy, KernelLaunch
 from repro.sim.memory import MemorySubsystem
 from repro.sim.sm import StreamingMultiprocessor
@@ -59,7 +58,14 @@ class GPUSimulator:
         self._dispatch_pending()
 
     def _dispatch_pending(self) -> None:
-        for grid in list(self._pending_grids):
+        # Fully-dispatched grids are dropped by rebuilding the pending
+        # list once, not with ``list.remove`` inside the scan — many
+        # small grids (CDP children especially) made that quadratic.
+        pending = self._pending_grids
+        if not pending:
+            return
+        remaining: list[Grid] = []
+        for grid in pending:
             while not grid.dispatch_done:
                 # Least-loaded placement keeps concurrent small grids
                 # (CDP children especially) spread across the machine.
@@ -72,18 +78,24 @@ class GPUSimulator:
                 cta = sm.admit_cta(grid, grid.available_time)
                 cta.sm = sm
                 self._wake_sm(sm, max(sm.time, grid.available_time))
-            if grid.dispatch_done:
-                self._pending_grids.remove(grid)
+            if not grid.dispatch_done:
+                remaining.append(grid)
+        self._pending_grids = remaining
 
     def refill_sm(self, sm: StreamingMultiprocessor, t: float) -> None:
         """A CTA finished on ``sm``; backfill from pending grids."""
-        for grid in list(self._pending_grids):
+        pending = self._pending_grids
+        if not pending:
+            return
+        remaining: list[Grid] = []
+        for grid in pending:
             while not grid.dispatch_done and sm.can_admit(grid.kernel):
                 cta = sm.admit_cta(grid, max(t, grid.available_time))
                 cta.sm = sm
                 self._wake_sm(sm, max(t, grid.available_time))
-            if grid.dispatch_done:
-                self._pending_grids.remove(grid)
+            if not grid.dispatch_done:
+                remaining.append(grid)
+        self._pending_grids = remaining
 
     def device_launch(
         self,
@@ -163,20 +175,32 @@ class GPUSimulator:
         return False
 
     def _run_until(self, predicate) -> None:
+        heap = self._heap
+        heappop, heappush = heapq.heappop, heapq.heappush
         while not predicate():
-            if not self._heap:
+            if not heap:
                 if self._pending_grids and self._force_admit_child():
                     continue
                 raise SimulationDeadlock(
                     "no runnable SMs but the run predicate is unsatisfied "
                     f"(pending grids: {len(self._pending_grids)})"
                 )
-            t, _, sm = heapq.heappop(self._heap)
+            t, _, sm = heappop(heap)
             sm.step(self, t)
-            if sm.has_resident_work and sm.dormant_since is None:
-                heapq.heappush(
-                    self._heap, (sm.time, next(self._heap_seq), sm)
-                )
+            # While this SM is strictly next anyway, keep stepping it
+            # without the push/pop round trip.  Ties defer to the heap,
+            # whose sequence numbers keep the original FIFO order, so
+            # the schedule is identical to the push-then-pop loop.
+            while sm.has_resident_work and sm.dormant_since is None:
+                if heap and heap[0][0] <= sm.time:
+                    heappush(heap, (sm.time, next(self._heap_seq), sm))
+                    break
+                if predicate():
+                    # Re-queue before returning: callers rely on every
+                    # live SM staying in the heap between run calls.
+                    heappush(heap, (sm.time, next(self._heap_seq), sm))
+                    return
+                sm.step(self, sm.time)
 
     def run_grid(self, launch: KernelLaunch, at_time: float | None = None) -> Grid:
         """Launch a grid and run the device until it completes."""
@@ -242,6 +266,11 @@ class GPUSimulator:
             for sm in self.sms:
                 self.stats.l1.merge(sm.l1.stats)
                 self.stats.const_cache.merge(sm.const_cache.stats)
+                if sm.issued_instructions:
+                    self.stats.sm_instructions[sm.sm_id] = (
+                        self.stats.sm_instructions.get(sm.sm_id, 0)
+                        + sm.issued_instructions
+                    )
             for bank in self.memory.l2_banks:
                 self.stats.l2.merge(bank.stats)
             for channel in self.memory.dram:

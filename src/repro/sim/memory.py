@@ -9,7 +9,6 @@ fire-and-forget (the warp only pays the L1 latency).
 
 from __future__ import annotations
 
-from repro.isa.instructions import MemSpace
 from repro.sim.cache import Cache
 from repro.sim.config import GPUConfig
 from repro.sim.dram import DRAMChannel

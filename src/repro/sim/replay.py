@@ -1,0 +1,232 @@
+"""Trace materialization and replay.
+
+Config sweeps re-simulate the same application many times, but a
+benchmark's instruction traces depend only on the *application* —
+benchmark, CDP variant, dataset, workload options — never on the
+timing knobs being swept (cache sizes, schedulers, NoC parameters, CTA
+limits).  This module materializes every warp trace of an application
+once and replays the same :class:`WarpInstruction` objects at every
+subsequent sweep point, eliminating the dominant re-done work:
+
+- generator resumption and instruction construction per point, and
+- the per-issue instruction/memory-mix accounting, whose totals are
+  config-independent and are pre-credited here at materialization
+  time (``RunStats.merge_trace_counts`` equivalents, see
+  :class:`TraceCounts`).
+
+Replay is bit-identical to generation: the simulator consumes the same
+instruction sequence, and the pre-credited totals are exactly the sums
+live counting would have produced (``tests/core/test_sweep.py`` locks
+this in).
+
+The cache *key* policy — which config knobs invalidate a materialized
+application — lives with the sweep engine in
+:mod:`repro.core.sweep` (``trace_signature``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.isa.instructions import OpClass, WarpInstruction
+from repro.sim.kernel import KernelProgram, WarpContext
+from repro.sim.launch import Application, HostLaunch, KernelLaunch
+from repro.sim.stats import OCCUPANCY_BUCKETS, RunStats
+
+
+class TraceCounts:
+    """Config-independent instruction totals of one or more warp traces.
+
+    Mirrors exactly what :meth:`RunStats.count_instruction` and
+    :meth:`RunStats.count_memory` would accumulate if the trace were
+    executed with live counting.
+    """
+
+    __slots__ = ("instructions", "op_mix", "mem_mix", "warp_occupancy")
+
+    def __init__(self):
+        self.instructions = 0
+        self.op_mix: dict[str, int] = {}
+        self.mem_mix: dict[str, int] = {}
+        self.warp_occupancy: dict[str, int] = {}
+
+    def count(self, instr: WarpInstruction) -> None:
+        """Credit one trace instruction (mirrors the SM's accounting)."""
+        repeat = instr.repeat
+        self.instructions += repeat
+        key = instr.op._value_
+        self.op_mix[key] = self.op_mix.get(key, 0) + repeat
+        lanes = instr.active_lanes
+        if lanes < 1:
+            raise ValueError("active lanes must be in [1, 32]")
+        bucket = OCCUPANCY_BUCKETS[(lanes - 1) // 4]
+        self.warp_occupancy[bucket] = self.warp_occupancy.get(bucket, 0) + repeat
+        mem = instr.mem
+        if mem is not None:
+            space = mem.space._value_
+            self.mem_mix[space] = self.mem_mix.get(space, 0) + mem.transactions
+
+    def merge(self, other: "TraceCounts") -> None:
+        self.instructions += other.instructions
+        for key, value in other.op_mix.items():
+            self.op_mix[key] = self.op_mix.get(key, 0) + value
+        for key, value in other.mem_mix.items():
+            self.mem_mix[key] = self.mem_mix.get(key, 0) + value
+        for key, value in other.warp_occupancy.items():
+            self.warp_occupancy[key] = (
+                self.warp_occupancy.get(key, 0) + value
+            )
+
+    def merge_into(self, stats: RunStats) -> None:
+        """Credit these totals to a finished run's statistics."""
+        stats.instructions += self.instructions
+        for key, value in self.op_mix.items():
+            stats.op_mix[key] = stats.op_mix.get(key, 0) + value
+        for key, value in self.mem_mix.items():
+            stats.mem_mix[key] = stats.mem_mix.get(key, 0) + value
+        for key, value in self.warp_occupancy.items():
+            stats.warp_occupancy[key] += value
+
+
+class ReplayKernel(KernelProgram):
+    """A kernel whose warp traces are materialized once and replayed.
+
+    Wraps a base :class:`KernelProgram` with identical static resources
+    so occupancy and admission behave the same.  ``counts_inline`` is
+    cleared: warps created from this kernel are marked ``precounted``
+    and the SM skips per-issue mix accounting for them (the totals were
+    credited at materialization, see :class:`CachedApplication`).
+    """
+
+    counts_inline = False
+
+    def __init__(self, base: KernelProgram, owner: "CachedApplication"):
+        super().__init__(
+            base.name,
+            base.cta_threads,
+            regs_per_thread=base.regs_per_thread,
+            smem_per_cta=base.smem_per_cta,
+            const_bytes=base.const_bytes,
+        )
+        self.base = base
+        self._owner = owner
+        self._traces: dict = {}
+
+    def entry_for(self, ctx: WarpContext) -> tuple[list, TraceCounts]:
+        """Materialized (instructions, counts) for one warp's trace."""
+        key = (
+            ctx.cta_id,
+            ctx.warp_id,
+            ctx.num_ctas,
+            self._owner.args_token(ctx.args),
+        )
+        entry = self._traces.get(key)
+        if entry is None:
+            counts = TraceCounts()
+            instrs: list[WarpInstruction] = []
+            for instr in self.base.warp_trace(ctx):
+                if instr.op is OpClass.LAUNCH:
+                    # Route CDP children through the cache too, so their
+                    # traces replay across sweep points as well.
+                    instr = WarpInstruction(
+                        OpClass.LAUNCH,
+                        instr.mask,
+                        child=self._owner.wrap_launch(instr.child),
+                    )
+                counts.count(instr)
+                instrs.append(instr)
+            entry = (instrs, counts)
+            self._traces[key] = entry
+        return entry
+
+    def warp_trace(self, ctx: WarpContext):
+        return iter(self.entry_for(ctx)[0])
+
+
+class CachedApplication(Application):
+    """An application with a fully materialized, replayable host program.
+
+    Building one walks the base application's host program, wraps every
+    kernel (host-launched and CDP children, shared per base kernel) in a
+    :class:`ReplayKernel`, materializes every warp trace it will ever
+    execute, and sums their :class:`TraceCounts` into ``total_counts``.
+    Each replay then runs the simulator against the same instruction
+    objects; the caller credits ``total_counts`` to the run's stats
+    afterwards (see :func:`replay_application`).
+    """
+
+    def __init__(self, app: Application):
+        self.name = app.name
+        self.base = app
+        self._wrapped: dict[int, ReplayKernel] = {}
+        # id(args-dict) -> (args, token): the strong reference keeps the
+        # id stable for the lifetime of the cache entry.
+        self._args_tokens: dict[int, tuple] = {}
+        self.ops = [
+            HostLaunch(self.wrap_launch(op.launch))
+            if isinstance(op, HostLaunch)
+            else op
+            for op in app.host_program()
+        ]
+        self.total_counts = TraceCounts()
+        self._materialize_all()
+
+    # -- construction ------------------------------------------------------
+    def wrap_launch(self, launch: KernelLaunch) -> KernelLaunch:
+        kernel = launch.kernel
+        if isinstance(kernel, ReplayKernel):  # pragma: no cover - defensive
+            return launch
+        wrapped = self._wrapped.get(id(kernel))
+        if wrapped is None:
+            wrapped = ReplayKernel(kernel, self)
+            self._wrapped[id(kernel)] = wrapped
+        return replace(launch, kernel=wrapped)
+
+    def args_token(self, args: dict) -> str:
+        """A stable, hashable token for a launch-args dict."""
+        if not args:
+            return ""
+        cached = self._args_tokens.get(id(args))
+        if cached is None:
+            token = repr(sorted(args.items()))
+            self._args_tokens[id(args)] = (args, token)
+            return token
+        return cached[1]
+
+    def _materialize_all(self) -> None:
+        """Expand every launch (including CDP children) exactly as one
+        execution would, accumulating the application-wide totals."""
+        pending = [
+            op.launch for op in self.ops if isinstance(op, HostLaunch)
+        ]
+        while pending:
+            launch = pending.pop()
+            kernel = launch.kernel
+            for cta_id in range(launch.num_ctas):
+                for warp_id in range(kernel.warps_per_cta):
+                    ctx = WarpContext(
+                        cta_id=cta_id,
+                        warp_id=warp_id,
+                        warps_per_cta=kernel.warps_per_cta,
+                        num_ctas=launch.num_ctas,
+                        args=launch.args,
+                    )
+                    instrs, counts = kernel.entry_for(ctx)
+                    self.total_counts.merge(counts)
+                    for instr in instrs:
+                        if instr.op is OpClass.LAUNCH:
+                            pending.append(instr.child)
+
+    # -- replay ------------------------------------------------------------
+    def host_program(self):
+        yield from self.ops
+
+    def describe(self) -> str:
+        return f"cached:{self.name}"
+
+
+def replay_application(entry: CachedApplication, simulator) -> RunStats:
+    """Run a cached application and credit its pre-counted totals."""
+    stats = simulator.run_application(entry)
+    entry.total_counts.merge_into(stats)
+    return stats

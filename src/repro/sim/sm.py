@@ -17,6 +17,28 @@ from repro.sim.scheduler import build_scheduler
 from repro.sim.stats import RunStats, StallReason
 from repro.sim.warp import CTA, Grid, NEVER, Warp
 
+# Hot-loop aliases: issue-loop comparisons run once per dynamic
+# instruction, so they use ``is`` against bound locals instead of enum
+# lookups on every call.
+_INT = OpClass.INT
+_FP = OpClass.FP
+_SFU = OpClass.SFU
+_LDST = OpClass.LDST
+_CTRL = OpClass.CTRL
+_SYNC = OpClass.SYNC
+_DEVSYNC = OpClass.DEVSYNC
+_LAUNCH = OpClass.LAUNCH
+_EXIT = OpClass.EXIT
+_SHARED = MemSpace.SHARED
+_PARAM = MemSpace.PARAM
+_CONST = MemSpace.CONST
+_TEX = MemSpace.TEX
+_R_MEMORY = StallReason.MEMORY
+_R_CONTROL = StallReason.CONTROL
+_R_SYNC = StallReason.SYNC
+_R_FUNCTIONAL = StallReason.FUNCTIONAL_DONE
+_R_IDLE = StallReason.IDLE
+
 
 class StreamingMultiprocessor:
     """One GPU core."""
@@ -31,11 +53,17 @@ class StreamingMultiprocessor:
         self.tex_cache = Cache(config.tex_cache, name=f"sm{sm_id}.tex")
         self.scheduler = build_scheduler(config.scheduler)
         self.ctas: list[CTA] = []
+        #: warps visible to the scheduler; exited warps are removed
+        #: eagerly so the per-decision ready scan never touches them
         self.warps: list[Warp] = []
         # Resource accounting for CTA admission.
         self.used_threads = 0
         self.used_regs = 0
         self.used_smem = 0
+        #: dynamic instructions issued here; folded into
+        #: ``stats.sm_instructions`` at finalize (cheaper than a dict
+        #: update per instruction)
+        self.issued_instructions = 0
         # Heap bookkeeping (owned by the GPU).
         self.in_heap = False
         self.dormant_since: float | None = None
@@ -87,14 +115,14 @@ class StreamingMultiprocessor:
         ``gpu`` is the owning :class:`~repro.sim.gpu.GPUSimulator`,
         used for memory access, device launches and completion hooks.
         """
-        self.time = max(self.time, now)
-        if not self.warps:
+        if now > self.time:
+            self.time = now
+        warps = self.warps
+        if not warps:
             return
 
         t = self.time
-        ready = [
-            w for w in self.warps if not w.exited and w.next_ready <= t
-        ]
+        ready = [w for w in warps if w.next_ready <= t]
         if not ready:
             self._account_stall(t)
             return
@@ -113,15 +141,33 @@ class StreamingMultiprocessor:
     def _account_stall(self, t: float) -> None:
         """No warp ready: attribute the gap and jump to the next wake."""
         wake = NEVER
-        reasons: dict[StallReason, int] = {}
+        n_mem = n_ctrl = n_sync = n_func = n_idle = 0
         for warp in self.warps:
-            if warp.exited:
-                continue
-            wake = min(wake, warp.next_ready)
-            reason = warp.block_reason or StallReason.IDLE
-            reasons[reason] = reasons.get(reason, 0) + 1
-        dominant = self._dominant_reason(reasons)
-        if wake is NEVER or wake == NEVER:
+            if warp.next_ready < wake:
+                wake = warp.next_ready
+            reason = warp.block_reason
+            if reason is _R_MEMORY:
+                n_mem += 1
+            elif reason is _R_CONTROL:
+                n_ctrl += 1
+            elif reason is _R_SYNC:
+                n_sync += 1
+            elif reason is _R_FUNCTIONAL:
+                n_func += 1
+            else:
+                n_idle += 1
+        # Ties break in a fixed priority order: memory is the paper's
+        # headline cause, so it wins ties.
+        best, dominant = n_mem, _R_MEMORY
+        if n_ctrl > best:
+            best, dominant = n_ctrl, _R_CONTROL
+        if n_sync > best:
+            best, dominant = n_sync, _R_SYNC
+        if n_func > best:
+            best, dominant = n_func, _R_FUNCTIONAL
+        if n_idle > best:
+            dominant = _R_IDLE
+        if wake == NEVER:
             # Every warp waits on an external event (device sync /
             # barrier release from another path).  Go dormant; the GPU
             # attributes the dormant period when it wakes us.
@@ -130,25 +176,6 @@ class StreamingMultiprocessor:
             return
         self.stats.add_stall(dominant, int(wake - t))
         self.time = wake
-
-    @staticmethod
-    def _dominant_reason(reasons: dict[StallReason, int]) -> StallReason:
-        if not reasons:
-            return StallReason.IDLE
-        # Ties break in a fixed priority order: memory is the paper's
-        # headline cause, so it wins ties.
-        priority = [
-            StallReason.MEMORY,
-            StallReason.CONTROL,
-            StallReason.SYNC,
-            StallReason.FUNCTIONAL_DONE,
-            StallReason.IDLE,
-        ]
-        best = max(reasons.values())
-        for reason in priority:
-            if reasons.get(reason) == best:
-                return reason
-        return StallReason.IDLE  # pragma: no cover - unreachable
 
     def wake_accounting(self, wake_time: float) -> None:
         """Charge a dormant period that just ended at ``wake_time``."""
@@ -164,33 +191,34 @@ class StreamingMultiprocessor:
     def _execute(self, gpu, warp: Warp, instr, t: float) -> None:
         config = self.config
         op = instr.op
-        self.stats.count_instruction(op, instr.active_lanes, instr.repeat)
-        self.stats.sm_instructions[self.sm_id] = (
-            self.stats.sm_instructions.get(self.sm_id, 0) + instr.repeat
-        )
+        repeat = instr.repeat
+        if not warp.precounted:
+            self.stats.count_instruction(op, instr.active_lanes, repeat)
+        self.issued_instructions += repeat
         warp.block_reason = None
 
-        if op in (OpClass.INT, OpClass.FP, OpClass.SFU):
-            latency = {
-                OpClass.INT: config.int_latency,
-                OpClass.FP: config.fp_latency,
-                OpClass.SFU: config.sfu_latency,
-            }[op]
+        if op is _INT or op is _FP or op is _SFU:
+            if op is _INT:
+                latency = config.int_latency
+            elif op is _FP:
+                latency = config.fp_latency
+            else:
+                latency = config.sfu_latency
             # A repeat block monopolizes the issue port for `repeat`
             # cycles; the dependent-use latency applies after the last.
-            warp.next_ready = t + instr.repeat - 1 + latency
-            self.time = t + instr.repeat
+            warp.next_ready = t + repeat - 1 + latency
+            self.time = t + repeat
             return
 
         self.time = t + 1
-        if op is OpClass.LDST:
+        if op is _LDST:
             self._execute_memory(gpu, warp, instr, t)
-        elif op is OpClass.CTRL:
+        elif op is _CTRL:
             warp.next_ready = t + config.branch_latency
             warp.block_reason = StallReason.CONTROL
-        elif op is OpClass.SYNC:
+        elif op is _SYNC:
             self._execute_barrier(warp, t)
-        elif op is OpClass.DEVSYNC:
+        elif op is _DEVSYNC:
             if warp.pending_children > 0:
                 # Waiting for child kernels to be set up, run, and
                 # drain — the CDP face of "functional done" (Fig 5
@@ -200,11 +228,11 @@ class StreamingMultiprocessor:
                 warp.block_reason = StallReason.FUNCTIONAL_DONE
             else:
                 warp.next_ready = t + 1
-        elif op is OpClass.LAUNCH:
+        elif op is _LAUNCH:
             gpu.device_launch(self, warp, instr.child, t)
             warp.next_ready = t + config.cdp_launch_cycles
             warp.block_reason = StallReason.FUNCTIONAL_DONE
-        elif op is OpClass.EXIT:
+        elif op is _EXIT:
             self._execute_exit(gpu, warp, t)
         else:  # pragma: no cover - enum is closed
             raise AssertionError(f"unhandled op {op}")
@@ -213,9 +241,10 @@ class StreamingMultiprocessor:
         config = self.config
         mem = instr.mem
         space = mem.space
-        self.stats.count_memory(space, mem.transactions)
+        if not warp.precounted:
+            self.stats.count_memory(space, mem.transactions)
 
-        if space is MemSpace.SHARED:
+        if space is _SHARED:
             # On-chip scratchpad: unaffected by the Fig 15 perfect
             # memory-system experiment.
             warp.next_ready = t + config.shared_latency
@@ -229,14 +258,14 @@ class StreamingMultiprocessor:
                 t + config.l1.hit_latency + max(0, len(mem.lines) - 1)
             )
             return
-        if space is MemSpace.PARAM:
+        if space is _PARAM:
             # Parameter reads hit the constant path's dedicated storage.
             warp.next_ready = t + config.const_cache.hit_latency
             return
 
         port = 1 if config.l1_port_serialization else 0
-        if space in (MemSpace.CONST, MemSpace.TEX):
-            cache = self.const_cache if space is MemSpace.CONST else self.tex_cache
+        if space is _CONST or space is _TEX:
+            cache = self.const_cache if space is _CONST else self.tex_cache
             completion = t
             # The cache port retires one transaction per cycle.
             for i, line in enumerate(mem.lines):
@@ -259,18 +288,22 @@ class StreamingMultiprocessor:
         # the L1 without fetching; dirty evictions flow to L2/DRAM via
         # the writeback sink.
         completion = t
+        l1_access = self.l1.access
+        line_request = gpu.memory.line_request
+        hit_latency = config.l1.hit_latency
+        store = mem.store
+        sm_id = self.sm_id
         for i, line in enumerate(mem.lines):
             issue = t + i * port
-            hit = self.l1.access(line, store=mem.store)
-            if mem.store or hit:
-                completion = max(completion, issue + config.l1.hit_latency)
+            hit = l1_access(line, store=store)
+            if store or hit:
+                done = issue + hit_latency
             else:
-                completion = max(
-                    completion,
-                    gpu.memory.line_request(self.sm_id, line, False, issue),
-                )
+                done = line_request(sm_id, line, False, issue)
+            if done > completion:
+                completion = done
         warp.next_ready = completion
-        if completion - t > config.l1.hit_latency:
+        if completion - t > hit_latency:
             warp.block_reason = StallReason.MEMORY
 
     def _execute_barrier(self, warp: Warp, t: float) -> None:
@@ -289,6 +322,7 @@ class StreamingMultiprocessor:
 
     def _execute_exit(self, gpu, warp: Warp, t: float) -> None:
         warp.exited = True
+        self.warps.remove(warp)
         self.scheduler.retired(warp)
         cta = warp.cta
         if cta.live_warps == 0:

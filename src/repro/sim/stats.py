@@ -77,19 +77,29 @@ class RunStats:
     sm_instructions: dict = field(default_factory=dict)
 
     # -- recording helpers -------------------------------------------------
+    # These run once per dynamic instruction; ``_value_`` skips the
+    # DynamicClassAttribute descriptor behind ``Enum.value``, which is
+    # measurable at this call volume.
     def count_instruction(self, op: OpClass, lanes: int, repeat: int = 1) -> None:
         self.instructions += repeat
-        self.op_mix[op.value] = self.op_mix.get(op.value, 0) + repeat
-        bucket = occupancy_bucket(lanes)
-        self.warp_occupancy[bucket] += repeat
+        key = op._value_
+        op_mix = self.op_mix
+        op_mix[key] = op_mix.get(key, 0) + repeat
+        if lanes < 1:
+            raise ValueError("active lanes must be in [1, 32]")
+        self.warp_occupancy[OCCUPANCY_BUCKETS[(lanes - 1) // 4]] += repeat
 
     def count_memory(self, space: MemSpace, transactions: int = 1) -> None:
-        self.mem_mix[space.value] = self.mem_mix.get(space.value, 0) + transactions
+        key = space._value_
+        mem_mix = self.mem_mix
+        mem_mix[key] = mem_mix.get(key, 0) + transactions
 
     def add_stall(self, reason: StallReason, cycles: int) -> None:
         if cycles <= 0:
             return
-        self.stalls[reason.value] = self.stalls.get(reason.value, 0) + cycles
+        key = reason._value_
+        stalls = self.stalls
+        stalls[key] = stalls.get(key, 0) + cycles
 
     # -- derived metrics ----------------------------------------------------
     @property

@@ -28,6 +28,7 @@ class Warp:
         "exited",
         "pending_children",
         "waiting_device_sync",
+        "precounted",
     )
 
     def __init__(self, trace: Iterator[WarpInstruction], cta: "CTA", warp_id: int):
@@ -40,6 +41,10 @@ class Warp:
         self.exited = False
         self.pending_children = 0
         self.waiting_device_sync = False
+        #: instruction/memory-mix totals were pre-credited at trace
+        #: materialization (repro.sim.replay) — the SM skips per-issue
+        #: counting for this warp
+        self.precounted = False
 
     def fetch(self) -> WarpInstruction:
         """Next instruction; EXIT semantics are handled by the SM."""
@@ -110,6 +115,7 @@ class Grid:
         if self.start_time is None:
             self.start_time = sm_time
         kernel = self.kernel
+        precounted = not kernel.counts_inline
         for warp_id in range(kernel.warps_per_cta):
             ctx = WarpContext(
                 cta_id=cta.cta_id,
@@ -120,5 +126,6 @@ class Grid:
             )
             warp = Warp(kernel.warp_trace(ctx), cta, warp_id)
             warp.next_ready = sm_time
+            warp.precounted = precounted
             cta.warps.append(warp)
         return cta

@@ -1,0 +1,180 @@
+"""Sweep engine: parallel and cached paths must match serial exactly."""
+
+import pickle
+
+import pytest
+
+from repro.core.config_presets import baseline_config, with_cache_sizes
+from repro.core.runner import run_benchmark, run_suite, variant_name
+from repro.core.sweep import (
+    SweepPoint,
+    TraceCache,
+    app_key,
+    default_jobs,
+    run_point,
+    run_sweep,
+    suite_points,
+    sweep_point,
+    trace_signature,
+)
+from repro.data.datasets import DatasetSize
+
+
+@pytest.fixture(scope="module")
+def config():
+    return baseline_config(num_sms=4)
+
+
+@pytest.fixture(scope="module")
+def points(config):
+    """3 benchmarks x CDP on/off x 2 configs (12 independent points)."""
+    small_l1 = with_cache_sizes(config, 32 * 1024, 512 * 1024)
+    result = []
+    for abbr in ("NW", "STAR", "CLUSTER"):
+        for cdp in (False, True):
+            name = variant_name(abbr, cdp)
+            result.append(sweep_point(f"{name}|base", abbr, config, cdp=cdp))
+            result.append(sweep_point(f"{name}|32k", abbr, small_l1, cdp=cdp))
+    return result
+
+
+@pytest.fixture(scope="module")
+def serial(points):
+    return {
+        p.label: run_benchmark(p.abbr, cdp=p.cdp, size=p.size, config=p.config)
+        for p in points
+    }
+
+
+class TestDeterminism:
+    def test_cached_path_matches_serial(self, points, serial):
+        cache = TraceCache()
+        results = run_sweep(points, jobs=0, cache=cache)
+        assert results == serial
+        # Two points per application -> one miss + one hit each.
+        assert cache.misses == 6
+        assert cache.hits == 6
+
+    def test_parallel_path_matches_serial(self, points, serial):
+        assert run_sweep(points, jobs=2) == serial
+
+    def test_single_worker_matches_serial(self, points, serial):
+        assert run_sweep(points[:4], jobs=1) == {
+            p.label: serial[p.label] for p in points[:4]
+        }
+
+    def test_result_order_follows_input_order(self, points, serial):
+        reordered = list(reversed(points))
+        results = run_sweep(reordered, jobs=0)
+        assert list(results) == [p.label for p in reordered]
+
+    def test_repeated_replay_is_stable(self, points, serial):
+        cache = TraceCache()
+        for _ in range(2):
+            for point in points:
+                assert run_point(point, cache) == serial[point.label]
+
+    def test_uncached_run_point_matches(self, points, serial):
+        point = points[0]
+        assert run_point(point) == serial[point.label]
+
+
+class TestCacheKeying:
+    def test_timing_knobs_share_traces(self, config):
+        a = sweep_point("a", "NW", config)
+        b = sweep_point(
+            "b", "NW", with_cache_sizes(config, 0, 128 * 1024)
+        )
+        assert app_key(a) == app_key(b)
+
+    def test_trace_shape_knobs_invalidate(self, config):
+        a = sweep_point("a", "NW", config)
+        b = sweep_point("b", "NW", config.with_(warp_size=16))
+        assert trace_signature(a.config) != trace_signature(b.config)
+        assert app_key(a) != app_key(b)
+
+    def test_identity_fields_invalidate(self, config):
+        base = sweep_point("a", "NW", config)
+        assert app_key(base) != app_key(sweep_point("b", "NW", config, cdp=True))
+        assert app_key(base) != app_key(sweep_point("c", "STAR", config))
+        assert app_key(base) != app_key(
+            sweep_point("d", "NW", config, size=DatasetSize.MEDIUM)
+        )
+        assert app_key(base) != app_key(
+            sweep_point("e", "NW", config, use_shared=False)
+        )
+
+    def test_non_replayable_app_runs_fresh(self, config, points, serial,
+                                           monkeypatch):
+        from repro.kernels import build_application
+
+        app_cls = type(build_application("NW"))
+        monkeypatch.setattr(app_cls, "replayable", False)
+        cache = TraceCache()
+        nw_points = [p for p in points if p.abbr == "NW"]
+        results = run_sweep(nw_points, jobs=0, cache=cache)
+        assert results == {p.label: serial[p.label] for p in nw_points}
+        assert len(cache) == 0
+
+    def test_invalidate(self, config):
+        cache = TraceCache()
+        cache.get(sweep_point("a", "NW", config))
+        cache.get(sweep_point("b", "STAR", config))
+        assert len(cache) == 2
+        assert cache.invalidate("NW") == 1
+        assert len(cache) == 1
+        assert cache.invalidate() == 1
+        assert len(cache) == 0
+
+
+class TestValidation:
+    def test_duplicate_labels_rejected(self, config):
+        twice = [sweep_point("x", "NW", config), sweep_point("x", "STAR", config)]
+        with pytest.raises(ValueError, match="unique"):
+            run_sweep(twice, jobs=0)
+
+    def test_negative_jobs_rejected(self, config):
+        with pytest.raises(ValueError, match="jobs"):
+            run_sweep([sweep_point("x", "NW", config)], jobs=-1)
+
+    def test_default_jobs_positive(self):
+        assert default_jobs() >= 1
+
+
+class TestSuiteIntegration:
+    def test_run_suite_jobs_matches_serial(self, config):
+        benchmarks = ["NW", "STAR"]
+        plain = run_suite(benchmarks, size=DatasetSize.SMALL, config=config)
+        cached = run_suite(
+            benchmarks, size=DatasetSize.SMALL, config=config, jobs=0
+        )
+        pooled = run_suite(
+            benchmarks, size=DatasetSize.SMALL, config=config, jobs=2
+        )
+        assert cached == plain
+        assert pooled == plain
+        assert list(cached) == list(plain)
+
+    def test_suite_points_labels(self, config):
+        labels = [p.label for p in suite_points(["NW"], config=config)]
+        assert labels == ["NW", "NW-CDP"]
+
+
+class TestPicklability:
+    """Everything crossing the pool boundary must pickle cheaply."""
+
+    def test_sweep_point_round_trip(self, config):
+        point = sweep_point("NW|base", "NW", config, cdp=True,
+                            use_shared=False)
+        clone = pickle.loads(pickle.dumps(point))
+        assert clone == point
+        assert isinstance(clone, SweepPoint)
+
+    def test_config_round_trip(self, config):
+        assert pickle.loads(pickle.dumps(config)) == config
+
+    def test_run_stats_round_trip(self, points, serial):
+        for label, stats in serial.items():
+            blob = pickle.dumps(stats)
+            assert len(blob) < 16 * 1024, f"{label} stats pickle too large"
+            assert pickle.loads(blob) == stats

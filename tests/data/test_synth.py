@@ -12,7 +12,7 @@ from repro.data.synth import (
     sample_reads,
     sequence_family,
 )
-from repro.genomics.sequence import DNA, PROTEIN, Sequence
+from repro.genomics.sequence import PROTEIN, Sequence
 
 
 class TestRandomSequences:

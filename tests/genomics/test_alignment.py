@@ -12,8 +12,8 @@ from repro.genomics.align import (
     semi_global,
     smith_waterman,
 )
-from repro.genomics.scoring import ScoringScheme, SubstitutionMatrix
-from repro.genomics.sequence import DNA, Sequence
+from repro.genomics.scoring import ScoringScheme
+from repro.genomics.sequence import Sequence
 
 SCHEME = ScoringScheme.dna_default()
 

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.data.synth import mutate, random_dna, sequence_family
+from repro.data.synth import random_dna, sequence_family
 from repro.genomics.cluster import (
     greedy_cluster,
     kmer_profile,

@@ -65,7 +65,8 @@ class TestSamFormat:
         path = tmp_path / "out.sam"
         text = write_sam(reference, mapped_reads, path)
         assert path.read_text() == text
-        body = [l for l in text.strip().split("\n") if not l.startswith("@")]
+        body = [ln for ln in text.strip().split("\n")
+                if not ln.startswith("@")]
         assert len(body) == len(mapped_reads)
 
 

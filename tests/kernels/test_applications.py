@@ -7,7 +7,6 @@ from repro.data.datasets import DatasetSize, dataset_for
 from repro.kernels import benchmark_names, build_application
 from repro.sim import GPUSimulator
 from repro.sim.config import GPUConfig
-from repro.sim.launch import HostLaunch, HostMemcpy
 
 
 CONFIG = GPUConfig(num_sms=8)

@@ -343,3 +343,63 @@ class TestCTARefill:
         few = run_one(script, num_ctas=2, cta_threads=64)
         many = run_one(script, num_ctas=200, cta_threads=64)
         assert many.kernel_cycles > few.kernel_cycles
+
+
+class TestManyTinyGrids:
+    """Dispatch/refill with deep pending-grid queues (the rebuilt scan)."""
+
+    @staticmethod
+    def _tiny_kernel():
+        def script(ctx):
+            b = TraceBuilder()
+            yield b.ints(2)
+            yield b.exit()
+
+        return ScriptKernel(script, cta_threads=32)
+
+    def test_many_concurrent_grids_all_finish(self):
+        from repro.sim.warp import Grid
+
+        config = GPUConfig(num_sms=2, num_mem_partitions=2,
+                           max_ctas_per_sm=4)
+        sim = GPUSimulator(config)
+        kernel = self._tiny_kernel()
+        grids = [Grid(kernel, 1) for _ in range(200)]
+        for grid in grids:
+            sim.submit_grid(grid)
+        # 2 SMs x 4 CTA slots: the rest must sit in the pending queue.
+        assert len(sim._pending_grids) == 200 - 8
+        sim._run_until(lambda: all(g.finished for g in grids))
+        assert not sim._pending_grids
+        stats = sim.finalize()
+        assert stats.instructions == 200 * 3
+        assert sum(stats.sm_instructions.values()) == 200 * 3
+
+    def test_pending_order_is_fifo(self):
+        from repro.sim.warp import Grid
+
+        config = GPUConfig(num_sms=1, num_mem_partitions=1,
+                           max_ctas_per_sm=1)
+        sim = GPUSimulator(config)
+        kernel = self._tiny_kernel()
+        grids = [Grid(kernel, 1) for _ in range(50)]
+        for grid in grids:
+            sim.submit_grid(grid)
+        sim._run_until(lambda: all(g.finished for g in grids))
+        completions = [g.completion_time for g in grids]
+        assert completions == sorted(completions)
+
+    def test_mixed_grid_sizes_refill(self):
+        from repro.sim.warp import Grid
+
+        config = GPUConfig(num_sms=2, num_mem_partitions=2,
+                           max_ctas_per_sm=2)
+        sim = GPUSimulator(config)
+        kernel = self._tiny_kernel()
+        grids = [Grid(kernel, 1 + (i % 5)) for i in range(60)]
+        for grid in grids:
+            sim.submit_grid(grid)
+        sim._run_until(lambda: all(g.finished for g in grids))
+        assert not sim._pending_grids
+        total_ctas = sum(g.num_ctas for g in grids)
+        assert sim.finalize().instructions == total_ctas * 3

@@ -1,0 +1,102 @@
+"""Trace materialization/replay must be invisible in the results."""
+
+import pytest
+
+from repro.kernels import build_application
+from repro.sim import GPUConfig, GPUSimulator
+from repro.sim.launch import HostLaunch
+from repro.sim.replay import (
+    CachedApplication,
+    ReplayKernel,
+    TraceCounts,
+    replay_application,
+)
+
+
+def fresh_run(abbr, cdp, config):
+    app = build_application(abbr, cdp=cdp)
+    return GPUSimulator(config).run_application(app)
+
+
+class TestTraceCounts:
+    def test_mirrors_live_counting(self, tiny_gpu):
+        """Pre-credited totals equal what live counting accumulates."""
+        app = build_application("NW")
+        cached = CachedApplication(app)
+        live = fresh_run("NW", False, tiny_gpu)
+        totals = cached.total_counts
+        assert totals.instructions == live.instructions
+        assert totals.op_mix == live.op_mix
+        assert totals.mem_mix == live.mem_mix
+        assert totals.warp_occupancy == {
+            k: v for k, v in live.warp_occupancy.items() if v
+        }
+
+    def test_merge_adds(self):
+        a, b = TraceCounts(), TraceCounts()
+        a.instructions, b.instructions = 3, 4
+        a.op_mix = {"int": 3}
+        b.op_mix = {"int": 1, "fp": 3}
+        a.merge(b)
+        assert a.instructions == 7
+        assert a.op_mix == {"int": 4, "fp": 3}
+
+
+class TestReplayKernel:
+    def test_marks_warps_precounted(self):
+        app = build_application("NW")
+        cached = CachedApplication(app)
+        launch = next(
+            op.launch for op in cached.host_program()
+            if isinstance(op, HostLaunch)
+        )
+        kernel = launch.kernel
+        assert isinstance(kernel, ReplayKernel)
+        assert kernel.counts_inline is False
+        # Static resources must match or occupancy/admission changes.
+        base = kernel.base
+        assert kernel.cta_threads == base.cta_threads
+        assert kernel.regs_per_thread == base.regs_per_thread
+        assert kernel.smem_per_cta == base.smem_per_cta
+
+    def test_same_trace_objects_on_replay(self):
+        app = build_application("NW")
+        cached = CachedApplication(app)
+        launch = next(
+            op.launch for op in cached.host_program()
+            if isinstance(op, HostLaunch)
+        )
+        kernel = launch.kernel
+        from repro.sim.kernel import WarpContext
+
+        ctx = WarpContext(0, 0, kernel.warps_per_cta, launch.num_ctas,
+                          args=launch.args)
+        first = list(kernel.warp_trace(ctx))
+        second = list(kernel.warp_trace(ctx))
+        assert all(x is y for x, y in zip(first, second))
+        assert len(first) == len(second)
+
+
+class TestReplayIdentity:
+    @pytest.mark.parametrize("abbr", ["NW", "STAR", "CLUSTER"])
+    @pytest.mark.parametrize("cdp", [False, True])
+    def test_replay_matches_fresh_run(self, abbr, cdp, tiny_gpu):
+        fresh = fresh_run(abbr, cdp, tiny_gpu)
+        cached = CachedApplication(build_application(abbr, cdp=cdp))
+        first = replay_application(cached, GPUSimulator(tiny_gpu))
+        second = replay_application(cached, GPUSimulator(tiny_gpu))
+        assert first == fresh
+        assert second == fresh
+
+    def test_replay_across_configs(self, tiny_gpu):
+        """One materialization serves different timing configs."""
+        other = GPUConfig(num_sms=3, num_mem_partitions=2)
+        cached = CachedApplication(build_application("STAR", cdp=True))
+        assert (
+            replay_application(cached, GPUSimulator(tiny_gpu))
+            == fresh_run("STAR", True, tiny_gpu)
+        )
+        assert (
+            replay_application(cached, GPUSimulator(other))
+            == fresh_run("STAR", True, other)
+        )
