@@ -1,21 +1,33 @@
-"""Wall-clock benchmark of the sweep engine: serial vs jobs=1 vs jobs=N.
+"""Wall-clock benchmarks of the simulator's two fast paths.
 
-Runs a small fixed config sweep three ways and writes ``BENCH_sweep.json``
-(repo root) with the wall-clock times, speedups, and a bit-identity
-check between the paths:
+Two harnesses, each locking performance to a bit-identity check:
 
-- ``serial``: one fresh :func:`run_benchmark` per point (the pre-sweep
-  behaviour of the figure harnesses);
-- ``jobs=1`` / ``jobs=N``: the sweep engine fanning same-application
-  groups over worker processes, each worker replaying materialized
-  traces across the config points of its group.
+- **sweep** (``BENCH_sweep.json``): the PR 1 sweep engine — serial vs
+  ``jobs=1`` vs ``jobs=N`` over a fixed config sweep, workers replaying
+  materialized traces across the points of their group.
+- **run** (``BENCH_run.json``): the single-run event core — one
+  simulation of the slowest benchmark (PairHMM, large dataset) through
+  the event-maintained issue loop (``event_core=True``) vs the
+  scan-per-decision reference core (``event_core=False``).  Both cores
+  replay the same materialized traces, so the measurement isolates the
+  issue loop itself; trace generation time is reported separately.
 
-Usage: ``PYTHONPATH=src python benchmarks/bench_perf.py`` (also runs
-under pytest as part of the ``benchmarks/`` harness).
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py           # both, full
+    PYTHONPATH=src python benchmarks/bench_perf.py --quick   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_perf.py --only run
+
+``--quick`` shrinks the workloads (small dataset, reduced sweep) so CI
+can assert ``identical_stats`` in seconds; speedups are still reported
+but only the full run's numbers are meaningful.  Also runs under pytest
+as part of the ``benchmarks/`` harness.
 """
 
 from __future__ import annotations
 
+import argparse
+import dataclasses
 import json
 import os
 import time
@@ -29,34 +41,20 @@ from repro.core.config_presets import (
 )
 from repro.core.runner import run_benchmark, variant_name
 from repro.core.sweep import run_sweep, sweep_point
+from repro.data.datasets import DatasetSize
+from repro.kernels import build_application
+from repro.sim.config import GPUConfig
+from repro.sim.gpu import GPUSimulator
+from repro.sim.replay import CachedApplication, replay_application
 
 POOL_JOBS = 4
-RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+_ROOT = Path(__file__).resolve().parent.parent
+SWEEP_RESULT_PATH = _ROOT / "BENCH_sweep.json"
+RUN_RESULT_PATH = _ROOT / "BENCH_run.json"
 
-
-def sweep_points():
-    """The fixed workload: 3 benchmarks x CDP x 10 configs = 60 points."""
-    config = baseline_config()
-    configs = [
-        (f"l1={l1 // 1024}k", with_cache_sizes(config, l1, l2))
-        for l1, l2 in CACHE_SWEEP
-    ] + [
-        (f"sched={sched}", config.with_(scheduler=sched))
-        for sched in SCHEDULERS
-    ]
-    return [
-        sweep_point(f"{variant_name(abbr, cdp)}|{tag}", abbr, cfg, cdp=cdp)
-        for abbr in ("NW", "STAR", "CLUSTER")
-        for cdp in (False, True)
-        for tag, cfg in configs
-    ]
-
-
-def run_serial(points):
-    return {
-        p.label: run_benchmark(p.abbr, cdp=p.cdp, size=p.size, config=p.config)
-        for p in points
-    }
+#: The single-run benchmark target: the slowest benchmark at the
+#: largest dataset (PairHMM large dominates suite wall time).
+RUN_BENCHMARK = "PairHMM"
 
 
 def timed(func, *args, **kwargs):
@@ -70,8 +68,38 @@ def timed(func, *args, **kwargs):
     return result, best
 
 
-def main() -> dict:
-    points = sweep_points()
+# -- sweep benchmark (PR 1) -------------------------------------------------
+
+def sweep_points(quick: bool = False):
+    """The fixed workload: 3 benchmarks x CDP x 10 configs = 60 points."""
+    config = baseline_config()
+    configs = [
+        (f"l1={l1 // 1024}k", with_cache_sizes(config, l1, l2))
+        for l1, l2 in CACHE_SWEEP
+    ] + [
+        (f"sched={sched}", config.with_(scheduler=sched))
+        for sched in SCHEDULERS
+    ]
+    benchmarks = ("NW",) if quick else ("NW", "STAR", "CLUSTER")
+    if quick:
+        configs = configs[:4]
+    return [
+        sweep_point(f"{variant_name(abbr, cdp)}|{tag}", abbr, cfg, cdp=cdp)
+        for abbr in benchmarks
+        for cdp in (False, True)
+        for tag, cfg in configs
+    ]
+
+
+def run_serial(points):
+    return {
+        p.label: run_benchmark(p.abbr, cdp=p.cdp, size=p.size, config=p.config)
+        for p in points
+    }
+
+
+def main_sweep(quick: bool = False) -> dict:
+    points = sweep_points(quick)
     # Pooled paths run first: forking from a heap the serial pass has
     # already churned through makes every worker pay copy-on-write
     # faults that have nothing to do with the sweep engine.
@@ -84,6 +112,7 @@ def main() -> dict:
         "points": len(points),
         "cpu_count": os.cpu_count(),
         "jobs_n": POOL_JOBS,
+        "quick": quick,
         "serial_s": round(serial_s, 3),
         "jobs1_s": round(jobs1_s, 3),
         f"jobs{POOL_JOBS}_s": round(jobsn_s, 3),
@@ -91,17 +120,84 @@ def main() -> dict:
         f"speedup_jobs{POOL_JOBS}": round(serial_s / jobsn_s, 2),
         "identical_stats": identical,
     }
-    RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    if not quick:
+        SWEEP_RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
     assert identical, "sweep paths disagree with the serial reference"
     return report
 
 
+# -- single-run benchmark (PR 2) --------------------------------------------
+
+def main_run(quick: bool = False) -> dict:
+    """Event core vs reference core on one simulation of the slowest
+    benchmark, same materialized traces, best-of-2 each."""
+    size = DatasetSize.SMALL if quick else DatasetSize.LARGE
+    gen_start = time.perf_counter()
+    cached = CachedApplication(
+        build_application(RUN_BENCHMARK, cdp=False, size=size)
+    )
+    gen_s = time.perf_counter() - gen_start
+
+    def simulate(event_core: bool):
+        simulator = GPUSimulator(GPUConfig(event_core=event_core))
+        return replay_application(cached, simulator)
+
+    fast_stats, fast_s = timed(simulate, True)
+    ref_stats, ref_s = timed(simulate, False)
+    identical = (
+        dataclasses.asdict(fast_stats) == dataclasses.asdict(ref_stats)
+    )
+    report = {
+        "benchmark": RUN_BENCHMARK,
+        "size": size.name.lower(),
+        "quick": quick,
+        "trace_gen_s": round(gen_s, 3),
+        "event_core_s": round(fast_s, 3),
+        "reference_s": round(ref_s, 3),
+        "speedup": round(ref_s / fast_s, 2),
+        "cycles": int(fast_stats.cycles),
+        "identical_stats": identical,
+    }
+    if not quick:
+        RUN_RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    assert identical, "event core diverged from the reference core"
+    return report
+
+
+# -- pytest entry points ----------------------------------------------------
+
 def test_sweep_speedup_and_identity():
     """Pooled sweep must beat fresh-serial by >= 2x with identical stats."""
-    report = main()
+    report = main_sweep()
     assert report["identical_stats"]
     assert report[f"speedup_jobs{POOL_JOBS}"] >= 2.0
+
+
+def test_single_run_speedup_and_identity():
+    """Event core must beat the reference by >= 2x with identical stats."""
+    report = main_run()
+    assert report["identical_stats"]
+    assert report["speedup"] >= 2.0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced workloads for CI smoke (asserts identity, "
+             "does not overwrite the recorded BENCH_*.json)",
+    )
+    parser.add_argument(
+        "--only", choices=("sweep", "run"),
+        help="run just one of the two benchmarks",
+    )
+    args = parser.parse_args()
+    if args.only != "sweep":
+        main_run(quick=args.quick)
+    if args.only != "run":
+        main_sweep(quick=args.quick)
 
 
 if __name__ == "__main__":

@@ -21,7 +21,7 @@ LINE_BYTES = 128
 
 def popcount(mask: int) -> int:
     """Number of set bits (active lanes) in a mask."""
-    return bin(mask & FULL_MASK).count("1")
+    return (mask & FULL_MASK).bit_count()
 
 
 class OpClass(enum.Enum):
@@ -60,15 +60,14 @@ class MemAccess:
     space: MemSpace
     lines: tuple[int, ...]
     store: bool = False
+    #: number of memory transactions the access generates; computed at
+    #: construction (the issue loop reads it once per dynamic LDST)
+    transactions: int = 0
 
     def __post_init__(self) -> None:
         if not self.lines and self.space not in (MemSpace.SHARED,):
             raise ValueError("memory access must touch at least one line")
-
-    @property
-    def transactions(self) -> int:
-        """Number of memory transactions the access generates."""
-        return max(1, len(self.lines))
+        object.__setattr__(self, "transactions", max(1, len(self.lines)))
 
 
 class WarpInstruction:

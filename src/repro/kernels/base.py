@@ -105,6 +105,10 @@ class GenomicsApplication(Application):
         self.workload = workload
         self.cdp = cdp
         self.name = f"{self.abbr}-CDP" if cdp else self.abbr
+        # Only the CDP variants build parent kernels that launch
+        # children; the plain variants never device-launch, which lets
+        # the simulator run SM-local work ahead of the event order.
+        self.may_device_launch = cdp
 
     @property
     def info(self) -> BenchmarkInfo:

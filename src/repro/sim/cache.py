@@ -112,6 +112,56 @@ class Cache:
             self._resident += 1
         ways[line] = dirty
 
+    def probe_hits(self, lines, store: bool = False) -> int:
+        """Access the longest all-hit prefix of ``lines`` in one call.
+
+        Returns ``k`` such that ``lines[:k]`` all hit; side effects
+        (LRU promotion, dirty marking, counters) are exactly those of
+        calling :meth:`access` on each of them, and ``lines[k]`` — the
+        first miss — is left completely untouched for the caller to
+        handle.  This keeps miss-side effects (fills, evictions,
+        writeback ordering) on the one-at-a-time path while the common
+        all-hit case runs without per-line Python call overhead.
+        """
+        if self._disabled:
+            return 0
+        sets = self._sets
+        num_sets = self._num_sets
+        k = 0
+        for line in lines:
+            ways = sets[line % num_sets]
+            if line not in ways:
+                break
+            ways.move_to_end(line)
+            if store:
+                ways[line] = True
+            k += 1
+        if k:
+            stats = self.stats
+            stats.accesses += k
+            stats.hits += k
+            if not store:
+                stats.load_accesses += k
+        return k
+
+    def contains_all(self, lines) -> bool:
+        """Side-effect-free probe: would every line in ``lines`` hit?
+
+        Hits never evict and never write back, so an all-resident
+        access is purely SM-local; the run-ahead issue loop
+        (``repro.sim.sm``) uses this to decide whether an access can
+        execute out of global event order.  No counters or LRU state
+        are touched — the subsequent real access does all of that.
+        """
+        if self._disabled:
+            return False
+        sets = self._sets
+        num_sets = self._num_sets
+        for line in lines:
+            if line not in sets[line % num_sets]:
+                return False
+        return True
+
     def contains(self, line: int) -> bool:
         """Probe without side effects (for tests)."""
         if self.config.disabled:

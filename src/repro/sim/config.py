@@ -137,6 +137,13 @@ class GPUConfig:
     #: Zero-latency memory system (Fig 15's "perfect memory").
     perfect_memory: bool = False
 
+    #: Use the event-maintained issue loop (incremental ready tracking,
+    #: macro-issue batching, memory fast path — see DESIGN.md "event
+    #: core").  ``False`` selects the scan-per-decision reference SM,
+    #: kept for golden bit-identity tests and wall-clock benchmarking;
+    #: both produce field-for-field identical :class:`RunStats`.
+    event_core: bool = True
+
     # Ablation switches (defaults model the hardware; see DESIGN.md).
     #: Host-to-device copies invalidate cached device data (the paper's
     #: inter-kernel locality-loss observation).

@@ -32,8 +32,15 @@ class GPUSimulator:
         self.config = config or GPUConfig()
         self.stats = RunStats()
         self.memory = MemorySubsystem(self.config)
+        if self.config.event_core:
+            sm_cls = StreamingMultiprocessor
+        else:
+            # Scan-per-decision baseline, kept for golden bit-identity
+            # tests and benchmarking (imported lazily: the fast core
+            # must not pay for it).
+            from repro.sim.sm_reference import ReferenceSM as sm_cls
         self.sms = [
-            StreamingMultiprocessor(i, self.config, self.stats)
+            sm_cls(i, self.config, self.stats)
             for i in range(self.config.num_sms)
         ]
         for sm in self.sms:
@@ -49,6 +56,12 @@ class GPUSimulator:
         self._active_grids = 0
         self.host_time = 0.0
         self._finalized = False
+        #: SM-local run-ahead (see repro.sim.sm._run_local): enabled in
+        #: ``run_application`` for applications that declare they can
+        #: never device-launch.  Off by default so direct ``run_grid``
+        #: or ``_run_until`` callers get the one-decision-per-pop
+        #: schedule without needing any declaration.
+        self._runahead = False
 
     # -- grid management ---------------------------------------------------
     def submit_grid(self, grid: Grid) -> None:
@@ -83,19 +96,34 @@ class GPUSimulator:
         self._pending_grids = remaining
 
     def refill_sm(self, sm: StreamingMultiprocessor, t: float) -> None:
-        """A CTA finished on ``sm``; backfill from pending grids."""
+        """A CTA finished on ``sm``; backfill from pending grids.
+
+        All admissions coalesce into a single heap entry at the
+        earliest start time — ``wake_accounting`` still runs per
+        admission (it advances ``sm.time`` to late ``available_time``s,
+        which admission start times depend on), but the event heap no
+        longer accumulates duplicate wakes for one SM.
+        """
         pending = self._pending_grids
         if not pending:
             return
         remaining: list[Grid] = []
+        wake: float | None = None
         for grid in pending:
             while not grid.dispatch_done and sm.can_admit(grid.kernel):
-                cta = sm.admit_cta(grid, max(t, grid.available_time))
+                start = max(t, grid.available_time)
+                cta = sm.admit_cta(grid, start)
                 cta.sm = sm
-                self._wake_sm(sm, max(t, grid.available_time))
+                sm.wake_accounting(start)
+                if wake is None or start < wake:
+                    wake = start
             if not grid.dispatch_done:
                 remaining.append(grid)
         self._pending_grids = remaining
+        if wake is not None:
+            heapq.heappush(
+                self._heap, (wake, sm.sm_id, next(self._heap_seq), sm)
+            )
 
     def device_launch(
         self,
@@ -105,6 +133,16 @@ class GPUSimulator:
         t: float,
     ) -> None:
         """CDP: a warp on ``sm`` launches ``spec`` as a child grid."""
+        if self._runahead:
+            # Run-ahead is only sound when no kernel can ever device-
+            # launch (child dispatch and parent wake-ups mutate other
+            # SMs at arbitrary times).  Fail loudly rather than let a
+            # mismarked application diverge silently.
+            raise RuntimeError(
+                f"application declared may_device_launch=False but "
+                f"kernel {spec.kernel.name!r} issued a device launch; "
+                "fix the application's may_device_launch flag"
+            )
         config = self.config
         available = t + config.cdp_launch_cycles + config.cdp_dispatch_cycles
         child = Grid(
@@ -140,16 +178,19 @@ class GPUSimulator:
         parent.pending_children -= 1
         if parent.pending_children == 0 and parent.waiting_device_sync:
             parent.waiting_device_sync = False
-            parent.next_ready = t
-            parent.block_reason = None
             parent_sm = parent.cta.sm
             if parent_sm is not None:
+                # The SM keeps its ready/wake structures consistent.
+                parent_sm.wake_warp(parent, t)
                 self._wake_sm(parent_sm, max(parent_sm.time, t))
+            else:  # pragma: no cover - CTAs always record their SM
+                parent.next_ready = t
+                parent.block_reason = None
 
     # -- event loop -----------------------------------------------------------
     def _wake_sm(self, sm: StreamingMultiprocessor, t: float) -> None:
         sm.wake_accounting(t)
-        heapq.heappush(self._heap, (t, next(self._heap_seq), sm))
+        heapq.heappush(self._heap, (t, sm.sm_id, next(self._heap_seq), sm))
 
     def _force_admit_child(self) -> bool:
         """Deadlock avoidance for CDP: swap a child in over blocked parents.
@@ -161,7 +202,7 @@ class GPUSimulator:
         resource limits on the least-loaded SM.  Returns True if a CTA
         was placed.
         """
-        for grid in self._pending_grids:
+        for index, grid in enumerate(self._pending_grids):
             if grid.parent_warp is None or grid.dispatch_done:
                 continue
             sm = min(self.sms, key=lambda s: (s.used_threads, s.sm_id))
@@ -169,7 +210,9 @@ class GPUSimulator:
             cta = sm.admit_cta(grid, start)
             cta.sm = sm
             if grid.dispatch_done:
-                self._pending_grids.remove(grid)
+                # Drop by index: ``list.remove`` rescans from the front
+                # and turned deep CDP backlogs quadratic.
+                del self._pending_grids[index]
             self._wake_sm(sm, start)
             return True
         return False
@@ -185,20 +228,73 @@ class GPUSimulator:
                     "no runnable SMs but the run predicate is unsatisfied "
                     f"(pending grids: {len(self._pending_grids)})"
                 )
-            t, _, sm = heappop(heap)
-            sm.step(self, t)
+            t, _, s, sm = heappop(heap)
+            if t < sm.time and sm._deferred is None:
+                # Stale entry: the SM's clock already ran past it, so
+                # stepping now would execute a decision at ``sm.time``
+                # inside the ``t`` slot — leapfrogging other SMs whose
+                # decisions fall in between.  Re-queue at the SM's real
+                # time so every decision pops at the slot it simulates
+                # (deferred entries are exempt: their time is frozen at
+                # the decision time, and bouncing would orphan the
+                # recorded sequence number).
+                heappush(heap, (sm.time, sm.sm_id, next(self._heap_seq), sm))
+                continue
+            sm.step(self, t, s)
             # While this SM is strictly next anyway, keep stepping it
             # without the push/pop round trip.  Ties defer to the heap,
             # whose sequence numbers keep the original FIFO order, so
             # the schedule is identical to the push-then-pop loop.
             while sm.has_resident_work and sm.dormant_since is None:
+                if sm._deferred is not None:
+                    # The SM queued its next (nonlocal) decision under
+                    # its own heap entry; don't push a duplicate.
+                    break
                 if heap and heap[0][0] <= sm.time:
-                    heappush(heap, (sm.time, next(self._heap_seq), sm))
+                    heappush(heap, (sm.time, sm.sm_id, next(self._heap_seq), sm))
                     break
                 if predicate():
                     # Re-queue before returning: callers rely on every
                     # live SM staying in the heap between run calls.
-                    heappush(heap, (sm.time, next(self._heap_seq), sm))
+                    heappush(heap, (sm.time, sm.sm_id, next(self._heap_seq), sm))
+                    return
+                sm.step(self, sm.time)
+
+    def _drive_grid(self, grid: Grid) -> None:
+        """Run the event loop until ``grid`` completes.
+
+        Same schedule as ``self._run_until(lambda: grid.finished)`` —
+        which remains the general API — but with the predicate inlined
+        as a ``remaining_ctas`` read: the completion check runs once
+        per scheduling decision, so the lambda + property dispatch was
+        measurable across multi-million-decision runs.
+        """
+        heap = self._heap
+        heappop, heappush = heapq.heappop, heapq.heappush
+        heap_seq = self._heap_seq
+        while grid.remaining_ctas:
+            if not heap:
+                if self._pending_grids and self._force_admit_child():
+                    continue
+                raise SimulationDeadlock(
+                    "no runnable SMs but the run predicate is unsatisfied "
+                    f"(pending grids: {len(self._pending_grids)})"
+                )
+            t, _, s, sm = heappop(heap)
+            if t < sm.time and sm._deferred is None:
+                # Stale entry — re-queue at the SM's real time (see
+                # ``_run_until`` for the canonical-order rationale).
+                heappush(heap, (sm.time, sm.sm_id, next(heap_seq), sm))
+                continue
+            sm.step(self, t, s)
+            while sm.has_resident_work and sm.dormant_since is None:
+                if sm._deferred is not None:
+                    break
+                if heap and heap[0][0] <= sm.time:
+                    heappush(heap, (sm.time, sm.sm_id, next(heap_seq), sm))
+                    break
+                if not grid.remaining_ctas:
+                    heappush(heap, (sm.time, sm.sm_id, next(heap_seq), sm))
                     return
                 sm.step(self, sm.time)
 
@@ -210,7 +306,7 @@ class GPUSimulator:
             available_time=start,
         )
         self.submit_grid(grid)
-        self._run_until(lambda: grid.finished)
+        self._drive_grid(grid)
         return grid
 
     # -- host interface ----------------------------------------------------
@@ -222,6 +318,12 @@ class GPUSimulator:
         """Execute an application's host program to completion."""
         if self._finalized:
             raise RuntimeError("simulator instances are single use")
+        # SM-local run-ahead is only sound when no kernel can ever
+        # device-launch; applications opt in by declaring it (the
+        # Application default is the conservative True).
+        self._runahead = self.config.event_core and not getattr(
+            app, "may_device_launch", True
+        )
         config = self.config
         for op in app.host_program():
             if isinstance(op, HostMemcpy):

@@ -62,6 +62,14 @@ class Application:
 
     name: str = "app"
 
+    #: Whether any kernel this application runs may issue a
+    #: device-side (CDP) launch.  When ``False``, the simulator may
+    #: execute SM-local work ahead of the global event order (see
+    #: ``repro.sim.sm``) — bit-identical for launch-free programs,
+    #: and guarded by a hard error if a launch happens anyway.  The
+    #: default is the conservative ``True``.
+    may_device_launch: bool = True
+
     def host_program(self) -> Iterator[HostOp]:
         """Yield the host operations in execution order."""
         raise NotImplementedError

@@ -68,6 +68,44 @@ class MemorySubsystem:
             partition, sm_id, served, data_bytes=self.config.l2.line_bytes
         )
 
+    def line_requests(self, sm_id: int, entries, store: bool) -> float:
+        """Service an ordered batch of SM-cache misses in one call.
+
+        ``entries`` is a sequence of ``(issue_time, line)`` pairs in
+        program order.  Effects on the NoC, L2 banks, and DRAM are
+        issued in exactly the order sequential :meth:`line_request`
+        calls would produce; the return value is the latest completion
+        across the batch.  Callers must only batch misses whose source
+        cache has no ``writeback_sink`` (const/tex), so no writeback
+        traffic can interleave between the entries.
+        """
+        config = self.config
+        line_bytes = config.l2.line_bytes
+        store_bytes = line_bytes if store else 0
+        num_partitions = config.num_mem_partitions
+        network = self.network
+        request = network.request
+        response = network.response
+        banks = self.l2_banks
+        dram = self.dram
+        latest = 0.0
+        for now, line in entries:
+            partition = line % num_partitions
+            at_l2 = request(sm_id, partition, int(now), store_bytes)
+            bank = banks[partition]
+            if bank.access(line, store=store):
+                served = at_l2 + bank.config.hit_latency
+            else:
+                served = dram[partition].access(
+                    line, at_l2 + bank.config.hit_latency
+                )
+            done = served if store else response(
+                partition, sm_id, served, data_bytes=line_bytes
+            )
+            if done > latest:
+                latest = done
+        return latest
+
     def writeback(self, sm_id: int, line: int, now: float) -> None:
         """An L1 dirty eviction: push the line to L2 (and DRAM on miss).
 

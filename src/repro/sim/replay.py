@@ -140,7 +140,9 @@ class ReplayKernel(KernelProgram):
         return entry
 
     def warp_trace(self, ctx: WarpContext):
-        return iter(self.entry_for(ctx)[0])
+        # The materialized list itself: Warp wraps traces in ``iter``,
+        # and list iterators resume faster than a generator would.
+        return self.entry_for(ctx)[0]
 
 
 class CachedApplication(Application):
@@ -158,6 +160,9 @@ class CachedApplication(Application):
     def __init__(self, app: Application):
         self.name = app.name
         self.base = app
+        # Replay preserves the base application's launch behaviour, so
+        # its run-ahead eligibility carries over verbatim.
+        self.may_device_launch = getattr(app, "may_device_launch", True)
         self._wrapped: dict[int, ReplayKernel] = {}
         # id(args-dict) -> (args, token): the strong reference keeps the
         # id stable for the lifetime of the cache entry.

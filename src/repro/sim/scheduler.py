@@ -11,6 +11,14 @@ Accel-Sim documents:
 - **2LV** (two level) — a small active set issues round robin; warps
   that hit long-latency operations are demoted and replaced from the
   pending pool.
+
+The ready-set API (see :mod:`repro.sim.sm`): ``select`` receives the
+ready warps in residence order (ascending ``age``); each ready warp has
+``in_ready`` set, so membership checks are attribute reads, not set
+rebuilds.  ``select_sole`` is the fast path for a one-warp ready set —
+it must leave the policy in exactly the state ``select([warp])`` would,
+and stay idempotent so a monopolizing warp can issue repeatedly under a
+single call.
 """
 
 from __future__ import annotations
@@ -26,6 +34,10 @@ class WarpScheduler:
 
     def select(self, ready: list[Warp]) -> Warp:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    def select_sole(self, warp: Warp) -> Warp:
+        """Equivalent of ``select([warp])`` when only one warp is ready."""
+        return warp
 
     def issued(self, warp: Warp) -> None:
         """Hook called after ``warp`` issues."""
@@ -47,6 +59,10 @@ class LooseRoundRobin(WarpScheduler):
     def select(self, ready: list[Warp]) -> Warp:
         self._pointer = (self._pointer + 1) % len(ready)
         return ready[self._pointer]
+
+    def select_sole(self, warp: Warp) -> Warp:
+        self._pointer = 0
+        return warp
 
 
 class GreedyThenOldest(WarpScheduler):
@@ -72,31 +88,55 @@ class TwoLevel(WarpScheduler):
 
     Demotion happens implicitly: a warp that is not ready (long-latency
     operation outstanding) is dropped from the active set when the set
-    is refilled.
+    is refilled.  The active set is persistent across decisions —
+    pruning walks the (bounded-size) active list checking ``in_ready``
+    flags, and refill membership uses an id-set, so maintenance is O(1)
+    in the number of resident warps.
     """
 
     def __init__(self, active_size: int = 8):
         super().__init__()
         self.active_size = active_size
         self._active: list[Warp] = []
+        self._active_ids: set[int] = set()
         self._pointer = 0
 
     def select(self, ready: list[Warp]) -> Warp:
-        ready_set = set(id(w) for w in ready)
-        self._active = [w for w in self._active if id(w) in ready_set]
-        if len(self._active) < self.active_size:
+        active = self._active
+        ids = self._active_ids
+        # Demote active warps that stalled (order of survivors kept).
+        if any(not w.in_ready for w in active):
+            active = [w for w in active if w.in_ready]
+            self._active = active
+            ids.clear()
+            ids.update(id(w) for w in active)
+        if len(active) < self.active_size:
             for warp in ready:
-                if warp not in self._active:
-                    self._active.append(warp)
-                    if len(self._active) == self.active_size:
+                wid = id(warp)
+                if wid not in ids:
+                    active.append(warp)
+                    ids.add(wid)
+                    if len(active) == self.active_size:
                         break
-        self._pointer = (self._pointer + 1) % len(self._active)
-        return self._active[self._pointer]
+        self._pointer = (self._pointer + 1) % len(active)
+        return active[self._pointer]
+
+    def select_sole(self, warp: Warp) -> Warp:
+        active = self._active
+        if len(active) != 1 or active[0] is not warp:
+            active.clear()
+            active.append(warp)
+            ids = self._active_ids
+            ids.clear()
+            ids.add(id(warp))
+        self._pointer = 0
+        return warp
 
     def retired(self, warp: Warp) -> None:
         super().retired(warp)
-        if warp in self._active:  # pragma: no cover - defensive
+        if id(warp) in self._active_ids:  # pragma: no cover - defensive
             self._active.remove(warp)
+            self._active_ids.discard(id(warp))
 
 
 _POLICIES = {

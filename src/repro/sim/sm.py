@@ -3,11 +3,39 @@
 Each SM owns a private L1, constant and texture cache, a warp
 scheduler, and a set of resident CTAs.  ``step`` makes one scheduling
 decision: issue from a ready warp, or account a stall and jump to the
-next wake-up time.  The event-driven jump keeps simulation fast while
-preserving per-cycle issue accounting.
+next wake-up time.
+
+This is the **event core**: instead of rescanning every resident warp
+per decision, the SM maintains
+
+- ``_ready`` — the warps able to issue right now, kept in residence
+  order (ascending ``age``, which is exactly the order the original
+  per-decision scan of ``self.warps`` produced, so scheduler decisions
+  are unchanged);
+- ``_wakes`` — a min-heap of ``(next_ready, seq, warp)`` wake events
+  for blocked warps with a known wake time (warps parked on an
+  external event — barrier, device sync — are in neither structure);
+- ``_reason_counts`` — resident warps per ``block_reason``, so stall
+  attribution is O(1) instead of a scan.
+
+Both structures are updated at the points where ``next_ready`` /
+``block_reason`` change: ``_execute``, barrier release, CDP child
+completion (``wake_warp``), and exit.  When a single warp is the only
+one ready, ``step`` enters a *monopolize* loop that keeps issuing from
+it — ALU repeat blocks in closed form, stall gaps fused inline — for
+as long as the one-decision-per-step loop would provably have made the
+same choices.  See DESIGN.md ("event core") for the invariants; the
+scan-per-decision original lives on as
+:class:`repro.sim.sm_reference.ReferenceSM` and the two are locked
+bit-identical by ``tests/sim/test_event_core_golden.py``.
 """
 
 from __future__ import annotations
+
+import itertools
+from bisect import bisect_left, insort
+from heapq import heappop, heappush
+from operator import attrgetter
 
 from repro.isa.instructions import MemSpace, OpClass
 from repro.sim.cache import Cache
@@ -39,9 +67,11 @@ _R_SYNC = StallReason.SYNC
 _R_FUNCTIONAL = StallReason.FUNCTIONAL_DONE
 _R_IDLE = StallReason.IDLE
 
+_AGE = attrgetter("age")
+
 
 class StreamingMultiprocessor:
-    """One GPU core."""
+    """One GPU core (event-maintained issue loop)."""
 
     def __init__(self, sm_id: int, config: GPUConfig, stats: RunStats):
         self.sm_id = sm_id
@@ -54,7 +84,8 @@ class StreamingMultiprocessor:
         self.scheduler = build_scheduler(config.scheduler)
         self.ctas: list[CTA] = []
         #: warps visible to the scheduler; exited warps are removed
-        #: eagerly so the per-decision ready scan never touches them
+        #: eagerly.  Residence order is ascending ``age`` (CTAs only
+        #: ever append warps), which the ready list relies on.
         self.warps: list[Warp] = []
         # Resource accounting for CTA admission.
         self.used_threads = 0
@@ -68,6 +99,26 @@ class StreamingMultiprocessor:
         self.in_heap = False
         self.dormant_since: float | None = None
         self.dormant_reason: StallReason | None = None
+        # -- event-core state (see module docstring) --
+        self._ready: list[Warp] = []
+        self._wakes: list = []
+        #: a selected-but-not-executed nonlocal decision ``(warp,
+        #: instr)``: run-ahead stops *before* ops that touch shared
+        #: state (L2/NoC/DRAM, grid bookkeeping) and re-queues itself
+        #: so they execute in global (time, seq) order.
+        self._deferred: tuple | None = None
+        #: heap sequence number of the entry this SM pushed for its
+        #: deferred decision; the decision executes only when exactly
+        #: that entry pops, so FIFO tie-breaking matches the
+        #: one-decision-per-pop schedule.
+        self._deferred_seq = -1
+        self._reason_counts: dict = {
+            None: 0,
+            _R_MEMORY: 0,
+            _R_CONTROL: 0,
+            _R_SYNC: 0,
+            _R_FUNCTIONAL: 0,
+        }
 
     # -- CTA admission ------------------------------------------------------
     def can_admit(self, kernel: KernelProgram) -> bool:
@@ -94,6 +145,17 @@ class StreamingMultiprocessor:
         self.used_threads += kernel.cta_threads
         self.used_regs += kernel.regs_per_thread * kernel.cta_threads
         self.used_smem += kernel.smem_per_cta
+        # Fold the new warps into the event-core structures.
+        self._reason_counts[None] += len(cta.warps)
+        t = self.time
+        ready = self._ready
+        wakes = self._wakes
+        for warp in cta.warps:
+            if warp.next_ready <= t:
+                warp.in_ready = True
+                insort(ready, warp, key=_AGE)
+            else:
+                heappush(wakes, (warp.next_ready, warp.age, warp))
         return cta
 
     def _release_cta(self, cta: CTA) -> None:
@@ -109,64 +171,541 @@ class StreamingMultiprocessor:
         return bool(self.warps)
 
     # -- issue loop -----------------------------------------------------------
-    def step(self, gpu, now: float) -> None:
-        """One scheduling decision at time ``max(self.time, now)``.
+    def step(self, gpu, now: float, seq: int = -1) -> None:
+        """One or more scheduling decisions at ``max(self.time, now)``.
 
         ``gpu`` is the owning :class:`~repro.sim.gpu.GPUSimulator`,
         used for memory access, device launches and completion hooks.
+        ``seq`` is the heap sequence number of the popped entry; a
+        pending deferred decision executes only when its own entry
+        pops (stale wake entries are no-ops until then).
+
+        With run-ahead enabled (``gpu._runahead``, non-CDP
+        applications only) this executes every *SM-local* decision in
+        one call and stops just before the next shared-state op; the
+        classic gheap-gated path below handles everything else.
         """
         if now > self.time:
             self.time = now
-        warps = self.warps
-        if not warps:
+        deferred = self._deferred
+        if deferred is not None:
+            if seq != self._deferred_seq:
+                # A stale wake entry popped while a nonlocal decision
+                # is queued under its own (time, seq): not our turn.
+                return
+            self._deferred = None
+            self._deferred_seq = -1
+            warp, instr = deferred
+            self._execute(gpu, warp, instr, self.time)
+            self.scheduler.issued(warp)
+            if not warp.exited:
+                self._settle(warp)
+        if not self.warps:
+            return
+        if gpu._runahead:
+            self._run_local(gpu)
             return
 
         t = self.time
-        ready = [w for w in warps if w.next_ready <= t]
+        wakes = self._wakes
+        if wakes and wakes[0][0] <= t:
+            self._drain_wakes(t)
+        ready = self._ready
         if not ready:
             self._account_stall(t)
             return
 
-        warp = self.scheduler.select(ready)
+        scheduler = self.scheduler
+        if len(ready) == 1:
+            warp = scheduler.select_sole(ready[0])
+            self._monopolize(gpu, warp)
+            scheduler.issued(warp)
+            return
+
+        warp = scheduler.select(ready)
         try:
-            instr = warp.fetch()
+            instr = next(warp.trace)
         except StopIteration:  # pragma: no cover - traces must end with EXIT
             raise RuntimeError(
                 f"trace of kernel {warp.cta.grid.kernel.name} ended "
                 "without an EXIT instruction"
             ) from None
         self._execute(gpu, warp, instr, t)
-        self.scheduler.issued(warp)
+        scheduler.issued(warp)
+        if not warp.exited:
+            self._settle(warp)
+
+    def _run_local(self, gpu) -> None:
+        """Run-ahead: execute SM-local decisions without the event heap.
+
+        For applications that can never device-launch, the only state
+        shared between SMs is the memory subsystem (NoC/L2/DRAM) plus
+        grid dispatch bookkeeping.  ALU, control, CTA barriers,
+        shared/param accesses, perfect-memory accesses, and cache
+        accesses whose lines are all resident touch none of it, so
+        their interleaving with other SMs is unobservable and this SM
+        may retire them in one burst regardless of the global heap.
+
+        The first *nonlocal* decision — a cache access that would miss
+        (probed side-effect-free via ``contains_all``), or an
+        EXIT/LAUNCH/DEVSYNC whose grid bookkeeping must stay globally
+        ordered — is left selected-but-unexecuted in ``_deferred`` and
+        this SM re-queues itself at the decision time; it executes when
+        that exact entry pops, giving the same (time, seq) order the
+        one-decision-per-pop schedule produces.
+        """
+        ready = self._ready
+        wakes = self._wakes
+        rc = self._reason_counts
+        scheduler = self.scheduler
+        stats = self.stats
+        config = self.config
+        int_latency = config.int_latency
+        fp_latency = config.fp_latency
+        sfu_latency = config.sfu_latency
+        shared_latency = config.shared_latency
+        perfect = config.perfect_memory
+        count_instruction = stats.count_instruction
+        count_memory = stats.count_memory
+        stalls = stats.stalls
+        const_cache = self.const_cache
+        tex_cache = self.tex_cache
+        l1 = self.l1
+        issued = 0
+        warp = None
+        while True:
+            t = self.time
+            if warp is None:
+                # -- pick the warp the one-decision loop would pick ----
+                if ready:
+                    if wakes and wakes[0][0] <= t:
+                        self._drain_wakes(t)
+                    if len(ready) == 1:
+                        warp = scheduler.select_sole(ready[0])
+                    else:
+                        warp = scheduler.select(ready)
+                    in_list = True
+                elif wakes and wakes[0][0] <= t:
+                    wake, _, w = heappop(wakes)
+                    if w.exited or w.in_ready or w.next_ready != wake:
+                        continue
+                    if wakes and wakes[0][0] <= t:
+                        # Several warps wake together: materialize the
+                        # ready list and take the general path above.
+                        w.in_ready = True
+                        insort(ready, w, key=_AGE)
+                        continue
+                    # Dominant case: exactly one warp wakes and issues.
+                    # It never enters the ready list (its membership is
+                    # unobservable until the next decision).
+                    warp = scheduler.select_sole(w)
+                    in_list = False
+                else:
+                    # No ready warp and no due wake: the one-decision
+                    # loop would peek the next live wake (_next_wake),
+                    # attribute the gap (_dominant_reason + add_stall),
+                    # jump, and on the next decision pop that same
+                    # entry.  Fused here into one pass — the hottest
+                    # path on the latency-bound benchmarks.
+                    wk = NEVER
+                    w = None
+                    while wakes:
+                        head = wakes[0]
+                        w = head[2]
+                        if w.exited or w.in_ready or w.next_ready != head[0]:
+                            heappop(wakes)
+                            continue
+                        wk = head[0]
+                        break
+                    # _dominant_reason, inlined (ties: memory wins).
+                    best = rc[_R_MEMORY]
+                    dominant = _R_MEMORY
+                    n = rc[_R_CONTROL]
+                    if n > best:
+                        best, dominant = n, _R_CONTROL
+                    n = rc[_R_SYNC]
+                    if n > best:
+                        best, dominant = n, _R_SYNC
+                    n = rc[_R_FUNCTIONAL]
+                    if n > best:
+                        best, dominant = n, _R_FUNCTIONAL
+                    if rc[None] > best:
+                        dominant = _R_IDLE
+                    if wk == NEVER:
+                        self.dormant_since = t
+                        self.dormant_reason = dominant
+                        break
+                    gap = int(wk - t)
+                    if gap > 0:  # add_stall, inlined
+                        key = dominant._value_
+                        stalls[key] = stalls.get(key, 0) + gap
+                    self.time = wk
+                    t = wk
+                    heappop(wakes)
+                    if wakes and wakes[0][0] <= t:
+                        # Several warps wake together: materialize the
+                        # ready list and take the general path above.
+                        w.in_ready = True
+                        insort(ready, w, key=_AGE)
+                        continue
+                    warp = scheduler.select_sole(w)
+                    in_list = False
+
+            try:
+                instr = next(warp.trace)
+            except StopIteration:  # pragma: no cover - traces end with EXIT
+                raise RuntimeError(
+                    f"trace of kernel {warp.cta.grid.kernel.name} ended "
+                    "without an EXIT instruction"
+                ) from None
+            op = instr.op
+            if op is _INT or op is _FP or op is _SFU:
+                repeat = instr.repeat
+                if not warp.precounted:
+                    count_instruction(op, instr.active_lanes, repeat)
+                issued += repeat
+                old = warp.block_reason
+                if old is not None:
+                    rc[old] -= 1
+                    rc[None] += 1
+                    warp.block_reason = None
+                if op is _INT:
+                    latency = int_latency
+                elif op is _FP:
+                    latency = fp_latency
+                else:
+                    latency = sfu_latency
+                nr = t + repeat - 1 + latency
+                warp.next_ready = nr
+                now = t + repeat
+                self.time = now
+                scheduler.issued(warp)
+                if nr > now:
+                    if in_list:
+                        ready.remove(warp)
+                        warp.in_ready = False
+                    if not ready and not (wakes and wakes[0][0] <= nr):
+                        # The warp is provably the next decision: no
+                        # ready peer and every queued wake is later.
+                        # Fuse the stall the next pick would attribute
+                        # and reissue without the heap round trip.
+                        best = rc[_R_MEMORY]
+                        dominant = _R_MEMORY
+                        n = rc[_R_CONTROL]
+                        if n > best:
+                            best, dominant = n, _R_CONTROL
+                        n = rc[_R_SYNC]
+                        if n > best:
+                            best, dominant = n, _R_SYNC
+                        n = rc[_R_FUNCTIONAL]
+                        if n > best:
+                            best, dominant = n, _R_FUNCTIONAL
+                        if rc[None] > best:
+                            dominant = _R_IDLE
+                        gap = int(nr - now)
+                        if gap > 0:
+                            key = dominant._value_
+                            stalls[key] = stalls.get(key, 0) + gap
+                        self.time = nr
+                        scheduler.select_sole(warp)
+                        in_list = False
+                        continue
+                    heappush(wakes, (nr, warp.age, warp))
+                elif not in_list:
+                    warp.in_ready = True
+                    insort(ready, warp, key=_AGE)
+                warp = None
+                continue
+
+            if op is _LDST:
+                mem = instr.mem
+                space = mem.space
+                if space is _SHARED:
+                    # Scratchpad: inlined (hot in the shared-tiled
+                    # kernels), identical to _execute_memory's path.
+                    if not warp.precounted:
+                        count_instruction(op, instr.active_lanes, 1)
+                        count_memory(space, mem.transactions)
+                    issued += 1
+                    now = t + 1
+                    self.time = now
+                    nr = t + shared_latency
+                    warp.next_ready = nr
+                    old = warp.block_reason
+                    if old is not _R_MEMORY:
+                        rc[old] -= 1
+                        rc[_R_MEMORY] += 1
+                        warp.block_reason = _R_MEMORY
+                    scheduler.issued(warp)
+                    if nr > now:
+                        if in_list:
+                            ready.remove(warp)
+                            warp.in_ready = False
+                        if not ready and not (wakes and wakes[0][0] <= nr):
+                            # Provably next (as in the ALU path): fuse
+                            # the stall and skip the heap round trip.
+                            # All warps block on memory here, so the
+                            # dominant reason is never contested by a
+                            # recount: rc changed by exactly this warp.
+                            best = rc[_R_MEMORY]
+                            dominant = _R_MEMORY
+                            n = rc[_R_CONTROL]
+                            if n > best:
+                                best, dominant = n, _R_CONTROL
+                            n = rc[_R_SYNC]
+                            if n > best:
+                                best, dominant = n, _R_SYNC
+                            n = rc[_R_FUNCTIONAL]
+                            if n > best:
+                                best, dominant = n, _R_FUNCTIONAL
+                            if rc[None] > best:
+                                dominant = _R_IDLE
+                            gap = int(nr - now)
+                            if gap > 0:
+                                key = dominant._value_
+                                stalls[key] = stalls.get(key, 0) + gap
+                            self.time = nr
+                            scheduler.select_sole(warp)
+                            in_list = False
+                            continue
+                        heappush(wakes, (nr, warp.age, warp))
+                    elif not in_list:
+                        warp.in_ready = True
+                        insort(ready, warp, key=_AGE)
+                    warp = None
+                    continue
+                if not (space is _PARAM or perfect):
+                    if space is _CONST:
+                        cache = const_cache
+                    elif space is _TEX:
+                        cache = tex_cache
+                    else:
+                        cache = l1
+                    if not cache.contains_all(mem.lines):
+                        # Would miss: shared-state traffic — defer.
+                        if not in_list:
+                            warp.in_ready = True
+                            insort(ready, warp, key=_AGE)
+                        self._defer(gpu, warp, instr, t)
+                        break
+            elif op is not _CTRL and op is not _SYNC:
+                # EXIT / LAUNCH / DEVSYNC: grid bookkeeping must stay
+                # globally ordered — defer.
+                if not in_list:
+                    warp.in_ready = True
+                    insort(ready, warp, key=_AGE)
+                self._defer(gpu, warp, instr, t)
+                break
+
+            # Local op with non-inlined semantics (control, barriers,
+            # param/const/tex/L1 all-hit, perfect memory).
+            self._execute(gpu, warp, instr, t)
+            scheduler.issued(warp)
+            nr = warp.next_ready
+            now = self.time
+            if nr > now:
+                if in_list:
+                    ready.remove(warp)
+                    warp.in_ready = False
+                if nr != NEVER:
+                    if not ready and not (wakes and wakes[0][0] <= nr):
+                        # Provably next (as in the ALU path).
+                        best = rc[_R_MEMORY]
+                        dominant = _R_MEMORY
+                        n = rc[_R_CONTROL]
+                        if n > best:
+                            best, dominant = n, _R_CONTROL
+                        n = rc[_R_SYNC]
+                        if n > best:
+                            best, dominant = n, _R_SYNC
+                        n = rc[_R_FUNCTIONAL]
+                        if n > best:
+                            best, dominant = n, _R_FUNCTIONAL
+                        if rc[None] > best:
+                            dominant = _R_IDLE
+                        gap = int(nr - now)
+                        if gap > 0:
+                            key = dominant._value_
+                            stalls[key] = stalls.get(key, 0) + gap
+                        self.time = nr
+                        scheduler.select_sole(warp)
+                        in_list = False
+                        continue
+                    heappush(wakes, (nr, warp.age, warp))
+            elif not in_list:
+                warp.in_ready = True
+                insort(ready, warp, key=_AGE)
+            warp = None
+        self.issued_instructions += issued
+
+    def _defer(self, gpu, warp: Warp, instr, t: float) -> None:
+        """Queue a selected nonlocal decision at its global heap slot."""
+        seq = next(gpu._heap_seq)
+        heappush(gpu._heap, (t, self.sm_id, seq, self))
+        self._deferred = (warp, instr)
+        self._deferred_seq = seq
+
+    def _monopolize(self, gpu, warp: Warp) -> None:
+        """Keep issuing from the sole ready warp while the one-decision
+        loop would provably do the same.
+
+        The gates, re-checked after every issue in exactly the order
+        the outer loops check them:
+
+        1. nothing on the GPU's event heap is due (another SM — or a
+           queued wake of this one — would run first otherwise);
+        2. no other resident warp became ready (the scheduler would
+           then have a real choice), via the ready list and the wake
+           heap's minimum;
+        3. when the warp blocks with every gate still clear, the stall
+           decision the next ``step`` would make is fused inline.
+
+        Breaking out at any point is identity-safe: the outer loop
+        simply resumes one decision at a time from the same state.
+        """
+        config = self.config
+        stats = self.stats
+        rc = self._reason_counts
+        gheap = gpu._heap
+        wakes = self._wakes
+        ready = self._ready
+        trace = warp.trace
+        precounted = warp.precounted
+        int_latency = config.int_latency
+        fp_latency = config.fp_latency
+        sfu_latency = config.sfu_latency
+        count_instruction = stats.count_instruction
+        inline_issued = 0
+        while True:
+            t = self.time
+            try:
+                instr = next(trace)
+            except StopIteration:  # pragma: no cover - traces end with EXIT
+                raise RuntimeError(
+                    f"trace of kernel {warp.cta.grid.kernel.name} ended "
+                    "without an EXIT instruction"
+                ) from None
+            op = instr.op
+            if op is _INT or op is _FP or op is _SFU:
+                # Closed-form macro-issue of the whole repeat block.
+                repeat = instr.repeat
+                if not precounted:
+                    count_instruction(op, instr.active_lanes, repeat)
+                inline_issued += repeat
+                old = warp.block_reason
+                if old is not None:
+                    rc[old] -= 1
+                    rc[None] += 1
+                    warp.block_reason = None
+                if op is _INT:
+                    latency = int_latency
+                elif op is _FP:
+                    latency = fp_latency
+                else:
+                    latency = sfu_latency
+                next_ready = t + repeat - 1 + latency
+                warp.next_ready = next_ready
+                now = t + repeat
+                self.time = now
+            else:
+                self._execute(gpu, warp, instr, t)
+                if warp.exited:
+                    break
+                now = self.time
+                next_ready = warp.next_ready
+            # Gate 1: the GPU loop would hand control elsewhere.
+            if gheap and gheap[0][0] <= now:
+                self._settle(warp)
+                break
+            # Gate 2: the scheduler would see more than one candidate.
+            if len(ready) != 1 or (wakes and wakes[0][0] <= now):
+                self._settle(warp)
+                break
+            if next_ready > now:
+                # Sole warp blocked: fuse the stall decision the next
+                # step would have made.
+                dominant = self._dominant_reason()
+                wake = self._next_wake()
+                if next_ready < wake:
+                    wake = next_ready
+                if wake == NEVER:
+                    self.dormant_since = now
+                    self.dormant_reason = dominant
+                    self._settle(warp)
+                    break
+                stats.add_stall(dominant, int(wake - now))
+                self.time = wake
+                if wake != next_ready or (wakes and wakes[0][0] <= wake):
+                    # Another warp wakes here (too): resume stepping.
+                    self._settle(warp)
+                    break
+                # Gate 1 again, at the post-jump time.
+                if gheap and gheap[0][0] <= wake:
+                    break
+        self.issued_instructions += inline_issued
+
+    def _drain_wakes(self, t: float) -> None:
+        """Move every due wake event into the ready list."""
+        wakes = self._wakes
+        ready = self._ready
+        while wakes and wakes[0][0] <= t:
+            wake, _, warp = heappop(wakes)
+            # Stale entries — the warp exited, was woken earlier through
+            # another path, or re-blocked to a different time — are
+            # dropped lazily here (see DESIGN.md: they cannot point at a
+            # warp that still owns the recorded wake time).
+            if warp.exited or warp.in_ready or warp.next_ready != wake:
+                continue
+            warp.in_ready = True
+            insort(ready, warp, key=_AGE)
+
+    def _next_wake(self) -> float:
+        """Earliest live wake time, dropping stale heap heads."""
+        wakes = self._wakes
+        while wakes:
+            wake, _, warp = wakes[0]
+            if warp.exited or warp.in_ready or warp.next_ready != wake:
+                heappop(wakes)
+                continue
+            return wake
+        return NEVER
+
+    def _settle(self, warp: Warp) -> None:
+        """Move an issued warp out of the ready list if it blocked."""
+        nr = warp.next_ready
+        if nr <= self.time:
+            return
+        ready = self._ready
+        del ready[bisect_left(ready, warp.age, key=_AGE)]
+        warp.in_ready = False
+        if nr != NEVER:
+            heappush(self._wakes, (nr, warp.age, warp))
+
+    def _dominant_reason(self) -> StallReason:
+        """The stall reason blocking the most resident warps.
+
+        Ties break in a fixed priority order: memory is the paper's
+        headline cause, so it wins ties.
+        """
+        rc = self._reason_counts
+        best, dominant = rc[_R_MEMORY], _R_MEMORY
+        n = rc[_R_CONTROL]
+        if n > best:
+            best, dominant = n, _R_CONTROL
+        n = rc[_R_SYNC]
+        if n > best:
+            best, dominant = n, _R_SYNC
+        n = rc[_R_FUNCTIONAL]
+        if n > best:
+            best, dominant = n, _R_FUNCTIONAL
+        if rc[None] > best:
+            dominant = _R_IDLE
+        return dominant
 
     def _account_stall(self, t: float) -> None:
         """No warp ready: attribute the gap and jump to the next wake."""
-        wake = NEVER
-        n_mem = n_ctrl = n_sync = n_func = n_idle = 0
-        for warp in self.warps:
-            if warp.next_ready < wake:
-                wake = warp.next_ready
-            reason = warp.block_reason
-            if reason is _R_MEMORY:
-                n_mem += 1
-            elif reason is _R_CONTROL:
-                n_ctrl += 1
-            elif reason is _R_SYNC:
-                n_sync += 1
-            elif reason is _R_FUNCTIONAL:
-                n_func += 1
-            else:
-                n_idle += 1
-        # Ties break in a fixed priority order: memory is the paper's
-        # headline cause, so it wins ties.
-        best, dominant = n_mem, _R_MEMORY
-        if n_ctrl > best:
-            best, dominant = n_ctrl, _R_CONTROL
-        if n_sync > best:
-            best, dominant = n_sync, _R_SYNC
-        if n_func > best:
-            best, dominant = n_func, _R_FUNCTIONAL
-        if n_idle > best:
-            dominant = _R_IDLE
+        dominant = self._dominant_reason()
+        wake = self._next_wake()
         if wake == NEVER:
             # Every warp waits on an external event (device sync /
             # barrier release from another path).  Go dormant; the GPU
@@ -187,6 +726,22 @@ class StreamingMultiprocessor:
             self.dormant_reason = None
         self.time = max(self.time, wake_time)
 
+    def wake_warp(self, warp: Warp, t: float) -> None:
+        """An external event (CDP child completion) unblocks ``warp``."""
+        reason = warp.block_reason
+        if reason is not None:
+            rc = self._reason_counts
+            rc[reason] -= 1
+            rc[None] += 1
+            warp.block_reason = None
+        warp.next_ready = t
+        if not warp.in_ready:
+            if t <= self.time:
+                warp.in_ready = True
+                insort(self._ready, warp, key=_AGE)
+            else:
+                heappush(self._wakes, (t, warp.age, warp))
+
     # -- instruction semantics -------------------------------------------------
     def _execute(self, gpu, warp: Warp, instr, t: float) -> None:
         config = self.config
@@ -195,7 +750,8 @@ class StreamingMultiprocessor:
         if not warp.precounted:
             self.stats.count_instruction(op, instr.active_lanes, repeat)
         self.issued_instructions += repeat
-        warp.block_reason = None
+        rc = self._reason_counts
+        old = warp.block_reason
 
         if op is _INT or op is _FP or op is _SFU:
             if op is _INT:
@@ -208,16 +764,32 @@ class StreamingMultiprocessor:
             # cycles; the dependent-use latency applies after the last.
             warp.next_ready = t + repeat - 1 + latency
             self.time = t + repeat
+            if old is not None:
+                rc[old] -= 1
+                rc[None] += 1
+                warp.block_reason = None
             return
 
         self.time = t + 1
         if op is _LDST:
+            warp.block_reason = None
             self._execute_memory(gpu, warp, instr, t)
+            new = warp.block_reason
+            if new is not old:
+                rc[old] -= 1
+                rc[new] += 1
         elif op is _CTRL:
             warp.next_ready = t + config.branch_latency
-            warp.block_reason = StallReason.CONTROL
+            warp.block_reason = _R_CONTROL
+            if old is not _R_CONTROL:
+                rc[old] -= 1
+                rc[_R_CONTROL] += 1
         elif op is _SYNC:
             self._execute_barrier(warp, t)
+            new = warp.block_reason
+            if new is not old:
+                rc[old] -= 1
+                rc[new] += 1
         elif op is _DEVSYNC:
             if warp.pending_children > 0:
                 # Waiting for child kernels to be set up, run, and
@@ -225,14 +797,26 @@ class StreamingMultiprocessor:
                 # shows CDP and non-CDP breakdowns staying similar).
                 warp.waiting_device_sync = True
                 warp.next_ready = NEVER
-                warp.block_reason = StallReason.FUNCTIONAL_DONE
+                warp.block_reason = _R_FUNCTIONAL
+                if old is not _R_FUNCTIONAL:
+                    rc[old] -= 1
+                    rc[_R_FUNCTIONAL] += 1
             else:
                 warp.next_ready = t + 1
+                warp.block_reason = None
+                if old is not None:
+                    rc[old] -= 1
+                    rc[None] += 1
         elif op is _LAUNCH:
             gpu.device_launch(self, warp, instr.child, t)
             warp.next_ready = t + config.cdp_launch_cycles
-            warp.block_reason = StallReason.FUNCTIONAL_DONE
+            warp.block_reason = _R_FUNCTIONAL
+            if old is not _R_FUNCTIONAL:
+                rc[old] -= 1
+                rc[_R_FUNCTIONAL] += 1
         elif op is _EXIT:
+            warp.block_reason = None
+            rc[old] -= 1  # the warp leaves the resident population
             self._execute_exit(gpu, warp, t)
         else:  # pragma: no cover - enum is closed
             raise AssertionError(f"unhandled op {op}")
@@ -248,7 +832,7 @@ class StreamingMultiprocessor:
             # On-chip scratchpad: unaffected by the Fig 15 perfect
             # memory-system experiment.
             warp.next_ready = t + config.shared_latency
-            warp.block_reason = StallReason.MEMORY
+            warp.block_reason = _R_MEMORY
             return
 
         if config.perfect_memory:
@@ -264,22 +848,37 @@ class StreamingMultiprocessor:
             return
 
         port = 1 if config.l1_port_serialization else 0
+        lines = mem.lines
+        n = len(lines)
+        store = mem.store
         if space is _CONST or space is _TEX:
             cache = self.const_cache if space is _CONST else self.tex_cache
-            completion = t
-            # The cache port retires one transaction per cycle.
-            for i, line in enumerate(mem.lines):
-                issue = t + i * port
-                if cache.access(line, store=mem.store):
-                    completion = max(completion, issue + cache.config.hit_latency)
-                else:
-                    completion = max(
-                        completion, gpu.memory.line_request(
-                            self.sm_id, line, mem.store, issue
-                        )
-                    )
+            hit_latency = cache.config.hit_latency
+            # The cache port retires one transaction per cycle.  The
+            # all-hit prefix is probed in one call; const/tex caches
+            # have no writeback sink, so the misses' L2/DRAM traffic
+            # can be batched too (order preserved — see line_requests).
+            k = cache.probe_hits(lines, store=store)
+            if k == n:
+                completion = t + (n - 1) * port + hit_latency
+            else:
+                completion = t + (k - 1) * port + hit_latency if k else t
+                access = cache.access
+                misses: list = []
+                for i in range(k, n):
+                    line = lines[i]
+                    if access(line, store=store):
+                        done = t + i * port + hit_latency
+                        if done > completion:
+                            completion = done
+                    else:
+                        misses.append((t + i * port, line))
+                if misses:
+                    done = gpu.memory.line_requests(self.sm_id, misses, store)
+                    if done > completion:
+                        completion = done
             warp.next_ready = completion
-            warp.block_reason = StallReason.MEMORY
+            warp.block_reason = _R_MEMORY
             return
 
         # GLOBAL / LOCAL through the L1, one transaction per cycle —
@@ -287,42 +886,80 @@ class StreamingMultiprocessor:
         # Stores are write-back write-validate: they allocate dirty in
         # the L1 without fetching; dirty evictions flow to L2/DRAM via
         # the writeback sink.
-        completion = t
-        l1_access = self.l1.access
-        line_request = gpu.memory.line_request
+        l1 = self.l1
         hit_latency = config.l1.hit_latency
-        store = mem.store
-        sm_id = self.sm_id
-        for i, line in enumerate(mem.lines):
-            issue = t + i * port
-            hit = l1_access(line, store=store)
+        if n == 1:
+            # Fast path: coalesced accesses dominate every benchmark.
+            line = lines[0]
+            hit = l1.access(line, store=store)
             if store or hit:
-                done = issue + hit_latency
+                completion = t + hit_latency
             else:
-                done = line_request(sm_id, line, False, issue)
-            if done > completion:
-                completion = done
+                completion = gpu.memory.line_request(self.sm_id, line, False, t)
+        else:
+            # The L1's dirty evictions emit writebacks *during* access
+            # calls, so only the leading all-hit prefix may batch —
+            # the tail must interleave accesses and line requests in
+            # the original order.
+            k = l1.probe_hits(lines, store=store)
+            if k == n:
+                completion = t + (n - 1) * port + hit_latency
+            else:
+                completion = t + (k - 1) * port + hit_latency if k else t
+                l1_access = l1.access
+                line_request = gpu.memory.line_request
+                sm_id = self.sm_id
+                for i in range(k, n):
+                    line = lines[i]
+                    issue = t + i * port
+                    hit = l1_access(line, store=store)
+                    if store or hit:
+                        done = issue + hit_latency
+                    else:
+                        done = line_request(sm_id, line, False, issue)
+                    if done > completion:
+                        completion = done
         warp.next_ready = completion
         if completion - t > hit_latency:
-            warp.block_reason = StallReason.MEMORY
+            warp.block_reason = _R_MEMORY
 
     def _execute_barrier(self, warp: Warp, t: float) -> None:
         cta = warp.cta
         cta.barrier_arrived += 1
         if cta.barrier_ready():
             # Last arrival releases everyone.
+            rc = self._reason_counts
+            ready = self._ready
+            nr = t + 1
             for peer in cta.warps:
-                if not peer.exited:
-                    peer.next_ready = t + 1
+                if peer.exited:
+                    continue
+                peer.next_ready = nr
+                if peer is warp:
+                    # The issuer's reason transition is accounted by
+                    # the caller (_execute).
                     peer.block_reason = None
+                    continue
+                reason = peer.block_reason
+                if reason is not None:
+                    rc[reason] -= 1
+                    rc[None] += 1
+                    peer.block_reason = None
+                if not peer.in_ready:
+                    peer.in_ready = True
+                    insort(ready, peer, key=_AGE)
             cta.barrier_arrived = 0
         else:
             warp.next_ready = NEVER
-            warp.block_reason = StallReason.SYNC
+            warp.block_reason = _R_SYNC
 
     def _execute_exit(self, gpu, warp: Warp, t: float) -> None:
         warp.exited = True
         self.warps.remove(warp)
+        # An issuing warp is always in the ready list; take it out.
+        ready = self._ready
+        del ready[bisect_left(ready, warp.age, key=_AGE)]
+        warp.in_ready = False
         self.scheduler.retired(warp)
         cta = warp.cta
         if cta.live_warps == 0:
@@ -335,8 +972,15 @@ class StreamingMultiprocessor:
             gpu.refill_sm(self, t)
         elif cta.barrier_arrived and cta.barrier_ready():
             # An exiting warp can satisfy a barrier its peers wait on.
+            rc = self._reason_counts
+            nr = t + 1
             for peer in cta.warps:
-                if not peer.exited and peer.block_reason is StallReason.SYNC:
-                    peer.next_ready = t + 1
+                if not peer.exited and peer.block_reason is _R_SYNC:
+                    peer.next_ready = nr
                     peer.block_reason = None
+                    rc[_R_SYNC] -= 1
+                    rc[None] += 1
+                    if not peer.in_ready:
+                        peer.in_ready = True
+                        insort(ready, peer, key=_AGE)
             cta.barrier_arrived = 0

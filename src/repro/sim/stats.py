@@ -20,6 +20,12 @@ class StallReason(enum.Enum):
     IDLE = "pipeline_idle"
     FUNCTIONAL_DONE = "functional_done"
 
+    # Members are singletons, so the identity hash is equivalent to the
+    # default (Python-level, name-based) enum hash — and C-fast.  The
+    # SM cores key their per-reason counters on these members in the
+    # issue loop's hottest path.
+    __hash__ = object.__hash__
+
 
 #: Warp-occupancy buckets: W1-4, W5-8, ..., W29-32 (Fig 10).
 OCCUPANCY_BUCKETS = ["W1-4", "W5-8", "W9-12", "W13-16", "W17-20",

@@ -29,10 +29,13 @@ class Warp:
         "pending_children",
         "waiting_device_sync",
         "precounted",
+        "in_ready",
     )
 
     def __init__(self, trace: Iterator[WarpInstruction], cta: "CTA", warp_id: int):
-        self.trace = trace
+        # ``iter`` admits both live generators and materialized lists
+        # (trace replay hands the same list to every sweep point).
+        self.trace = iter(trace)
         self.cta = cta
         self.warp_id = warp_id
         self.age = next(_warp_counter)  # global issue-order age for GTO/OLD
@@ -45,6 +48,9 @@ class Warp:
         #: materialization (repro.sim.replay) — the SM skips per-issue
         #: counting for this warp
         self.precounted = False
+        #: membership flag for the owning SM's ready list (see
+        #: repro.sim.sm); schedulers read it for O(1) ready checks
+        self.in_ready = False
 
     def fetch(self) -> WarpInstruction:
         """Next instruction; EXIT semantics are handled by the SM."""

@@ -1,0 +1,203 @@
+"""Event-core edge cases: deadlock, dormancy, barrier exit, run-ahead.
+
+These exercise the paths the golden suite (`test_event_core_golden`)
+only crosses incidentally: the deadlock detector, dormant-SM stall
+attribution through ``wake_accounting``, barrier release by an exiting
+warp, and the SM-local run-ahead gate (``may_device_launch``).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.isa import TraceBuilder
+from repro.sim import (
+    Application,
+    GPUConfig,
+    GPUSimulator,
+    HostLaunch,
+    KernelLaunch,
+    KernelProgram,
+)
+from repro.sim.gpu import SimulationDeadlock
+from repro.sim.stats import StallReason
+
+BOTH_CORES = pytest.mark.parametrize(
+    "event_core", [True, False], ids=["event", "reference"]
+)
+
+
+class ScriptKernel(KernelProgram):
+    """Kernel whose trace comes from a per-warp script function."""
+
+    def __init__(self, script, cta_threads=64, **resources):
+        super().__init__("script", cta_threads, **resources)
+        self.script = script
+
+    def warp_trace(self, ctx):
+        yield from self.script(ctx)
+
+
+class ScriptApp(Application):
+    """One launch of a scripted kernel, optionally run-ahead eligible."""
+
+    name = "script-app"
+
+    def __init__(self, kernel, num_ctas=1, launch_free=False):
+        self.kernel = kernel
+        self.num_ctas = num_ctas
+        # Opting in to run-ahead is a *declaration*: the simulator
+        # trusts it and hard-errors on a device launch.
+        self.may_device_launch = not launch_free
+
+    def host_program(self):
+        yield HostLaunch(KernelLaunch(self.kernel, num_ctas=self.num_ctas))
+
+
+def run_app(app, event_core=True, num_sms=2):
+    sim = GPUSimulator(
+        GPUConfig(event_core=event_core, num_sms=num_sms, num_mem_partitions=2)
+    )
+    return sim.run_application(app)
+
+
+class TestDeadlock:
+    @BOTH_CORES
+    def test_undispatchable_grid_raises(self, event_core):
+        def script(ctx):
+            yield TraceBuilder().exit()
+
+        huge = ScriptKernel(script, 64, smem_per_cta=200 * 1024)
+        with pytest.raises(SimulationDeadlock):
+            run_app(ScriptApp(huge), event_core=event_core)
+
+
+class TestDormantAccounting:
+    @BOTH_CORES
+    def test_devsync_dormancy_charged_functional(self, event_core):
+        """A parent SM with every warp parked on ``cudaDeviceSynchronize``
+        goes dormant; when the child (on the other SM) completes, the
+        dormant gap must be attributed to FUNCTIONAL_DONE."""
+        child = ScriptKernel(
+            lambda ctx: iter([TraceBuilder().ints(400), TraceBuilder().exit()]),
+            32,
+        )
+
+        def parent(ctx):
+            b = TraceBuilder()
+            yield b.launch(KernelLaunch(child, num_ctas=1))
+            yield b.device_sync()
+            yield b.exit()
+
+        stats = run_app(
+            ScriptApp(ScriptKernel(parent, 32)), event_core=event_core
+        )
+        # The parent waits out the child's ~400-cycle ALU block: far
+        # more functional-done stall than the launch overhead alone.
+        assert stats.stalls[StallReason.FUNCTIONAL_DONE.value] > 300
+
+    def test_dormant_attribution_identical_across_cores(self):
+        child = ScriptKernel(
+            lambda ctx: iter([TraceBuilder().ints(400), TraceBuilder().exit()]),
+            32,
+        )
+
+        def parent(ctx):
+            b = TraceBuilder()
+            yield b.launch(KernelLaunch(child, num_ctas=1))
+            yield b.device_sync()
+            yield b.exit()
+
+        results = [
+            run_app(ScriptApp(ScriptKernel(parent, 32)), event_core=ec)
+            for ec in (True, False)
+        ]
+        assert dataclasses.asdict(results[0]) == dataclasses.asdict(results[1])
+
+
+class TestBarrierExit:
+    @BOTH_CORES
+    def test_exiting_warp_releases_barrier(self, event_core):
+        """A warp that exits without reaching the barrier must still
+        count toward release — its peers would hang otherwise."""
+
+        def script(ctx):
+            b = TraceBuilder()
+            if ctx.warp_id == 0:
+                yield b.exit()
+                return
+            yield b.barrier()
+            yield b.ints(1)
+            yield b.exit()
+
+        stats = run_app(
+            ScriptApp(ScriptKernel(script, 96), launch_free=True),
+            event_core=event_core,
+        )
+        # 1 exit + 2x (barrier + int + exit): all warps completed.
+        assert stats.instructions == 7
+
+    def test_release_identical_across_cores(self):
+        def script(ctx):
+            b = TraceBuilder()
+            if ctx.warp_id == 0:
+                yield b.ints(30)
+                yield b.exit()
+                return
+            yield b.barrier()
+            yield b.ints(5)
+            yield b.exit()
+
+        results = [
+            run_app(
+                ScriptApp(ScriptKernel(script, 128), launch_free=True),
+                event_core=ec,
+            )
+            for ec in (True, False)
+        ]
+        assert dataclasses.asdict(results[0]) == dataclasses.asdict(results[1])
+
+
+class TestRunAhead:
+    def test_runahead_matches_legacy_event_core(self):
+        """The same application, declared launch-free (SM-local
+        run-ahead) vs conservatively (one decision per heap pop), must
+        produce identical stats on the event core."""
+
+        def script(ctx):
+            b = TraceBuilder()
+            for i in range(40):
+                yield b.ints(3)
+                yield b.ld_global([ctx.global_warp * 7 + i, 50_000 + i])
+                yield b.branch()
+                yield b.ld_shared()
+            yield b.barrier()
+            yield b.exit()
+
+        kernel_args = dict(num_ctas=6)
+        results = [
+            run_app(
+                ScriptApp(
+                    ScriptKernel(script, 128), launch_free=free, **kernel_args
+                )
+            )
+            for free in (True, False)
+        ]
+        assert dataclasses.asdict(results[0]) == dataclasses.asdict(results[1])
+
+    def test_false_declaration_raises(self):
+        """An application that declares itself launch-free but then
+        device-launches must fail loudly, not diverge silently."""
+        child = ScriptKernel(
+            lambda ctx: iter([TraceBuilder().exit()]), 32
+        )
+
+        def parent(ctx):
+            b = TraceBuilder()
+            yield b.launch(KernelLaunch(child, num_ctas=1))
+            yield b.device_sync()
+            yield b.exit()
+
+        app = ScriptApp(ScriptKernel(parent, 32), launch_free=True)
+        with pytest.raises(RuntimeError, match="may_device_launch"):
+            run_app(app)

@@ -1,0 +1,45 @@
+"""Golden bit-identity: event core vs scan-per-decision reference.
+
+The event-maintained issue loop (``repro.sim.sm``, with SM-local
+run-ahead for non-CDP applications) must produce field-for-field
+identical :class:`RunStats` to the frozen reference core
+(``repro.sim.sm_reference``) on every benchmark — the performance work
+is only allowed to change wall-clock, never the timing model.
+
+The full suite runs at the small dataset; the heaviest benchmarks get
+an extra medium-size lock so the identity holds beyond the default
+size's trace shapes.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.runner import run_benchmark
+from repro.data.datasets import DatasetSize
+from repro.kernels import benchmark_names
+from repro.sim.config import GPUConfig
+
+
+def _stats_pair(abbr: str, cdp: bool, size: DatasetSize):
+    fast = run_benchmark(
+        abbr, cdp=cdp, size=size, config=GPUConfig(event_core=True)
+    )
+    ref = run_benchmark(
+        abbr, cdp=cdp, size=size, config=GPUConfig(event_core=False)
+    )
+    return dataclasses.asdict(fast), dataclasses.asdict(ref)
+
+
+@pytest.mark.parametrize("cdp", [False, True], ids=["plain", "cdp"])
+@pytest.mark.parametrize("abbr", benchmark_names())
+def test_small_suite_identical(abbr, cdp):
+    fast, ref = _stats_pair(abbr, cdp, DatasetSize.SMALL)
+    assert fast == ref
+
+
+@pytest.mark.parametrize("cdp", [False, True], ids=["plain", "cdp"])
+@pytest.mark.parametrize("abbr", ["GKSW", "PairHMM", "NvB"])
+def test_medium_heavyweights_identical(abbr, cdp):
+    fast, ref = _stats_pair(abbr, cdp, DatasetSize.MEDIUM)
+    assert fast == ref

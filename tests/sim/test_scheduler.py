@@ -1,5 +1,7 @@
 """Tests for warp scheduler policies."""
 
+import random
+
 import pytest
 
 from repro.sim.scheduler import (
@@ -17,9 +19,18 @@ class FakeWarp:
     def __init__(self, age):
         self.age = age
         self.exited = False
+        self.in_ready = True
 
     def __repr__(self):
         return f"W{self.age}"
+
+
+def mark_ready(warps, ready):
+    """Set ``in_ready`` flags the way the SM's ready list would."""
+    ready_ids = {id(w) for w in ready}
+    for w in warps:
+        w.in_ready = id(w) in ready_ids
+    return ready
 
 
 @pytest.fixture
@@ -89,6 +100,70 @@ class TestTwoLevel:
         sched = TwoLevel(active_size=4)
         sched.select(warps)
         # The whole active set stalls: only 8..11 remain ready.
-        ready = warps[8:]
+        ready = mark_ready(warps, warps[8:])
         pick = sched.select(ready)
         assert pick.age >= 8
+
+    def test_order_identical_to_rebuild_implementation(self):
+        """The persistent active set must reproduce the original
+        rebuild-per-decision algorithm decision for decision."""
+
+        class RebuildTwoLevel:
+            # The pre-event-core implementation, verbatim.
+            def __init__(self, active_size=8):
+                self.active_size = active_size
+                self._active = []
+                self._pointer = 0
+
+            def select(self, ready):
+                ready_set = set(id(w) for w in ready)
+                self._active = [
+                    w for w in self._active if id(w) in ready_set
+                ]
+                if len(self._active) < self.active_size:
+                    for warp in ready:
+                        if warp not in self._active:
+                            self._active.append(warp)
+                            if len(self._active) == self.active_size:
+                                break
+                self._pointer = (self._pointer + 1) % len(self._active)
+                return self._active[self._pointer]
+
+        rng = random.Random(1234)
+        warps = [FakeWarp(i) for i in range(24)]
+        new = TwoLevel(active_size=8)
+        old = RebuildTwoLevel(active_size=8)
+        for _ in range(500):
+            k = rng.randint(1, len(warps))
+            ready = mark_ready(warps, sorted(
+                rng.sample(warps, k), key=lambda w: w.age
+            ))
+            assert new.select(ready) is old.select(ready)
+
+    def test_select_sole_matches_select(self):
+        warps = [FakeWarp(i) for i in range(12)]
+        a, b = TwoLevel(active_size=4), TwoLevel(active_size=4)
+        a.select(warps)
+        b.select(warps)
+        sole = mark_ready(warps, [warps[5]])[0]
+        assert a.select(list(sole for _ in range(1))) is b.select_sole(sole)
+        assert a._active == b._active
+        assert a._pointer == b._pointer
+        # Idempotent: a monopolizing warp issues many times per call.
+        assert b.select_sole(sole) is sole
+        assert b._active == [sole]
+
+
+class TestSelectSole:
+    @pytest.mark.parametrize("name", ["lrr", "gto", "old", "2lv"])
+    def test_state_equivalent_to_select(self, name, warps):
+        """select_sole(w) must leave the policy exactly where
+        select([w]) would, so decision streams stay identical."""
+        a, b = build_scheduler(name), build_scheduler(name)
+        # Put both policies in a non-trivial state first.
+        for sched in (a, b):
+            pick = sched.select(warps)
+            sched.issued(pick)
+        sole = mark_ready(warps, [warps[2]])[0]
+        assert a.select([sole]) is b.select_sole(sole)
+        assert a.__dict__ == b.__dict__
