@@ -13,6 +13,9 @@ sweep AXIS
     (``--jobs N`` fans points out over worker processes).
 figure NAME
     Regenerate one of the paper's tables/figures (e.g. ``fig3``).
+profile ABBR
+    Run one benchmark with the interval sampler on and print the
+    per-interval time series (``--trace``/``--jsonl`` export files).
 dataset ABBR
     Write a benchmark's synthetic input dataset to FASTA/FASTQ files.
 align QUERY TARGET
@@ -109,6 +112,42 @@ def cmd_run(args) -> int:
     if args.profile:
         print("\nPer-kernel profile:")
         print(format_kernel_profile(stats))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Run one benchmark with telemetry on; print/export the series."""
+    from repro.core.report import format_interval_profile
+    from repro.core.runner import run_benchmark, variant_name
+    from repro.sim.telemetry import write_chrome_trace, write_jsonl
+
+    if args.benchmark not in benchmark_names():
+        print(f"unknown benchmark {args.benchmark!r}; "
+              f"choose from {benchmark_names()}", file=sys.stderr)
+        return 2
+    config = _config(args).with_(telemetry_interval=args.interval)
+    stats = run_benchmark(
+        args.benchmark, cdp=args.cdp, size=args.size, config=config
+    )
+    summary = stats.telemetry
+    name = variant_name(args.benchmark, args.cdp)
+    meta = summary["meta"]
+    rows = summary["rows"]
+    # meta["cycles"] is kernel-device cycles; the sampled timeline also
+    # covers host phases (memcpys, launch gaps), so report both spans.
+    timeline = rows[-1]["end"] if rows else 0
+    print(f"{name}: {meta['instructions']} instructions, "
+          f"{meta['cycles']} kernel cycles on a {timeline}-cycle "
+          f"timeline, sampled every {meta['interval']} cycles "
+          f"({len(rows)} intervals, "
+          f"{len(summary['events'])} events)")
+    print(format_interval_profile(summary, max_rows=args.max_rows))
+    if args.trace:
+        write_chrome_trace(summary, args.trace)
+        print(f"chrome trace (Perfetto / chrome://tracing): {args.trace}")
+    if args.jsonl:
+        write_jsonl(summary, args.jsonl)
+        print(f"jsonl time series: {args.jsonl}")
     return 0
 
 
@@ -345,6 +384,31 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print an nvprof-style per-kernel profile")
     _add_machine_args(p_run)
     p_run.set_defaults(func=cmd_run)
+
+    p_prof = sub.add_parser(
+        "profile", help="run one benchmark with the interval sampler on"
+    )
+    p_prof.add_argument("benchmark")
+    p_prof.add_argument("--cdp", action="store_true",
+                        help="profile the CDP variant")
+    p_prof.add_argument(
+        "--interval", type=int, default=10_000, metavar="N",
+        help="sampling interval in cycles (default: 10000)",
+    )
+    p_prof.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a Chrome trace_event file (Perfetto-viewable)",
+    )
+    p_prof.add_argument(
+        "--jsonl", default=None, metavar="FILE",
+        help="write the interval rows and events as JSONL",
+    )
+    p_prof.add_argument(
+        "--max-rows", type=int, default=40, metavar="N",
+        help="intervals to print (default: 40; exports are never clipped)",
+    )
+    _add_machine_args(p_prof)
+    p_prof.set_defaults(func=cmd_profile)
 
     p_suite = sub.add_parser("suite", help="run the whole suite")
     p_suite.add_argument("--no-cdp", action="store_true",

@@ -40,6 +40,7 @@ from repro.core.report import (
     format_table,
     format_breakdown,
     format_bar_chart,
+    format_interval_profile,
     format_kernel_profile,
 )
 from repro.core.analysis import (
@@ -75,6 +76,7 @@ __all__ = [
     "format_table",
     "format_breakdown",
     "format_bar_chart",
+    "format_interval_profile",
     "format_kernel_profile",
     "RooflinePoint",
     "machine_peaks",

@@ -73,6 +73,49 @@ def format_kernel_profile(stats) -> str:
     return format_table(rows)
 
 
+def format_interval_profile(stats, max_rows: int | None = None) -> str:
+    """Per-interval time-series table from a sampled run.
+
+    ``stats`` is a :class:`~repro.sim.stats.RunStats` with a telemetry
+    summary attached (``GPUConfig(telemetry_interval=N)``), or the
+    summary dict itself.  One row per sampled interval: the cycle
+    window, IPC, the dominant stall reason and its share of the
+    interval's stall cycles, cache miss rates, DRAM data-pin bandwidth,
+    and NoC channel utilization — the time-resolved view behind the
+    paper's aggregate characterization figures.
+    """
+    summary = stats if isinstance(stats, dict) else getattr(
+        stats, "telemetry", None
+    )
+    if not summary or not summary.get("rows"):
+        return "(no telemetry; run with GPUConfig(telemetry_interval=N))"
+    rows = summary["rows"]
+    clipped = max_rows is not None and len(rows) > max_rows
+    if clipped:
+        rows = rows[:max_rows]
+    out = []
+    for row in rows:
+        fractions = row["stall_fractions"]
+        if fractions:
+            top = max(fractions, key=fractions.get)
+            stall = f"{top} {100 * fractions[top]:.0f}%"
+        else:
+            stall = "-"
+        out.append({
+            "cycles": f"{row['start']}-{row['end']}",
+            "ipc": round(row["ipc"], 3),
+            "top_stall": stall,
+            "l1_miss": round(row["l1_miss_rate"], 3),
+            "l2_miss": round(row["l2_miss_rate"], 3),
+            "dram_bw": round(row["dram_bandwidth"], 3),
+            "noc_util": round(row["noc_utilization"], 3),
+        })
+    text = format_table(out)
+    if clipped:
+        text += f"\n... ({len(summary['rows']) - max_rows} more intervals)"
+    return text
+
+
 def format_bar_chart(
     rows: Sequence[Mapping[str, object]],
     label: str,

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.data.datasets import DatasetSize
 from repro.kernels import build_application
@@ -202,6 +202,7 @@ def run_sweep(
     points: list[SweepPoint],
     jobs: int | None = 0,
     cache: TraceCache | None = None,
+    telemetry_interval: int | None = None,
 ) -> dict[str, RunStats]:
     """Run every point; returns ``{point.label: RunStats}`` in input order.
 
@@ -211,7 +212,24 @@ def run_sweep(
     bit-identical across all three paths.  If a process pool cannot be
     created (restricted environments), the sweep falls back to the
     in-process path rather than failing.
+
+    ``telemetry_interval`` opts every point into time-resolved sampling
+    (overriding each point's config): the resulting
+    ``RunStats.telemetry`` summaries are plain dicts, so they survive
+    the process-pool pickle boundary unchanged.  Sampling never alters
+    a point's trace-cache key — the interval is not part of
+    :func:`trace_signature` — so sweeps keep full trace reuse.
     """
+    if telemetry_interval is not None:
+        points = [
+            replace(
+                point,
+                config=point.config.with_(
+                    telemetry_interval=telemetry_interval
+                ),
+            )
+            for point in points
+        ]
     labels = [point.label for point in points]
     if len(set(labels)) != len(labels):
         raise ValueError("sweep point labels must be unique")

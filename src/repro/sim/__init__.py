@@ -20,6 +20,13 @@ from repro.sim.gpu import GPUSimulator
 from repro.sim.launch import Application, HostMemcpy, HostLaunch, KernelLaunch
 from repro.sim.kernel import KernelProgram
 from repro.sim.stats import RunStats, StallReason
+from repro.sim.telemetry import (
+    Telemetry,
+    aggregate_rows,
+    load_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
 
 __all__ = [
     "CacheConfig",
@@ -36,4 +43,9 @@ __all__ = [
     "KernelProgram",
     "RunStats",
     "StallReason",
+    "Telemetry",
+    "aggregate_rows",
+    "load_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
 ]

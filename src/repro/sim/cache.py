@@ -9,6 +9,14 @@ can propagate them to the next level and charge DRAM bandwidth.
 Miss rate follows the profiler convention (nvprof's global load hit
 rate): only *loads* enter the miss-rate numerator/denominator; store
 traffic is counted separately.
+
+Telemetry contract: :class:`CacheStats` counters are updated
+*synchronously inside* :meth:`Cache.access` / :meth:`Cache.probe_hits`
+(never deferred), because the SM cores sample per-interval L1 series by
+delta-capturing ``cache.stats`` around one memory instruction's access
+block (see ``repro.sim.telemetry``).  ``contains_all`` must stay
+side-effect-free for the same reason — the run-ahead probe must not
+perturb the sampled counters.
 """
 
 from __future__ import annotations

@@ -137,6 +137,14 @@ class GPUConfig:
     #: Zero-latency memory system (Fig 15's "perfect memory").
     perfect_memory: bool = False
 
+    #: Interval length (in cycles) of the time-resolved telemetry
+    #: sampler (:mod:`repro.sim.telemetry`).  ``0`` (the default)
+    #: disables telemetry entirely — the hot paths then pay only a
+    #: ``None`` check per attribution point.  Positive values attach a
+    #: :class:`~repro.sim.telemetry.Telemetry` to the simulator and
+    #: store its summary on ``RunStats.telemetry`` at finalize.
+    telemetry_interval: int = 0
+
     #: Use the event-maintained issue loop (incremental ready tracking,
     #: macro-issue batching, memory fast path — see DESIGN.md "event
     #: core").  ``False`` selects the scan-per-decision reference SM,
@@ -159,6 +167,8 @@ class GPUConfig:
             raise ValueError(f"unknown scheduler {self.scheduler!r}")
         if self.num_mem_partitions <= 0:
             raise ValueError("need at least one memory partition")
+        if self.telemetry_interval < 0:
+            raise ValueError("telemetry interval must be >= 0 (0 = off)")
 
     def with_(self, **changes) -> "GPUConfig":
         """A copy with fields replaced (sweep helper)."""

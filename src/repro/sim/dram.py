@@ -95,6 +95,9 @@ class DRAMChannel:
         self.config = config
         self.line_bytes = line_bytes
         self.stats = DRAMStats()
+        #: time-resolved sampler (set by the owning MemorySubsystem;
+        #: None when telemetry is off)
+        self.telemetry = None
         self._banks = [_Bank() for _ in range(config.banks)]
         self._bus_busy_until = 0
         self._last_start = 0  # for FIFO ordering
@@ -155,6 +158,9 @@ class DRAMChannel:
         self._bus_busy_until = completion
         bank.busy_until = completion
         self._last_start = start
+        if self.telemetry is not None:
+            # Data-pin occupancy, attributed to the transfer window.
+            self.telemetry.dram(transfer_start, config.burst_cycles)
 
         self.stats.requests += 1
         self.stats.data_cycles += config.burst_cycles

@@ -28,10 +28,17 @@ class SimulationDeadlock(RuntimeError):
 class GPUSimulator:
     """One device instance; use one simulator per application run."""
 
-    def __init__(self, config: GPUConfig | None = None):
+    def __init__(self, config: GPUConfig | None = None, telemetry=None):
         self.config = config or GPUConfig()
         self.stats = RunStats()
-        self.memory = MemorySubsystem(self.config)
+        if telemetry is None and self.config.telemetry_interval > 0:
+            from repro.sim.telemetry import Telemetry
+
+            telemetry = Telemetry(self.config.telemetry_interval)
+        #: time-resolved sampler (None when off — the hot paths check a
+        #: local ``is not None`` and pay nothing else)
+        self.telemetry = telemetry
+        self.memory = MemorySubsystem(self.config, telemetry=telemetry)
         if self.config.event_core:
             sm_cls = StreamingMultiprocessor
         else:
@@ -44,6 +51,7 @@ class GPUSimulator:
             for i in range(self.config.num_sms)
         ]
         for sm in self.sms:
+            sm._tel = telemetry
             # Dirty L1 evictions flow to L2/DRAM at the SM's local time.
             sm.l1.writeback_sink = (
                 lambda line, _sm=sm: self.memory.writeback(
@@ -159,6 +167,12 @@ class GPUSimulator:
         self.stats.add_stall(
             StallReason.FUNCTIONAL_DONE, config.cdp_dispatch_cycles
         )
+        tel = self.telemetry
+        if tel is not None:
+            tel.stall(t, StallReason.FUNCTIONAL_DONE.value,
+                      config.cdp_dispatch_cycles)
+            tel.event("cdp_launch", spec.kernel.name, t,
+                      ctas=spec.num_ctas, sm=sm.sm_id)
         self.submit_grid(child)
 
     def on_grid_finished(self, grid: Grid, t: float) -> None:
@@ -325,11 +339,15 @@ class GPUSimulator:
             app, "may_device_launch", True
         )
         config = self.config
+        tel = self.telemetry
         for op in app.host_program():
             if isinstance(op, HostMemcpy):
                 cycles = self._memcpy_cycles(op.nbytes)
                 self.stats.memcpy_calls += 1
                 self.stats.pci_cycles += cycles
+                if tel is not None:
+                    tel.event("memcpy", op.direction, self.host_time,
+                              dur=cycles, nbytes=op.nbytes)
                 self.host_time += cycles
                 if (
                     op.direction == "h2d"
@@ -346,12 +364,16 @@ class GPUSimulator:
             elif isinstance(op, HostLaunch):
                 self.stats.kernel_launches += 1
                 self.stats.launch_overhead_cycles += config.host_launch_cycles
-                self.host_time += config.host_launch_cycles
                 # Cores wait through launch setup: the paper's
                 # "functional done" stall.
                 self.stats.add_stall(
                     StallReason.FUNCTIONAL_DONE, config.host_launch_cycles
                 )
+                if tel is not None:
+                    tel.stall(self.host_time,
+                              StallReason.FUNCTIONAL_DONE.value,
+                              config.host_launch_cycles)
+                self.host_time += config.host_launch_cycles
                 grid = self.run_grid(op.launch)
                 self.stats.kernel_cycles += int(
                     grid.completion_time - grid.available_time
@@ -379,4 +401,7 @@ class GPUSimulator:
                 self.stats.dram.merge(channel.stats)
             self.stats.noc.merge(self.memory.network.stats)
             self.stats.cycles = max(self.stats.kernel_cycles, 1)
+            if self.telemetry is not None:
+                self.telemetry.finalize(self.stats)
+                self.stats.telemetry = self.telemetry.summary()
         return self.stats

@@ -58,6 +58,9 @@ class Network:
             config.topology, num_sms, num_partitions
         )
         self.stats = NetworkStats()
+        #: time-resolved sampler (set by the owning MemorySubsystem;
+        #: None when telemetry is off)
+        self.telemetry = None
         self._inject_busy = [0] * self.topology.total_nodes
         self._eject_busy = [0] * self.topology.total_nodes
 
@@ -85,6 +88,9 @@ class Network:
         self.stats.bytes += bytes_total
         self.stats.latency_cycles += arrival - now
         self.stats.contention_cycles += start - now
+        if self.telemetry is not None:
+            # Channel occupancy, attributed to the serialization window.
+            self.telemetry.noc(start, ser, bytes_total)
         return arrival
 
     def request(self, sm: int, partition: int, now: int, store_bytes: int = 0) -> int:

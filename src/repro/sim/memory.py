@@ -18,11 +18,16 @@ from repro.sim.interconnect.network import Network
 class MemorySubsystem:
     """Everything beyond the SM-private caches."""
 
-    def __init__(self, config: GPUConfig):
+    def __init__(self, config: GPUConfig, telemetry=None):
         self.config = config
+        #: time-resolved sampler shared with the owning simulator
+        #: (None when off); L2 samples are recorded here, NoC and DRAM
+        #: samples inside their own components.
+        self.telemetry = telemetry
         self.network = Network(
             config.noc, config.num_sms, config.num_mem_partitions
         )
+        self.network.telemetry = telemetry
         # The L2 is physically banked: one slice per memory partition,
         # each 1/P of the configured capacity.
         slice_bytes = config.l2.size_bytes // config.num_mem_partitions
@@ -44,6 +49,8 @@ class MemorySubsystem:
             DRAMChannel(config.dram, line_bytes=config.l2.line_bytes)
             for _ in range(config.num_mem_partitions)
         ]
+        for channel in self.dram:
+            channel.telemetry = telemetry
 
     def partition_of(self, line: int) -> int:
         """Address interleaving: consecutive lines hit consecutive partitions."""
@@ -55,7 +62,12 @@ class MemorySubsystem:
         store_bytes = self.config.l2.line_bytes if store else 0
         at_l2 = self.network.request(sm_id, partition, int(now), store_bytes)
         bank = self.l2_banks[partition]
-        if bank.access(line, store=store):
+        hit = bank.access(line, store=store)
+        tel = self.telemetry
+        if tel is not None:
+            tel.cache("l2", at_l2, 1, 0 if hit else 1,
+                      0 if store else 1, 0 if (store or hit) else 1)
+        if hit:
             served = at_l2 + bank.config.hit_latency
         else:
             served = self.dram[partition].access(
@@ -88,12 +100,17 @@ class MemorySubsystem:
         response = network.response
         banks = self.l2_banks
         dram = self.dram
+        tel = self.telemetry
         latest = 0.0
         for now, line in entries:
             partition = line % num_partitions
             at_l2 = request(sm_id, partition, int(now), store_bytes)
             bank = banks[partition]
-            if bank.access(line, store=store):
+            hit = bank.access(line, store=store)
+            if tel is not None:
+                tel.cache("l2", at_l2, 1, 0 if hit else 1,
+                          0 if store else 1, 0 if (store or hit) else 1)
+            if hit:
                 served = at_l2 + bank.config.hit_latency
             else:
                 served = dram[partition].access(
@@ -118,7 +135,11 @@ class MemorySubsystem:
             sm_id, partition, int(now), self.config.l2.line_bytes
         )
         bank = self.l2_banks[partition]
-        if not bank.access(line, store=True):
+        hit = bank.access(line, store=True)
+        tel = self.telemetry
+        if tel is not None:
+            tel.cache("l2", at_l2, 1, 0 if hit else 1, 0, 0)
+        if not hit:
             self.dram[partition].access(line, at_l2 + bank.config.hit_latency)
 
     def flush(self) -> None:

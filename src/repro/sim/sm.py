@@ -95,6 +95,9 @@ class StreamingMultiprocessor:
         #: ``stats.sm_instructions`` at finalize (cheaper than a dict
         #: update per instruction)
         self.issued_instructions = 0
+        #: time-resolved sampler (set by the owning GPUSimulator; None
+        #: when telemetry is off — every hook is a local None check)
+        self._tel = None
         # Heap bookkeeping (owned by the GPU).
         self.in_heap = False
         self.dormant_since: float | None = None
@@ -271,6 +274,7 @@ class StreamingMultiprocessor:
         const_cache = self.const_cache
         tex_cache = self.tex_cache
         l1 = self.l1
+        tel = self._tel
         issued = 0
         warp = None
         while True:
@@ -339,6 +343,8 @@ class StreamingMultiprocessor:
                     if gap > 0:  # add_stall, inlined
                         key = dominant._value_
                         stalls[key] = stalls.get(key, 0) + gap
+                        if tel is not None:
+                            tel.stall(t, key, gap)
                     self.time = wk
                     t = wk
                     heappop(wakes)
@@ -364,6 +370,8 @@ class StreamingMultiprocessor:
                 if not warp.precounted:
                     count_instruction(op, instr.active_lanes, repeat)
                 issued += repeat
+                if tel is not None:
+                    tel.issue(t, instr.active_lanes, repeat)
                 old = warp.block_reason
                 if old is not None:
                     rc[old] -= 1
@@ -406,6 +414,8 @@ class StreamingMultiprocessor:
                         if gap > 0:
                             key = dominant._value_
                             stalls[key] = stalls.get(key, 0) + gap
+                            if tel is not None:
+                                tel.stall(now, key, gap)
                         self.time = nr
                         scheduler.select_sole(warp)
                         in_list = False
@@ -427,6 +437,8 @@ class StreamingMultiprocessor:
                         count_instruction(op, instr.active_lanes, 1)
                         count_memory(space, mem.transactions)
                     issued += 1
+                    if tel is not None:
+                        tel.issue(t, instr.active_lanes, 1)
                     now = t + 1
                     self.time = now
                     nr = t + shared_latency
@@ -464,6 +476,8 @@ class StreamingMultiprocessor:
                             if gap > 0:
                                 key = dominant._value_
                                 stalls[key] = stalls.get(key, 0) + gap
+                                if tel is not None:
+                                    tel.stall(now, key, gap)
                             self.time = nr
                             scheduler.select_sole(warp)
                             in_list = False
@@ -527,6 +541,8 @@ class StreamingMultiprocessor:
                         if gap > 0:
                             key = dominant._value_
                             stalls[key] = stalls.get(key, 0) + gap
+                            if tel is not None:
+                                tel.stall(now, key, gap)
                         self.time = nr
                         scheduler.select_sole(warp)
                         in_list = False
@@ -575,6 +591,7 @@ class StreamingMultiprocessor:
         fp_latency = config.fp_latency
         sfu_latency = config.sfu_latency
         count_instruction = stats.count_instruction
+        tel = self._tel
         inline_issued = 0
         while True:
             t = self.time
@@ -592,6 +609,8 @@ class StreamingMultiprocessor:
                 if not precounted:
                     count_instruction(op, instr.active_lanes, repeat)
                 inline_issued += repeat
+                if tel is not None:
+                    tel.issue(t, instr.active_lanes, repeat)
                 old = warp.block_reason
                 if old is not None:
                     rc[old] -= 1
@@ -633,7 +652,10 @@ class StreamingMultiprocessor:
                     self.dormant_reason = dominant
                     self._settle(warp)
                     break
-                stats.add_stall(dominant, int(wake - now))
+                gap = int(wake - now)
+                stats.add_stall(dominant, gap)
+                if tel is not None:
+                    tel.stall(now, dominant._value_, gap)
                 self.time = wake
                 if wake != next_ready or (wakes and wakes[0][0] <= wake):
                     # Another warp wakes here (too): resume stepping.
@@ -713,7 +735,10 @@ class StreamingMultiprocessor:
             self.dormant_since = t
             self.dormant_reason = dominant
             return
-        self.stats.add_stall(dominant, int(wake - t))
+        gap = int(wake - t)
+        self.stats.add_stall(dominant, gap)
+        if self._tel is not None:
+            self._tel.stall(t, dominant._value_, gap)
         self.time = wake
 
     def wake_accounting(self, wake_time: float) -> None:
@@ -722,6 +747,10 @@ class StreamingMultiprocessor:
             gap = int(wake_time - self.dormant_since)
             if gap > 0 and self.dormant_reason is not None and self.warps:
                 self.stats.add_stall(self.dormant_reason, gap)
+                if self._tel is not None:
+                    self._tel.stall(
+                        self.dormant_since, self.dormant_reason._value_, gap
+                    )
             self.dormant_since = None
             self.dormant_reason = None
         self.time = max(self.time, wake_time)
@@ -750,6 +779,12 @@ class StreamingMultiprocessor:
         if not warp.precounted:
             self.stats.count_instruction(op, instr.active_lanes, repeat)
         self.issued_instructions += repeat
+        tel = self._tel
+        if tel is not None:
+            # Issue decision at t; repeat blocks occupy [t, t+repeat).
+            # Deliberately outside the precounted guard: replayed runs
+            # pre-credit aggregates but still need time-resolved samples.
+            tel.issue(t, instr.active_lanes, repeat)
         rc = self._reason_counts
         old = warp.block_reason
 
@@ -888,6 +923,16 @@ class StreamingMultiprocessor:
         # the writeback sink.
         l1 = self.l1
         hit_latency = config.l1.hit_latency
+        tel = self._tel
+        if tel is not None:
+            # L1 samples are delta-captured around the access block
+            # (probe_hits and access both bump the counters), all
+            # attributed to the decision cycle t.
+            _ls = l1.stats
+            _a0 = _ls.accesses
+            _m0 = _ls.misses
+            _la0 = _ls.load_accesses
+            _lm0 = _ls.load_misses
         if n == 1:
             # Fast path: coalesced accesses dominate every benchmark.
             line = lines[0]
@@ -919,6 +964,15 @@ class StreamingMultiprocessor:
                         done = line_request(sm_id, line, False, issue)
                     if done > completion:
                         completion = done
+        if tel is not None:
+            tel.cache(
+                "l1",
+                t,
+                _ls.accesses - _a0,
+                _ls.misses - _m0,
+                _ls.load_accesses - _la0,
+                _ls.load_misses - _lm0,
+            )
         warp.next_ready = completion
         if completion - t > hit_latency:
             warp.block_reason = _R_MEMORY
@@ -931,9 +985,11 @@ class StreamingMultiprocessor:
             rc = self._reason_counts
             ready = self._ready
             nr = t + 1
+            released = 0
             for peer in cta.warps:
                 if peer.exited:
                     continue
+                released += 1
                 peer.next_ready = nr
                 if peer is warp:
                     # The issuer's reason transition is accounted by
@@ -949,6 +1005,10 @@ class StreamingMultiprocessor:
                     peer.in_ready = True
                     insort(ready, peer, key=_AGE)
             cta.barrier_arrived = 0
+            if self._tel is not None:
+                self._tel.event(
+                    "barrier", "release", t, sm=self.sm_id, warps=released
+                )
         else:
             warp.next_ready = NEVER
             warp.block_reason = _R_SYNC
@@ -974,8 +1034,10 @@ class StreamingMultiprocessor:
             # An exiting warp can satisfy a barrier its peers wait on.
             rc = self._reason_counts
             nr = t + 1
+            released = 0
             for peer in cta.warps:
                 if not peer.exited and peer.block_reason is _R_SYNC:
+                    released += 1
                     peer.next_ready = nr
                     peer.block_reason = None
                     rc[_R_SYNC] -= 1
@@ -984,3 +1046,7 @@ class StreamingMultiprocessor:
                         peer.in_ready = True
                         insort(ready, peer, key=_AGE)
             cta.barrier_arrived = 0
+            if self._tel is not None:
+                self._tel.event(
+                    "barrier", "release", t, sm=self.sm_id, warps=released
+                )

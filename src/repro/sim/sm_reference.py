@@ -143,7 +143,10 @@ class ReferenceSM(StreamingMultiprocessor):
             self.dormant_since = t
             self.dormant_reason = dominant
             return
-        self.stats.add_stall(dominant, int(wake - t))
+        gap = int(wake - t)
+        self.stats.add_stall(dominant, gap)
+        if self._tel is not None:
+            self._tel.stall(t, dominant._value_, gap)
         self.time = wake
 
     def wake_warp(self, warp: Warp, t: float) -> None:
@@ -159,6 +162,11 @@ class ReferenceSM(StreamingMultiprocessor):
         if not warp.precounted:
             self.stats.count_instruction(op, instr.active_lanes, repeat)
         self.issued_instructions += repeat
+        if self._tel is not None:
+            # Same attribution contract as the event core: the issue
+            # decision lands at t and repeat blocks cover [t, t+repeat),
+            # recorded even for precounted (replayed) warps.
+            self._tel.issue(t, instr.active_lanes, repeat)
         warp.block_reason = None
 
         if op is _INT or op is _FP or op is _SFU:
@@ -257,6 +265,13 @@ class ReferenceSM(StreamingMultiprocessor):
         hit_latency = config.l1.hit_latency
         store = mem.store
         sm_id = self.sm_id
+        tel = self._tel
+        if tel is not None:
+            _ls = self.l1.stats
+            _a0 = _ls.accesses
+            _m0 = _ls.misses
+            _la0 = _ls.load_accesses
+            _lm0 = _ls.load_misses
         for i, line in enumerate(mem.lines):
             issue = t + i * port
             hit = l1_access(line, store=store)
@@ -266,6 +281,15 @@ class ReferenceSM(StreamingMultiprocessor):
                 done = line_request(sm_id, line, False, issue)
             if done > completion:
                 completion = done
+        if tel is not None:
+            tel.cache(
+                "l1",
+                t,
+                _ls.accesses - _a0,
+                _ls.misses - _m0,
+                _ls.load_accesses - _la0,
+                _ls.load_misses - _lm0,
+            )
         warp.next_ready = completion
         if completion - t > hit_latency:
             warp.block_reason = StallReason.MEMORY
@@ -275,11 +299,17 @@ class ReferenceSM(StreamingMultiprocessor):
         cta.barrier_arrived += 1
         if cta.barrier_ready():
             # Last arrival releases everyone.
+            released = 0
             for peer in cta.warps:
                 if not peer.exited:
+                    released += 1
                     peer.next_ready = t + 1
                     peer.block_reason = None
             cta.barrier_arrived = 0
+            if self._tel is not None:
+                self._tel.event(
+                    "barrier", "release", t, sm=self.sm_id, warps=released
+                )
         else:
             warp.next_ready = NEVER
             warp.block_reason = StallReason.SYNC
@@ -299,11 +329,17 @@ class ReferenceSM(StreamingMultiprocessor):
             gpu.refill_sm(self, t)
         elif cta.barrier_arrived and cta.barrier_ready():
             # An exiting warp can satisfy a barrier its peers wait on.
+            released = 0
             for peer in cta.warps:
                 if not peer.exited and peer.block_reason is StallReason.SYNC:
+                    released += 1
                     peer.next_ready = t + 1
                     peer.block_reason = None
             cta.barrier_arrived = 0
+            if self._tel is not None:
+                self._tel.event(
+                    "barrier", "release", t, sm=self.sm_id, warps=released
+                )
 
 
 __all__ = ["ReferenceSM"]

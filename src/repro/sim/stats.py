@@ -82,6 +82,11 @@ class RunStats:
     #: dynamic instructions issued per SM (load-balance diagnostics)
     sm_instructions: dict = field(default_factory=dict)
 
+    #: time-resolved telemetry summary (``{"meta", "rows", "events"}``,
+    #: see :meth:`repro.sim.telemetry.Telemetry.summary`) when the run
+    #: was sampled (``GPUConfig.telemetry_interval > 0``), else ``None``
+    telemetry: dict | None = None
+
     # -- recording helpers -------------------------------------------------
     # These run once per dynamic instruction; ``_value_`` skips the
     # DynamicClassAttribute descriptor behind ``Enum.value``, which is

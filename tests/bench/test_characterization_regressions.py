@@ -1,0 +1,79 @@
+"""Regression locks on the characterization claims in EXPERIMENTS.md.
+
+EXPERIMENTS.md records what this model *measured* against each of the
+paper's claims; these tests freeze the measured column as range
+assertions so timing-model drift that silently changes a reproduced
+figure fails loudly.  Bounds are deliberately loose (ranges, not exact
+values) — they lock the *claims*, not the bit patterns (the golden
+tests do that).
+"""
+
+import pytest
+
+from repro.bench import fig8_instruction_mix, suite_variants
+from repro.core.config_presets import baseline_config
+from repro.core.runner import run_benchmark
+
+pytestmark = pytest.mark.slow
+
+CONFIG = baseline_config()
+
+
+class TestFig5Stalls:
+    def test_pairhmm_memory_stall_dominates(self):
+        """Fig 5 measured: memory latency up to 98% on PairHMM."""
+        breakdown = run_benchmark(
+            "PairHMM", config=CONFIG
+        ).stall_breakdown()
+        assert breakdown["long_memory_latency"] >= 0.90
+        assert max(breakdown, key=breakdown.get) == "long_memory_latency"
+
+
+class TestFig8InstructionMix:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {r["benchmark"]: r for r in fig8_instruction_mix(CONFIG)}
+
+    def test_int_mean_above_60_percent(self, rows):
+        ints = [r.get("int", 0.0) for r in rows.values()]
+        assert sum(ints) / len(ints) > 0.60
+
+    def test_sfu_below_5_percent_everywhere(self, rows):
+        assert all(r.get("sfu", 0.0) < 0.05 for r in rows.values())
+
+    def test_pairhmm_is_the_fp_outlier(self, rows):
+        """EXPERIMENTS.md: PairHMM is the FP-heavy outlier."""
+        row = rows["PairHMM"]
+        assert row.get("fp", 0.0) > row.get("int", 0.0)
+        assert row.get("fp", 0.0) >= 0.50
+
+
+class TestFig10WarpOccupancy:
+    """Measured column: NW/GL 100% W29-32; CLUSTER 97% W1-4; STAR 97%
+    W13-16; STAR-CDP 97% W1-4; NW-CDP 100% W29-32."""
+
+    EXPECTED = [
+        ("NW", False, "W29-32", 0.99),
+        ("GL", False, "W29-32", 0.99),
+        ("CLUSTER", False, "W1-4", 0.90),
+        ("STAR", False, "W13-16", 0.90),
+        ("STAR", True, "W1-4", 0.90),
+        ("NW", True, "W29-32", 0.99),
+    ]
+
+    @pytest.mark.parametrize(
+        "abbr,cdp,bucket,floor", EXPECTED,
+        ids=[f"{a}{'-cdp' if c else ''}" for a, c, _, _ in EXPECTED],
+    )
+    def test_dominant_bucket(self, abbr, cdp, bucket, floor):
+        fractions = run_benchmark(
+            abbr, cdp=cdp, config=CONFIG
+        ).occupancy_fractions()
+        assert fractions[bucket] >= floor
+        assert max(fractions, key=fractions.get) == bucket
+
+
+class TestSuiteShape:
+    def test_twenty_variants(self):
+        """The claims above quantify over the 10x2 variant suite."""
+        assert len(suite_variants()) == 20

@@ -111,3 +111,37 @@ class TestTraceReplay:
         out = capsys.readouterr().out
         assert "replayed" in out
         assert "IPC" in out
+
+
+class TestProfile:
+    def test_profile_prints_interval_table(self, capsys):
+        assert main(["profile", "NW", "--sms", "4",
+                     "--interval", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "sampled every 2000 cycles" in out
+        assert "top_stall" in out
+        assert "ipc" in out
+
+    def test_profile_writes_trace_and_jsonl(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "nw.trace.json"
+        jsonl = tmp_path / "nw.jsonl"
+        assert main(["profile", "NW", "--sms", "4", "--interval", "2000",
+                     "--trace", str(trace), "--jsonl", str(jsonl)]) == 0
+        payload = json.loads(trace.read_text())
+        assert any(e["ph"] == "X" for e in payload["traceEvents"])
+
+        from repro.sim.telemetry import load_jsonl
+
+        summary = load_jsonl(jsonl)
+        assert summary["rows"] and summary["meta"]["interval"] == 2000
+
+    def test_profile_cdp_variant(self, capsys):
+        assert main(["profile", "STAR", "--cdp", "--sms", "4",
+                     "--interval", "2000"]) == 0
+        assert "STAR-CDP" in capsys.readouterr().out
+
+    def test_profile_unknown_benchmark(self, capsys):
+        assert main(["profile", "BLAST"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err

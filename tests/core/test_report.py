@@ -82,3 +82,38 @@ class TestFormatBarChart:
         rows = [{"name": "a", "x": 1.0, "y": 2.0}]
         text = format_bar_chart(rows, "name", ["x", "y"])
         assert text.count("|") == 4
+
+
+class TestFormatIntervalProfile:
+    def _stats(self):
+        from repro.core.runner import run_benchmark
+        from repro.sim.config import GPUConfig
+
+        return run_benchmark(
+            "NW", config=GPUConfig(telemetry_interval=2_000)
+        )
+
+    def test_renders_one_row_per_interval(self):
+        from repro.core.report import format_interval_profile
+
+        stats = self._stats()
+        text = format_interval_profile(stats)
+        lines = text.splitlines()
+        assert "top_stall" in lines[0]
+        # header + separator + one line per sampled interval
+        assert len(lines) == 2 + len(stats.telemetry["rows"])
+
+    def test_accepts_summary_dict_and_clips(self):
+        from repro.core.report import format_interval_profile
+
+        stats = self._stats()
+        text = format_interval_profile(stats.telemetry, max_rows=2)
+        assert "more intervals" in text
+
+    def test_placeholder_without_telemetry(self):
+        from repro.core.report import format_interval_profile
+
+        class Plain:
+            telemetry = None
+
+        assert "no telemetry" in format_interval_profile(Plain())

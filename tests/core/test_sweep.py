@@ -178,3 +178,41 @@ class TestPicklability:
             blob = pickle.dumps(stats)
             assert len(blob) < 16 * 1024, f"{label} stats pickle too large"
             assert pickle.loads(blob) == stats
+
+
+class TestTelemetryOptIn:
+    """``run_sweep(..., telemetry_interval=N)`` samples every point."""
+
+    def test_every_point_carries_a_summary(self, config):
+        pts = [
+            sweep_point(variant_name(a, c), a, config, cdp=c)
+            for a, c in (("NW", False), ("STAR", True))
+        ]
+        results = run_sweep(pts, jobs=0, telemetry_interval=2_000)
+        for label, stats in results.items():
+            summary = stats.telemetry
+            assert summary is not None, label
+            assert summary["meta"]["interval"] == 2_000
+            assert summary["rows"]
+
+    def test_sampling_does_not_change_aggregates(self, config):
+        pts = [sweep_point("NW", "NW", config)]
+        plain = run_sweep(pts, jobs=0)["NW"]
+        sampled = run_sweep(pts, jobs=0, telemetry_interval=2_000)["NW"]
+        import dataclasses
+
+        a = dataclasses.asdict(plain)
+        b = dataclasses.asdict(sampled)
+        a.pop("telemetry"), b.pop("telemetry")
+        assert a == b
+        assert plain.telemetry is None
+
+    def test_interval_not_in_trace_signature(self, config):
+        sampled = config.with_(telemetry_interval=2_000)
+        assert trace_signature(config) == trace_signature(sampled)
+
+    def test_summary_survives_process_pool(self, config):
+        pts = [sweep_point("NW", "NW", config)]
+        serial_run = run_sweep(pts, jobs=0, telemetry_interval=2_000)["NW"]
+        pooled = run_sweep(pts, jobs=2, telemetry_interval=2_000)["NW"]
+        assert pooled.telemetry == serial_run.telemetry

@@ -1,0 +1,245 @@
+"""Unit tests for the interval sampler and its file formats.
+
+Covers the attribution mechanics in isolation (interval-boundary
+splitting, point vs span attribution, burst derivation, the event cap)
+plus the JSONL and Chrome ``trace_event`` exports; whole-run behaviour
+is locked by ``test_telemetry_differential.py`` /
+``test_telemetry_properties.py``.
+"""
+
+import json
+
+import pytest
+
+from repro.sim.config import GPUConfig
+from repro.sim.stats import OCCUPANCY_BUCKETS
+from repro.sim.telemetry import (
+    BURST_MIN_ACCESSES,
+    STALL_KEYS,
+    Telemetry,
+    aggregate_rows,
+    load_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            Telemetry(interval=0)
+
+    def test_config_rejects_negative_interval(self):
+        with pytest.raises(ValueError):
+            GPUConfig(telemetry_interval=-1)
+
+    def test_config_zero_means_off(self):
+        from repro.sim.gpu import GPUSimulator
+
+        assert GPUSimulator(GPUConfig(telemetry_interval=0)).telemetry is None
+
+    def test_config_positive_attaches_sampler(self):
+        from repro.sim.gpu import GPUSimulator
+
+        gpu = GPUSimulator(GPUConfig(telemetry_interval=500))
+        assert gpu.telemetry is not None
+        assert gpu.telemetry.interval == 500
+
+
+class TestSpreading:
+    def test_issue_within_one_interval(self):
+        tel = Telemetry(interval=100)
+        tel.issue(10, lanes=32, repeat=5)
+        rows = tel.rows()
+        assert len(rows) == 1
+        assert rows[0]["instructions"] == 5
+        assert rows[0]["occupancy"]["W29-32"] == 5
+
+    def test_issue_split_across_boundary(self):
+        tel = Telemetry(interval=100)
+        tel.issue(95, lanes=8, repeat=10)  # covers 95..104
+        rows = {r["index"]: r for r in tel.rows()}
+        assert rows[0]["instructions"] == 5
+        assert rows[1]["instructions"] == 5
+        assert rows[0]["occupancy"]["W5-8"] == 5
+        assert rows[1]["occupancy"]["W5-8"] == 5
+
+    def test_stall_spans_many_intervals(self):
+        tel = Telemetry(interval=100)
+        tel.stall(50, "long_memory_latency", 300)  # 50..349
+        rows = {r["index"]: r for r in tel.rows()}
+        shares = [rows[i]["stalls"]["long_memory_latency"] for i in range(4)]
+        assert shares == [50, 100, 100, 50]
+
+    def test_zero_cycle_stall_records_nothing(self):
+        tel = Telemetry(interval=100)
+        tel.stall(50, "pipeline_idle", 0)
+        assert tel.rows() == []
+
+    def test_cache_is_point_attributed(self):
+        tel = Telemetry(interval=100)
+        tel.cache("l1", 199, 4, 2, 3, 1)
+        tel.cache("l2", 200, 1, 1, 1, 1)
+        rows = {r["index"]: r for r in tel.rows()}
+        assert rows[1]["l1_accesses"] == 4
+        assert rows[1]["l1_misses"] == 2
+        assert rows[1]["l2_accesses"] == 0
+        assert rows[2]["l2_accesses"] == 1
+
+    def test_dram_spreads_data_cycles_but_counts_once(self):
+        tel = Telemetry(interval=100)
+        tel.dram(transfer_start=90, burst_cycles=20)  # 90..109
+        rows = {r["index"]: r for r in tel.rows()}
+        assert rows[0]["dram_requests"] == 1
+        assert rows[1]["dram_requests"] == 0
+        assert rows[0]["dram_data_cycles"] == 10
+        assert rows[1]["dram_data_cycles"] == 10
+
+    def test_noc_spreads_busy_but_counts_once(self):
+        tel = Telemetry(interval=100)
+        tel.noc(start=95, ser_cycles=10, nbytes=136)
+        rows = {r["index"]: r for r in tel.rows()}
+        assert rows[0]["noc_messages"] == 1
+        assert rows[0]["noc_bytes"] == 136
+        assert rows[0]["noc_busy_cycles"] == 5
+        assert rows[1]["noc_busy_cycles"] == 5
+        assert rows[1]["noc_messages"] == 0
+
+
+class TestDerivedRates:
+    def test_row_rates(self):
+        tel = Telemetry(interval=100)
+        tel.issue(0, lanes=32, repeat=50)
+        tel.stall(50, "pipeline_idle", 30)
+        tel.stall(80, "long_memory_latency", 10)
+        tel.cache("l1", 0, 10, 5, 8, 4)
+        row = tel.rows()[0]
+        assert row["ipc"] == pytest.approx(0.5)
+        assert row["stall_fractions"]["pipeline_idle"] == pytest.approx(0.75)
+        assert row["l1_miss_rate"] == pytest.approx(0.5)
+        assert sum(row["stall_fractions"].values()) == pytest.approx(1.0)
+
+    def test_stall_fractions_empty_without_stalls(self):
+        tel = Telemetry(interval=100)
+        tel.issue(0, lanes=1, repeat=1)
+        assert tel.rows()[0]["stall_fractions"] == {}
+
+    def test_aggregate_matches_recorded_totals(self):
+        tel = Telemetry(interval=64)
+        tel.issue(0, lanes=32, repeat=1000)
+        tel.stall(1000, "synchronization", 500)
+        tel.cache("l2", 123, 7, 3, 6, 2)
+        agg = tel.aggregate()
+        assert agg["instructions"] == 1000
+        assert agg["occupancy"]["W29-32"] == 1000
+        assert agg["stalls"] == {"synchronization": 500}
+        assert agg["l2_accesses"] == 7
+        assert agg["l2_load_misses"] == 2
+
+
+class TestEvents:
+    def test_event_cap_counts_drops(self):
+        tel = Telemetry(interval=100, max_events=2)
+        for i in range(5):
+            tel.event("kernel", "k", i)
+        assert len(tel.events) == 2
+        assert tel.events_dropped == 3
+        tel.finalize(stats=object())
+        assert tel.meta["events_dropped"] == 3
+
+    def test_sorted_events_canonical_order(self):
+        tel = Telemetry(interval=100)
+        tel.event("memcpy", "h2d", 500, dur=10)
+        tel.event("cdp_launch", "child", 100, sm=3)
+        first = tel.sorted_events()
+        tel2 = Telemetry(interval=100)
+        tel2.event("cdp_launch", "child", 100, sm=3)
+        tel2.event("memcpy", "h2d", 500, dur=10)
+        assert first == tel2.sorted_events()
+
+    def test_burst_derivation(self):
+        tel = Telemetry(interval=100)
+        n = BURST_MIN_ACCESSES
+        # Intervals 1-2 hot, 3 cold, 5 hot: two separate bursts.
+        tel.cache("l1", 100, n, n, n, n)
+        tel.cache("l1", 200, n, n, n, n)
+        tel.cache("l1", 300, n, 0, n, 0)
+        tel.cache("l1", 500, n, n, n, n)
+        tel._derive_bursts()
+        bursts = [e for e in tel.events if e["cat"] == "burst"]
+        assert [(e["ts"], e["dur"]) for e in bursts] == [
+            (100, 200), (500, 100),
+        ]
+
+    def test_burst_not_extended_across_sparse_gap(self):
+        tel = Telemetry(interval=100)
+        n = BURST_MIN_ACCESSES
+        # Hot at interval 0 and 5 with *no rows in between* (sparse):
+        # the first burst must close at interval 1, not stretch to 5.
+        tel.cache("l1", 0, n, n, n, n)
+        tel.cache("l1", 500, n, n, n, n)
+        tel._derive_bursts()
+        bursts = [e for e in tel.events if e["cat"] == "burst"]
+        assert [(e["ts"], e["dur"]) for e in bursts] == [
+            (0, 100), (500, 100),
+        ]
+
+
+class TestFileFormats:
+    def _summary(self):
+        tel = Telemetry(interval=100)
+        tel.issue(0, lanes=32, repeat=150)
+        tel.stall(150, "long_memory_latency", 50)
+        tel.cache("l1", 10, 4, 2, 4, 2)
+        tel.dram(120, 4)
+        tel.noc(115, 2, 136)
+        tel.event("kernel", "nw_diag", 0, dur=200, ctas=4, origin="host")
+        tel.event("memcpy", "h2d", 210, dur=40, nbytes=1 << 20)
+        tel.finalize(stats=object())
+        return tel.summary()
+
+    def test_jsonl_round_trip(self, tmp_path):
+        summary = self._summary()
+        path = tmp_path / "telemetry.jsonl"
+        write_jsonl(summary, path)
+        loaded = load_jsonl(path)
+        assert loaded["rows"] == summary["rows"]
+        assert loaded["events"] == summary["events"]
+        assert loaded["meta"] == summary["meta"]
+
+    def test_jsonl_reaggregates_identically(self, tmp_path):
+        summary = self._summary()
+        path = tmp_path / "telemetry.jsonl"
+        write_jsonl(summary, path)
+        assert aggregate_rows(load_jsonl(path)["rows"]) == aggregate_rows(
+            summary["rows"]
+        )
+
+    def test_jsonl_rejects_unknown_record(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "mystery"}\n')
+        with pytest.raises(ValueError):
+            load_jsonl(path)
+
+    def test_chrome_trace_structure(self, tmp_path):
+        summary = self._summary()
+        path = tmp_path / "trace.json"
+        write_chrome_trace(summary, path)
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert {"M", "X", "C", "i"} <= phases
+        slices = [e for e in events if e["ph"] == "X"]
+        assert slices and slices[0]["name"] == "nw_diag"
+        counters = {e["name"] for e in events if e["ph"] == "C"}
+        assert "ipc" in counters and "stall cycles" in counters
+        assert payload["otherData"]["interval"] == 100
+
+    def test_interval_row_key_schema(self):
+        row = self._summary()["rows"][0]
+        assert set(row["occupancy"]) == set(OCCUPANCY_BUCKETS)
+        assert set(row["stalls"]) == set(STALL_KEYS)
+        for key in ("index", "start", "end", "ipc", "stall_fractions",
+                    "l1_miss_rate", "l2_miss_rate", "dram_bandwidth",
+                    "noc_utilization"):
+            assert key in row

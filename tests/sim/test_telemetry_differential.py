@@ -1,0 +1,51 @@
+"""Differential lock: telemetry is core-independent.
+
+The golden suite (``test_event_core_golden.py``) proves the event core
+and the scan-per-decision reference produce identical end-of-run
+aggregates.  Telemetry is a stronger claim — both cores must make the
+same attribution call at the same *simulated cycle*, even where the
+event core macro-issues whole repeat blocks, fuses stall spans inline,
+or runs ahead of global heap order.  Here every benchmark (both CDP
+variants) runs through both cores with sampling on, and the interval
+time series, the canonically-sorted event streams, and the metadata
+must be bit-identical.
+"""
+
+import pytest
+
+from repro.core.runner import run_benchmark
+from repro.data.datasets import DatasetSize
+from repro.kernels import benchmark_names
+from repro.sim.config import GPUConfig
+
+#: Small enough to make interval effects visible on the SMALL datasets.
+INTERVAL = 2_000
+
+pytestmark = pytest.mark.differential
+
+
+def _telemetry_pair(abbr: str, cdp: bool):
+    fast = run_benchmark(
+        abbr, cdp=cdp, size=DatasetSize.SMALL,
+        config=GPUConfig(event_core=True, telemetry_interval=INTERVAL),
+    )
+    ref = run_benchmark(
+        abbr, cdp=cdp, size=DatasetSize.SMALL,
+        config=GPUConfig(event_core=False, telemetry_interval=INTERVAL),
+    )
+    return fast.telemetry, ref.telemetry
+
+
+@pytest.mark.parametrize("cdp", [False, True], ids=["plain", "cdp"])
+@pytest.mark.parametrize("abbr", benchmark_names())
+def test_interval_series_identical(abbr, cdp):
+    fast, ref = _telemetry_pair(abbr, cdp)
+    assert fast is not None and ref is not None
+    assert fast["rows"] == ref["rows"]
+    assert fast["events"] == ref["events"]
+    assert fast["meta"] == ref["meta"]
+
+
+def test_telemetry_off_leaves_stats_untelemetered():
+    stats = run_benchmark("NW", size=DatasetSize.SMALL, config=GPUConfig())
+    assert stats.telemetry is None
