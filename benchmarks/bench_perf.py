@@ -1,6 +1,6 @@
-"""Wall-clock benchmarks of the simulator's two fast paths.
+"""Wall-clock benchmarks of the simulator's fast paths.
 
-Two harnesses, each locking performance to a bit-identity check:
+Three harnesses, each locking performance to a bit-identity check:
 
 - **sweep** (``BENCH_sweep.json``): the PR 1 sweep engine — serial vs
   ``jobs=1`` vs ``jobs=N`` over a fixed config sweep, workers replaying
@@ -11,10 +11,14 @@ Two harnesses, each locking performance to a bit-identity check:
   scan-per-decision reference core (``event_core=False``).  Both cores
   replay the same materialized traces, so the measurement isolates the
   issue loop itself; trace generation time is reported separately.
+- **trace** (``BENCH_trace.json``): trace materialization itself — the
+  live generator (templates off) vs template instantiation vs a warm
+  binary trace-store load, on the same application.  All three arms
+  must replay to identical ``RunStats``.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_perf.py           # both, full
+    PYTHONPATH=src python benchmarks/bench_perf.py           # all, full
     PYTHONPATH=src python benchmarks/bench_perf.py --quick   # CI smoke
     PYTHONPATH=src python benchmarks/bench_perf.py --only run
 
@@ -30,6 +34,7 @@ import argparse
 import dataclasses
 import json
 import os
+import tempfile
 import time
 from pathlib import Path
 
@@ -51,6 +56,7 @@ POOL_JOBS = 4
 _ROOT = Path(__file__).resolve().parent.parent
 SWEEP_RESULT_PATH = _ROOT / "BENCH_sweep.json"
 RUN_RESULT_PATH = _ROOT / "BENCH_run.json"
+TRACE_RESULT_PATH = _ROOT / "BENCH_trace.json"
 
 #: The single-run benchmark target: the slowest benchmark at the
 #: largest dataset (PairHMM large dominates suite wall time).
@@ -192,11 +198,81 @@ def main_run(quick: bool = False) -> dict:
         report["telemetry_off_overhead_vs_recorded"] = round(
             fast_s / recorded["event_core_s"] - 1, 4
         )
+        if recorded.get("trace_gen_s"):
+            # Trace generation now runs through the template layer;
+            # the recorded delta tracks what that layer saves here.
+            report["recorded_trace_gen_s"] = recorded["trace_gen_s"]
+            report["trace_gen_speedup_vs_recorded"] = round(
+                recorded["trace_gen_s"] / gen_s, 2
+            )
     if not quick:
         RUN_RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
     assert identical, "event core diverged from the reference core"
     assert tel_neutral, "telemetry sampling changed simulation results"
+    return report
+
+
+# -- trace materialization benchmark (PR 5) ---------------------------------
+
+def main_trace(quick: bool = False) -> dict:
+    """Live generator vs template instantiation vs warm store load.
+
+    One application (PairHMM, the suite's heaviest trace), three
+    materialization arms, best-of-2 each; every arm must replay to
+    bit-identical ``RunStats`` (the replay config is irrelevant to the
+    identity claim — traces are config-independent — so a small
+    machine keeps the check fast).
+    """
+    from repro.core.sweep import app_key, sweep_point
+    from repro.sim.trace_store import TraceStore
+
+    size = DatasetSize.SMALL if quick else DatasetSize.LARGE
+    app = build_application(RUN_BENCHMARK, cdp=False, size=size)
+    point = sweep_point(
+        "trace-bench", RUN_BENCHMARK, baseline_config(), size=size
+    )
+    key = app_key(point)
+
+    live, generator_s = timed(
+        lambda: CachedApplication(app, template=False)
+    )
+    templated, template_s = timed(lambda: CachedApplication(app))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = TraceStore(tmp)
+        _, store_save_s = timed(store.save, key, templated)
+        stored, store_load_s = timed(store.load, key)
+    assert stored is not None, "store round trip failed"
+
+    config = GPUConfig(num_sms=8)
+    reference = dataclasses.asdict(
+        replay_application(live, GPUSimulator(config))
+    )
+    identical = all(
+        dataclasses.asdict(
+            replay_application(entry, GPUSimulator(config))
+        ) == reference
+        for entry in (templated, stored)
+    )
+    report = {
+        "benchmark": RUN_BENCHMARK,
+        "size": size.name.lower(),
+        "quick": quick,
+        "generator_s": round(generator_s, 3),
+        "template_s": round(template_s, 3),
+        "store_save_s": round(store_save_s, 3),
+        "store_load_s": round(store_load_s, 3),
+        "speedup_template": round(generator_s / template_s, 2),
+        "speedup_store": round(generator_s / store_load_s, 2),
+        "template_hits": templated.template_hits,
+        "template_live": templated.template_live,
+        "identical_stats": identical,
+    }
+    if not quick:
+        TRACE_RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    assert identical, "fast trace paths diverged from the live generator"
     return report
 
 
@@ -216,6 +292,15 @@ def test_single_run_speedup_and_identity():
     assert report["speedup"] >= 2.0
 
 
+def test_trace_speedup_and_identity():
+    """Template and warm-store materialization must beat the live
+    generator by >= 3x each, with bit-identical replay results."""
+    report = main_trace()
+    assert report["identical_stats"]
+    assert report["speedup_template"] >= 3.0
+    assert report["speedup_store"] >= 3.0
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -224,14 +309,16 @@ def main() -> None:
              "does not overwrite the recorded BENCH_*.json)",
     )
     parser.add_argument(
-        "--only", choices=("sweep", "run"),
-        help="run just one of the two benchmarks",
+        "--only", choices=("sweep", "run", "trace"),
+        help="run just one of the benchmarks",
     )
     args = parser.parse_args()
-    if args.only != "sweep":
+    if args.only in (None, "run"):
         main_run(quick=args.quick)
-    if args.only != "run":
+    if args.only in (None, "sweep"):
         main_sweep(quick=args.quick)
+    if args.only in (None, "trace"):
+        main_trace(quick=args.quick)
 
 
 if __name__ == "__main__":

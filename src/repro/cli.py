@@ -10,7 +10,11 @@ suite
     Run every benchmark (with CDP variants) and print a summary table.
 sweep AXIS
     Run a config sweep across the suite through the sweep engine
-    (``--jobs N`` fans points out over worker processes).
+    (``--jobs N`` fans points out over worker processes; ``--store
+    DIR`` persists materialized traces across invocations).
+warm
+    Materialize benchmark traces into the persistent trace store so
+    later runs (sweeps, CI jobs, other processes) start warm.
 figure NAME
     Regenerate one of the paper's tables/figures (e.g. ``fig3``).
 profile ABBR
@@ -25,6 +29,7 @@ align QUERY TARGET
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -195,10 +200,56 @@ def cmd_sweep(args) -> int:
     from repro import bench
     from repro.core.sweep import default_jobs
 
+    if args.store:
+        # The sweep engine's default store resolution reads the
+        # environment, so one assignment threads the store through
+        # every harness down to the pool workers.
+        os.environ["REPRO_TRACE_STORE"] = args.store
     jobs = default_jobs() if args.jobs is None else args.jobs
     func = getattr(bench, SWEEP_AXES[args.axis])
     rows = func(config=_config(args), size=args.size, jobs=jobs)
     print(format_table(rows))
+    return 0
+
+
+def cmd_warm(args) -> int:
+    """Materialize application traces into the persistent store."""
+    from repro.core.runner import variant_name
+    from repro.core.sweep import TraceCache, sweep_point
+    from repro.sim.trace_store import TraceStore
+
+    root = args.store or os.environ.get("REPRO_TRACE_STORE")
+    if not root:
+        print("no trace store: pass --store DIR or set REPRO_TRACE_STORE",
+              file=sys.stderr)
+        return 2
+    store = TraceStore(root)
+    config = _config(args)
+    benchmarks = args.benchmarks or benchmark_names()
+    unknown = [b for b in benchmarks if b not in benchmark_names()]
+    if unknown:
+        print(f"unknown benchmarks {unknown}; "
+              f"choose from {benchmark_names()}", file=sys.stderr)
+        return 2
+    cache = TraceCache(store=store)
+    for abbr in benchmarks:
+        for cdp in (False,) if args.no_cdp else (False, True):
+            name = variant_name(abbr, cdp)
+            hits, builds = store.hits, store.builds
+            point = sweep_point(name, abbr, config, cdp=cdp,
+                                size=args.size)
+            entry = cache.get(point)
+            if entry is None:
+                state = "not replayable, skipped"
+            elif store.hits > hits:
+                state = "already stored"
+            elif store.builds > builds:
+                state = "materialized"
+            else:  # pragma: no cover - in-memory duplicate
+                state = "cached"
+            print(f"{name}: {state}")
+    print(f"store: {store.root} ({store.builds} built, "
+          f"{store.hits} already present)")
     return 0
 
 
@@ -425,8 +476,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=_nonneg_int, default=None, metavar="N",
         help="worker processes (default: one per CPU; 0 = in-process)",
     )
+    p_sweep.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persistent trace store directory "
+             "(default: $REPRO_TRACE_STORE when set)",
+    )
     _add_machine_args(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_warm = sub.add_parser(
+        "warm", help="materialize traces into the persistent store"
+    )
+    p_warm.add_argument("benchmarks", nargs="*",
+                        help="benchmark subset (default: all)")
+    p_warm.add_argument("--no-cdp", action="store_true",
+                        help="skip the CDP variants")
+    p_warm.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="store directory (default: $REPRO_TRACE_STORE)",
+    )
+    _add_machine_args(p_warm)
+    p_warm.set_defaults(func=cmd_warm)
 
     p_roof = sub.add_parser("roofline", help="roofline analysis of the suite")
     p_roof.add_argument("benchmarks", nargs="*",

@@ -39,6 +39,7 @@ from repro.sim.config import GPUConfig
 from repro.sim.gpu import GPUSimulator
 from repro.sim.replay import CachedApplication, replay_application
 from repro.sim.stats import RunStats
+from repro.sim.trace_store import TraceStore
 
 
 def default_jobs() -> int:
@@ -111,15 +112,34 @@ def app_key(point: SweepPoint) -> tuple:
 
 
 class TraceCache:
-    """Materialized applications, keyed by :func:`app_key`."""
+    """Materialized applications, keyed by :func:`app_key`.
 
-    def __init__(self):
+    With a :class:`~repro.sim.trace_store.TraceStore` attached, misses
+    first consult the on-disk store (cross-process / cross-session
+    reuse) and cold builds are published back to it — coordinated so
+    concurrent workers build each application exactly once.
+    """
+
+    def __init__(self, store: TraceStore | None = None):
         self._entries: dict[tuple, CachedApplication] = {}
+        self.store = store
         self.hits = 0
         self.misses = 0
+        self.store_hits = 0
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def _build(self, point: SweepPoint) -> CachedApplication | None:
+        app = build_application(
+            point.abbr,
+            cdp=point.cdp,
+            size=point.size,
+            **dict(point.options),
+        )
+        if not getattr(app, "replayable", True):
+            return None
+        return CachedApplication(app)
 
     def get(self, point: SweepPoint) -> CachedApplication | None:
         """The cached application for ``point``, building it on miss.
@@ -134,16 +154,17 @@ class TraceCache:
             self.hits += 1
             return entry
         self.misses += 1
-        app = build_application(
-            point.abbr,
-            cdp=point.cdp,
-            size=point.size,
-            **dict(point.options),
-        )
-        if not getattr(app, "replayable", True):
-            return None
-        entry = CachedApplication(app)
-        self._entries[key] = entry
+        if self.store is None:
+            entry = self._build(point)
+        else:
+            before = self.store.hits
+            entry = self.store.get_or_build(
+                key, lambda: self._build(point)
+            )
+            if self.store.hits > before:
+                self.store_hits += 1
+        if entry is not None:
+            self._entries[key] = entry
         return entry
 
     def invalidate(self, abbr: str | None = None) -> int:
@@ -176,18 +197,37 @@ def run_point(point: SweepPoint, cache: TraceCache | None = None) -> RunStats:
     return replay_application(entry, GPUSimulator(point.config))
 
 
-# Per-worker cache: fork gives each pool worker its own copy, and a
-# worker processes whole same-application groups, so every point after
-# a group's first replays materialized traces.
-_worker_cache: TraceCache | None = None
+def _resolve_store(store) -> TraceStore | None:
+    """Normalize ``run_sweep``'s ``store`` argument.
+
+    ``"env"`` reads ``REPRO_TRACE_STORE`` (None when unset), a path
+    opens a store there, None disables the store, and an existing
+    :class:`TraceStore` passes through.
+    """
+    if store == "env":
+        return TraceStore.from_env()
+    if store is None or isinstance(store, TraceStore):
+        return store
+    return TraceStore(store)
 
 
-def _run_group(points: tuple[SweepPoint, ...]) -> list[RunStats]:
+# Per-worker caches, one per store root: fork gives each pool worker
+# its own copy, and a worker processes whole same-application groups,
+# so every point after a group's first replays materialized traces.
+# The shared on-disk store (when configured) removes the remaining
+# cold-start redundancy *across* workers.
+_worker_caches: dict = {}
+
+
+def _run_group(
+    points: tuple[SweepPoint, ...], store_root: str | None = None
+) -> list[RunStats]:
     """Pool task: run one same-application group of points, in order."""
-    global _worker_cache
-    if _worker_cache is None:
-        _worker_cache = TraceCache()
-    return [run_point(point, _worker_cache) for point in points]
+    cache = _worker_caches.get(store_root)
+    if cache is None:
+        store = TraceStore(store_root) if store_root else None
+        cache = _worker_caches[store_root] = TraceCache(store=store)
+    return [run_point(point, cache) for point in points]
 
 
 def _group_by_app(points: list[SweepPoint]) -> list[list[int]]:
@@ -203,6 +243,7 @@ def run_sweep(
     jobs: int | None = 0,
     cache: TraceCache | None = None,
     telemetry_interval: int | None = None,
+    store="env",
 ) -> dict[str, RunStats]:
     """Run every point; returns ``{point.label: RunStats}`` in input order.
 
@@ -212,6 +253,11 @@ def run_sweep(
     bit-identical across all three paths.  If a process pool cannot be
     created (restricted environments), the sweep falls back to the
     in-process path rather than failing.
+
+    ``store`` selects the persistent trace store (see
+    :func:`_resolve_store`): the default ``"env"`` honours the
+    ``REPRO_TRACE_STORE`` environment variable.  When a ``cache`` is
+    passed for the in-process path, its own store setting wins.
 
     ``telemetry_interval`` opts every point into time-resolved sampling
     (overriding each point's config): the resulting
@@ -238,19 +284,23 @@ def run_sweep(
     if jobs < 0:
         raise ValueError("jobs must be >= 0")
 
+    resolved = _resolve_store(store)
     if jobs == 0:
-        local = cache if cache is not None else TraceCache()
+        local = cache if cache is not None else TraceCache(store=resolved)
         return {
             point.label: run_point(point, local) for point in points
         }
 
+    store_root = str(resolved.root) if resolved is not None else None
     groups = _group_by_app(points)
     results: list[RunStats | None] = [None] * len(points)
     try:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = [
                 (indices, pool.submit(
-                    _run_group, tuple(points[i] for i in indices)
+                    _run_group,
+                    tuple(points[i] for i in indices),
+                    store_root,
                 ))
                 for indices in groups
             ]
@@ -260,7 +310,7 @@ def run_sweep(
     except (OSError, PermissionError):
         # No process pool available (sandboxed /dev/shm, fork limits):
         # degrade to the in-process cached path, same results.
-        return run_sweep(points, jobs=0, cache=cache)
+        return run_sweep(points, jobs=0, cache=cache, store=resolved)
     return {
         point.label: stats
         for point, stats in zip(points, results)

@@ -9,9 +9,17 @@ from repro.isa.instructions import (
     WarpInstruction,
     popcount,
 )
+from repro.isa.template import (
+    TraceTemplate,
+    build_template,
+    structure_matches,
+)
 from repro.isa.trace import TraceBuilder, lines_for_stride
 
 __all__ = [
+    "TraceTemplate",
+    "build_template",
+    "structure_matches",
     "FULL_MASK",
     "WARP_SIZE",
     "MemAccess",

@@ -54,6 +54,25 @@ class ClusterKernel(KernelProgram):
         )
         self.cdp = cdp
 
+    def trace_template(self, ctx: WarpContext):
+        if ctx.args.get("cdp_children") is not None:
+            return None  # aligned records issue device launches
+        trail = ctx.args["trail"]
+        total_warps = ctx.num_ctas * ctx.warps_per_cta
+        mine = trail[ctx.global_warp :: total_warps]
+        key = tuple(
+            (
+                record["prefilter"] + record["shortword"],
+                bool(record["aligned"]),
+                record["align_rows"] if record["aligned"] else 0,
+            )
+            for record in mine
+        )
+        bases = tuple(
+            GLOBAL_BASE + record["index"] * 4 for record in mine
+        )
+        return key, bases
+
     def warp_trace(self, ctx: WarpContext) -> Iterator[WarpInstruction]:
         b = TraceBuilder()
         trail = ctx.args["trail"]
@@ -121,6 +140,9 @@ class ClusterChildKernel(KernelProgram):
             "cluster_child", cta_threads=32, regs_per_thread=40,
             const_bytes=512,
         )
+
+    def trace_template(self, ctx: WarpContext):
+        return (ctx.args["rows"],), (ctx.args["base"],)
 
     def warp_trace(self, ctx: WarpContext) -> Iterator[WarpInstruction]:
         b = TraceBuilder()

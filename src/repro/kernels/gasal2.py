@@ -84,6 +84,28 @@ class GasalKernel(KernelProgram):
     #: miss rates come from exactly this reuse.
     LOCAL_LINES = 64
 
+    def trace_template(self, ctx: WarpContext):
+        if (
+            ctx.args.get("finalize_child") is not None
+            and ctx.global_warp == 0
+        ):
+            return None  # CDP dispatcher warp issues a device launch
+        lengths = ctx.args["lengths"]
+        gw = ctx.global_warp
+        warp_pairs = lengths[gw * 32 : (gw + 1) * 32]
+        if not warp_pairs:
+            return ("empty",), ()
+        batch_index = ctx.args.get("batch_index", 0)
+        key = (len(warp_pairs), max(warp_pairs))
+        bases = (
+            GLOBAL_BASE + batch_index * 4096 + gw * 16,  # packed batch
+            local_line(gw, self.LOCAL_LINES, 0),  # H/E ring buffer
+            TRACEBACK_REGION
+            + (batch_index + gw * 8) * 256 * TB_LINES_PER_ROW,
+            GLOBAL_BASE + 2048 + gw,  # score slot
+        )
+        return key, bases
+
     def warp_trace(self, ctx: WarpContext) -> Iterator[WarpInstruction]:
         b = TraceBuilder()
         lengths = ctx.args["lengths"]
@@ -169,6 +191,18 @@ class GasalFinalizeKernel(KernelProgram):
             "gasal_finalize", cta_threads=cta_threads, regs_per_thread=24,
             const_bytes=256,
         )
+
+    def trace_template(self, ctx: WarpContext):
+        pairs = ctx.args["pairs"]
+        my_pairs = max(0, min(32, pairs - ctx.global_warp * 32))
+        if my_pairs <= 0:
+            return ("empty",), ()
+        key = (my_pairs,)
+        bases = (
+            GLOBAL_BASE + 2048 + ctx.global_warp,  # raw scores
+            GLOBAL_BASE + 3072 + ctx.global_warp,  # coordinates out
+        )
+        return key, bases
 
     def warp_trace(self, ctx: WarpContext) -> Iterator[WarpInstruction]:
         b = TraceBuilder()

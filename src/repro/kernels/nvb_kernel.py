@@ -63,6 +63,21 @@ class NvbStageKernel(KernelProgram):
         )
         self.stage = stage
 
+    def trace_template(self, ctx: WarpContext):
+        if self.stage in ("search", "locate", "extend"):
+            # FM-index walks hash (batch, salt, warp, step) into the
+            # index: genuinely data-dependent scatter, not an affine
+            # relocation of any base.
+            return None
+        reads = ctx.args["reads"]
+        my_reads = max(0, min(32, reads - ctx.global_warp * 32))
+        if my_reads <= 0:
+            return ("empty",), ()
+        key = (my_reads, ctx.args["work"])
+        batch = ctx.args["batch"]
+        bases = (GLOBAL_BASE + batch * 256 + ctx.global_warp * 4,)
+        return key, bases
+
     def warp_trace(self, ctx: WarpContext) -> Iterator[WarpInstruction]:
         b = TraceBuilder()
         reads = ctx.args["reads"]

@@ -64,6 +64,29 @@ class NWDiagonalKernel(KernelProgram):
         )
         self.use_shared = use_shared
 
+    def trace_template(self, ctx: WarpContext):
+        tiles = ctx.args["tiles"]
+        if ctx.cta_id >= len(tiles):
+            return ("empty",), ()
+        ti, tj = tiles[ctx.cta_id]
+        tiles_n = ctx.args["tiles_n"]
+        tile_id = ti * tiles_n + tj
+        tile_lines = (TILE * TILE * 4) // 128
+        base = GLOBAL_BASE + tile_id * tile_lines
+        # The no-shared ablation's strided rows reach ``row_lines``
+        # past the base per lane, so that footprint is structural.
+        key = (
+            ti > 0,
+            tj > 0,
+            None if self.use_shared else ctx.args["row_lines"],
+        )
+        bases = (
+            base,
+            base - tiles_n * tile_lines,  # up neighbour
+            base - tile_lines,  # left neighbour
+        )
+        return key, bases
+
     def warp_trace(self, ctx: WarpContext) -> Iterator[WarpInstruction]:
         b = TraceBuilder()
         tiles = ctx.args["tiles"]

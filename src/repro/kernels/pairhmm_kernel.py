@@ -58,6 +58,30 @@ class PairHMMKernel(KernelProgram):
         )
         self.use_shared = use_shared
 
+    def trace_template(self, ctx: WarpContext):
+        if not self.use_shared:
+            # The naive-port ablation streams its matrix accesses
+            # through a mutable per-warp cursor (``_stream``), so
+            # regeneration is not idempotent and relocation cannot
+            # express the moving window.
+            return None
+        pairs = ctx.args["pairs"]
+        total_warps = ctx.num_ctas * ctx.warps_per_cta
+        mine = pairs[ctx.global_warp :: total_warps]
+        padded_rows = ctx.args.get("padded_rows")
+        key = tuple(
+            (
+                padded_rows if padded_rows is not None else read_len,
+                max(1, hap_len // 32),
+            )
+            for read_len, hap_len, _ in mine
+        )
+        bases = []
+        for _, _, pair_id in mine:
+            bases.append(GLOBAL_BASE + (pair_id << 10))  # base stream
+            bases.append(GLOBAL_BASE + (1 << 19) + pair_id)  # result slot
+        return key, tuple(bases)
+
     def warp_trace(self, ctx: WarpContext) -> Iterator[WarpInstruction]:
         b = TraceBuilder()
         pairs = ctx.args["pairs"]

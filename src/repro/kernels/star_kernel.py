@@ -58,6 +58,17 @@ class StarChunkKernel(KernelProgram):
             const_bytes=4 * 1024,  # BLOSUM62 in constant memory
         )
 
+    def trace_template(self, ctx: WarpContext):
+        pairs = ctx.args["pairs"]
+        total_warps = ctx.num_ctas * ctx.warps_per_cta
+        mine = pairs[ctx.global_warp :: total_warps]
+        if not mine:
+            return ("empty",), ()
+        chunk = ctx.args.get("chunk", 0)
+        key = (len(mine), ctx.args["padded_rows"])
+        bases = (GLOBAL_BASE + chunk * 512 + ctx.global_warp * 16,)
+        return key, bases
+
     def warp_trace(self, ctx: WarpContext) -> Iterator[WarpInstruction]:
         b = TraceBuilder()
         pairs = ctx.args["pairs"]
@@ -103,6 +114,9 @@ class StarChildKernel(KernelProgram):
             regs_per_thread=48,
             const_bytes=4 * 1024,
         )
+
+    def trace_template(self, ctx: WarpContext):
+        return (ctx.args["rows"],), (ctx.args["pair_base"],)
 
     def warp_trace(self, ctx: WarpContext) -> Iterator[WarpInstruction]:
         b = TraceBuilder()

@@ -65,6 +65,24 @@ class SWDiagonalKernel(KernelProgram):
             const_bytes=2 * 1024,  # 4x4 scores + gap params + LUTs
         )
 
+    def trace_template(self, ctx: WarpContext):
+        tiles = ctx.args["tiles"]
+        tiles_n = ctx.args["tiles_n"]
+        total_warps = ctx.num_ctas * ctx.warps_per_cta
+        mine = tiles[ctx.global_warp :: total_warps]
+        # Structure depends only on which boundary loads each tile
+        # performs; every line is an offset from its tile's H-tile
+        # window (or a neighbour's, for the boundary rows).
+        key = tuple((ti > 0, tj > 0) for ti, tj in mine)
+        tile_lines = (TILE * TILE * 4) // 128
+        bases = []
+        for ti, tj in mine:
+            tile_id = ti * tiles_n + tj
+            bases.append(GLOBAL_BASE + tile_id * tile_lines)
+            bases.append(GLOBAL_BASE + (tile_id - tiles_n) * tile_lines)
+            bases.append(GLOBAL_BASE + (tile_id - 1) * tile_lines)
+        return key, tuple(bases)
+
     def warp_trace(self, ctx: WarpContext) -> Iterator[WarpInstruction]:
         b = TraceBuilder()
         tiles = ctx.args["tiles"]

@@ -80,5 +80,26 @@ class KernelProgram:
         """
         raise NotImplementedError
 
+    def trace_template(self, ctx: WarpContext):
+        """Templating contract for one warp: ``(key, bases)`` or None.
+
+        Warps of this kernel whose ``key`` matches must emit
+        structurally identical instruction streams (same ops, masks,
+        repeats, memory spaces and per-access line counts, no device
+        launches) in which every memory line index is either a
+        class-wide constant or ``bases[r] + d`` with the same ``(r,
+        d)`` at the same trace position for every member.  The replay
+        layer (:mod:`repro.sim.replay`) then runs the generator once
+        per class and instantiates other members by address relocation
+        — see :mod:`repro.isa.template` for how the contract is probed
+        and enforced.
+
+        Return None for warps whose traces are genuinely
+        data-dependent (e.g. hash-scattered index walks) or that issue
+        device-side launches; they are always generated live.  The
+        default opts the whole kernel out.
+        """
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<KernelProgram {self.name} cta={self.cta_threads}>"

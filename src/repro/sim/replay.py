@@ -26,9 +26,11 @@ application — lives with the sweep engine in
 
 from __future__ import annotations
 
+import os
 from dataclasses import replace
 
 from repro.isa.instructions import OpClass, WarpInstruction
+from repro.isa.template import build_template, structure_matches
 from repro.sim.kernel import KernelProgram, WarpContext
 from repro.sim.launch import Application, HostLaunch, KernelLaunch
 from repro.sim.stats import OCCUPANCY_BUCKETS, RunStats
@@ -88,6 +90,25 @@ class TraceCounts:
             stats.warp_occupancy[key] += value
 
 
+class _TemplateClass:
+    """Per-equivalence-class state of one kernel's trace templating.
+
+    Lifecycle: the first member's trace is kept as a probe; the second
+    member solves the relocation against it (``build_template``); later
+    members instantiate, falling back to live generation (which narrows
+    the template's candidate sets) whenever a relocation is ambiguous
+    for their bases.  ``dead`` classes always generate live.
+    """
+
+    __slots__ = ("probe", "template", "counts", "dead")
+
+    def __init__(self):
+        self.probe = None  # (instrs, bases) of the first member
+        self.template = None
+        self.counts = None  # shared: structure equality => equal counts
+        self.dead = False
+
+
 class ReplayKernel(KernelProgram):
     """A kernel whose warp traces are materialized once and replayed.
 
@@ -96,6 +117,11 @@ class ReplayKernel(KernelProgram):
     cleared: warps created from this kernel are marked ``precounted``
     and the SM skips per-issue mix accounting for them (the totals were
     credited at materialization, see :class:`CachedApplication`).
+
+    Materialization itself takes the cheapest of three paths: a memo
+    hit on the warp's identity, a template instantiation (array-backed
+    address relocation over one generator run per equivalence class,
+    see :mod:`repro.isa.template`), or the live generator.
     """
 
     counts_inline = False
@@ -111,6 +137,82 @@ class ReplayKernel(KernelProgram):
         self.base = base
         self._owner = owner
         self._traces: dict = {}
+        #: (class key, bases) -> entry: warps with identical relocation
+        #: parameters share one materialized instruction list outright.
+        self._instances: dict = {}
+        self._classes: dict = {}
+
+    def _generate(self, ctx: WarpContext) -> tuple[list, "TraceCounts"]:
+        """Run the live generator and count one warp's trace."""
+        self._owner.template_live += 1
+        counts = TraceCounts()
+        instrs: list[WarpInstruction] = []
+        for instr in self.base.warp_trace(ctx):
+            if instr.op is OpClass.LAUNCH:
+                # Route CDP children through the cache too, so their
+                # traces replay across sweep points as well.
+                instr = WarpInstruction(
+                    OpClass.LAUNCH,
+                    instr.mask,
+                    child=self._owner.wrap_launch(instr.child),
+                )
+            counts.count(instr)
+            instrs.append(instr)
+        return (instrs, counts)
+
+    def _verify_instantiation(self, ctx: WarpContext, instrs: list) -> None:
+        """REPRO_TRACE_VERIFY: instantiated trace == live generator."""
+        live = list(self.base.warp_trace(ctx))
+        same = structure_matches(live, instrs) and all(
+            x.mem is None or x.mem.lines == y.mem.lines
+            for x, y in zip(live, instrs)
+        )
+        if not same:
+            raise RuntimeError(
+                f"template instantiation diverged from the live "
+                f"generator for kernel {self.name!r} "
+                f"(cta={ctx.cta_id}, warp={ctx.warp_id}); the kernel's "
+                f"trace_template contract is dishonest"
+            )
+
+    def _from_template(
+        self, ctx: WarpContext, tkey, bases: tuple
+    ) -> tuple[list, "TraceCounts"]:
+        state = self._classes.get(tkey)
+        if state is None:
+            state = self._classes[tkey] = _TemplateClass()
+            entry = self._generate(ctx)
+            state.probe = (entry[0], bases)
+            state.counts = entry[1]
+            return entry
+        if state.template is not None:
+            instrs = state.template.instantiate(bases)
+            if instrs is not None:
+                if self._owner.verify:
+                    self._verify_instantiation(ctx, instrs)
+                self._owner.template_hits += 1
+                return (instrs, state.counts)
+            # Ambiguous relocation for this member: generate live and
+            # let the result narrow the template's candidate sets.
+            entry = self._generate(ctx)
+            if not state.template.refine(entry[0], bases):
+                state.dead = True
+                state.template = None
+            return entry
+        if state.dead:
+            return self._generate(ctx)
+        # Second member: solve the relocation against the probe.
+        entry = self._generate(ctx)
+        probe_instrs, probe_bases = state.probe
+        template = build_template(
+            probe_instrs, probe_bases, entry[0], bases
+        )
+        if template is None:
+            state.dead = True
+        else:
+            state.template = template
+        state.probe = None
+        return entry
 
     def entry_for(self, ctx: WarpContext) -> tuple[list, TraceCounts]:
         """Materialized (instructions, counts) for one warp's trace."""
@@ -122,20 +224,20 @@ class ReplayKernel(KernelProgram):
         )
         entry = self._traces.get(key)
         if entry is None:
-            counts = TraceCounts()
-            instrs: list[WarpInstruction] = []
-            for instr in self.base.warp_trace(ctx):
-                if instr.op is OpClass.LAUNCH:
-                    # Route CDP children through the cache too, so their
-                    # traces replay across sweep points as well.
-                    instr = WarpInstruction(
-                        OpClass.LAUNCH,
-                        instr.mask,
-                        child=self._owner.wrap_launch(instr.child),
-                    )
-                counts.count(instr)
-                instrs.append(instr)
-            entry = (instrs, counts)
+            spec = (
+                self.base.trace_template(ctx)
+                if self._owner.template
+                else None
+            )
+            if spec is None:
+                entry = self._generate(ctx)
+            else:
+                tkey, bases = spec
+                inst_key = (tkey, bases)
+                entry = self._instances.get(inst_key)
+                if entry is None:
+                    entry = self._from_template(ctx, tkey, bases)
+                    self._instances[inst_key] = entry
             self._traces[key] = entry
         return entry
 
@@ -157,12 +259,31 @@ class CachedApplication(Application):
     afterwards (see :func:`replay_application`).
     """
 
-    def __init__(self, app: Application):
+    def __init__(
+        self,
+        app: Application,
+        template: bool = True,
+        verify: bool | None = None,
+    ):
         self.name = app.name
         self.base = app
         # Replay preserves the base application's launch behaviour, so
         # its run-ahead eligibility carries over verbatim.
         self.may_device_launch = getattr(app, "may_device_launch", True)
+        #: Layer-1 switch: instantiate warp traces from per-class
+        #: templates where kernels declare them (``template=False``
+        #: forces the live generator for every warp — the baseline arm
+        #: of the trace benchmark).
+        self.template = template
+        #: When set (or REPRO_TRACE_VERIFY=1), every template
+        #: instantiation is checked against the live generator.
+        self.verify = (
+            os.environ.get("REPRO_TRACE_VERIFY", "") not in ("", "0")
+            if verify is None
+            else verify
+        )
+        self.template_hits = 0
+        self.template_live = 0
         self._wrapped: dict[int, ReplayKernel] = {}
         # id(args-dict) -> (args, token): the strong reference keeps the
         # id stable for the lifetime of the cache entry.

@@ -1,0 +1,620 @@
+"""Persistent binary trace store: materialize once, reuse everywhere.
+
+Trace materialization (:mod:`repro.sim.replay`) already amortizes
+generator cost *within* a process; this module extends the reuse
+across processes and sessions.  A materialized application — every
+warp's instruction list plus the pre-counted
+:class:`~repro.sim.replay.TraceCounts` totals — is serialized to a
+compact binary file keyed by the same identity the in-memory cache
+uses (:func:`repro.core.sweep.app_key`, which embeds
+``trace_signature``) plus a fingerprint of the trace-producing source
+trees.  Loading a stored application skips generator execution
+entirely and replays bit-identically (the golden suite in
+``tests/sim/test_trace_golden.py`` locks this in).
+
+Key policy
+----------
+A store entry is addressed by ``sha256(repr(key) + source
+fingerprint)``.  The caller's ``key`` carries the application identity
+(benchmark, CDP, dataset size, options) and the config trace
+signature; the fingerprint hashes every ``.py`` file under
+``repro/kernels``, ``repro/isa``, ``repro/data`` and
+``repro/genomics`` — the four trees that can change trace *content*
+without changing the key.  Editing any of them silently retires every
+old entry (the old files are just never addressed again).
+
+Corruption contract
+-------------------
+``load`` never raises for a bad file: wrong magic, wrong version,
+foreign byte order, truncation, or a CRC mismatch all unlink the file
+(best effort) and return ``None``, so callers fall back to live
+generation and overwrite the entry.
+
+Concurrency
+-----------
+:meth:`TraceStore.get_or_build` serializes cold builds of one entry
+across processes with an ``O_CREAT | O_EXCL`` lockfile: exactly one
+process generates while the others poll for the finished file (stale
+locks from killed writers are broken after a timeout).  Finished
+entries are published by atomic rename, so readers never observe a
+partial file.  Every materialization appends one line to
+``builds.log``, which is how the fan-out tests assert the
+exactly-once property.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import struct
+import sys
+import time
+import zlib
+from array import array
+from pathlib import Path
+
+from repro.isa.instructions import (
+    MemAccess,
+    MemSpace,
+    OpClass,
+    WarpInstruction,
+    popcount,
+)
+from repro.sim.kernel import KernelProgram, WarpContext
+from repro.sim.launch import Application, HostLaunch, HostMemcpy, KernelLaunch
+from repro.sim.replay import CachedApplication, TraceCounts
+
+MAGIC = b"RTRX"
+VERSION = 1
+
+#: Seconds after which another process's lockfile is presumed dead.
+STALE_LOCK_S = 60.0
+
+#: Poll interval while waiting for a concurrent writer.
+_POLL_S = 0.02
+
+_OPS = list(OpClass)
+_SPACES = list(MemSpace)
+_NO_SPACE = 255
+
+
+# -- stored application -----------------------------------------------------
+
+
+class StoredKernel(KernelProgram):
+    """A kernel shell replaying decoded per-warp instruction lists.
+
+    One instance per stored *launch*: traces are indexed by the warp's
+    flat grid position, so the launch geometry is baked in.  Like
+    :class:`~repro.sim.replay.ReplayKernel` it clears ``counts_inline``
+    — the totals were stored alongside the traces.
+    """
+
+    counts_inline = False
+
+    def __init__(
+        self,
+        name: str,
+        cta_threads: int,
+        regs_per_thread: int,
+        smem_per_cta: int,
+        const_bytes: int,
+    ):
+        super().__init__(
+            name,
+            cta_threads,
+            regs_per_thread=regs_per_thread,
+            smem_per_cta=smem_per_cta,
+            const_bytes=const_bytes,
+        )
+        self.traces: list[list[WarpInstruction]] = []
+
+    def warp_trace(self, ctx: WarpContext):
+        return self.traces[ctx.cta_id * self.warps_per_cta + ctx.warp_id]
+
+
+class StoredApplication(Application):
+    """A decoded store entry; replayable like a cached application."""
+
+    def __init__(
+        self,
+        name: str,
+        may_device_launch: bool,
+        ops: list,
+        total_counts: TraceCounts,
+    ):
+        self.name = name
+        self.may_device_launch = may_device_launch
+        self.ops = ops
+        self.total_counts = total_counts
+
+    def host_program(self):
+        yield from self.ops
+
+    def describe(self) -> str:
+        return f"stored:{self.name}"
+
+
+# -- binary encoding --------------------------------------------------------
+
+
+class _Writer:
+    def __init__(self):
+        self.parts: list[bytes] = []
+
+    def u8(self, v: int) -> None:
+        self.parts.append(struct.pack("<B", v))
+
+    def u32(self, v: int) -> None:
+        self.parts.append(struct.pack("<I", v))
+
+    def i64(self, v: int) -> None:
+        self.parts.append(struct.pack("<q", v))
+
+    def u64(self, v: int) -> None:
+        self.parts.append(struct.pack("<Q", v))
+
+    def text(self, s: str) -> None:
+        raw = s.encode("utf-8")
+        self.u32(len(raw))
+        self.parts.append(raw)
+
+    def arr(self, a: array) -> None:
+        raw = a.tobytes()
+        self.u32(len(raw))
+        self.parts.append(raw)
+
+    def payload(self) -> bytes:
+        return b"".join(self.parts)
+
+
+class _Reader:
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+
+    def _take(self, n: int) -> bytes:
+        end = self.pos + n
+        if end > len(self.data):
+            raise ValueError("truncated trace payload")
+        raw = self.data[self.pos : end]
+        self.pos = end
+        return raw
+
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self._take(4))[0]
+
+    def i64(self) -> int:
+        return struct.unpack("<q", self._take(8))[0]
+
+    def u64(self) -> int:
+        return struct.unpack("<Q", self._take(8))[0]
+
+    def text(self) -> str:
+        return self._take(self.u32()).decode("utf-8")
+
+    def arr(self, typecode: str, swap: bool) -> array:
+        raw = self._take(self.u32())
+        a = array(typecode)
+        a.frombytes(raw)
+        if swap:
+            a.byteswap()
+        return a
+
+
+def _counts_to(w: _Writer, counts: TraceCounts) -> None:
+    w.u64(counts.instructions)
+    for mapping in (counts.op_mix, counts.mem_mix, counts.warp_occupancy):
+        w.u32(len(mapping))
+        for key, value in mapping.items():
+            w.text(key)
+            w.u64(value)
+
+
+def _counts_from(r: _Reader) -> TraceCounts:
+    counts = TraceCounts()
+    counts.instructions = r.u64()
+    for mapping in (counts.op_mix, counts.mem_mix, counts.warp_occupancy):
+        for _ in range(r.u32()):
+            key = r.text()
+            mapping[key] = r.u64()
+    return counts
+
+
+def encode_bytes(entry: CachedApplication) -> bytes:
+    """Serialize a materialized application to the store payload."""
+    # Launch discovery: host launches first, then CDP children in the
+    # order their LAUNCH instructions are encountered.  Launch objects
+    # are deduplicated by identity (a spec shared between two sites is
+    # stored once), instructions by identity as well — warps that
+    # share template-instantiated lists share their pool entries.
+    launches: list[KernelLaunch] = []
+    launch_ids: dict[int, int] = {}
+
+    def launch_id(launch: KernelLaunch) -> int:
+        lid = launch_ids.get(id(launch))
+        if lid is None:
+            lid = launch_ids[id(launch)] = len(launches)
+            launches.append(launch)
+        return lid
+
+    host_ops = []
+    for op in entry.ops:
+        if isinstance(op, HostLaunch):
+            host_ops.append((1, launch_id(op.launch)))
+        else:
+            host_ops.append((0, op.nbytes, op.direction))
+
+    pool: list[WarpInstruction] = []
+    pool_ids: dict[int, int] = {}
+
+    def pool_id(instr: WarpInstruction) -> int:
+        pid = pool_ids.get(id(instr))
+        if pid is None:
+            pid = pool_ids[id(instr)] = len(pool)
+            pool.append(instr)
+        return pid
+
+    launch_traces: list[list[array]] = []
+    index = 0
+    while index < len(launches):
+        launch = launches[index]
+        kernel = launch.kernel
+        warp_traces = []
+        for cta_id in range(launch.num_ctas):
+            for warp_id in range(kernel.warps_per_cta):
+                ctx = WarpContext(
+                    cta_id=cta_id,
+                    warp_id=warp_id,
+                    warps_per_cta=kernel.warps_per_cta,
+                    num_ctas=launch.num_ctas,
+                    args=launch.args,
+                )
+                instrs, _ = kernel.entry_for(ctx)
+                for instr in instrs:
+                    if instr.op is OpClass.LAUNCH:
+                        launch_id(instr.child)
+                warp_traces.append(
+                    array("I", [pool_id(i) for i in instrs])
+                )
+        launch_traces.append(warp_traces)
+        index += 1
+
+    w = _Writer()
+    w.text(entry.name)
+    w.u8(1 if entry.may_device_launch else 0)
+
+    w.u32(len(launches))
+    for launch in launches:
+        kernel = launch.kernel
+        w.text(kernel.name)
+        w.u32(kernel.cta_threads)
+        w.u32(kernel.regs_per_thread)
+        w.u32(kernel.smem_per_cta)
+        w.u32(kernel.const_bytes)
+        w.u32(launch.num_ctas)
+
+    w.u32(len(host_ops))
+    for op in host_ops:
+        if op[0] == 1:
+            w.u8(1)
+            w.u32(op[1])
+        else:
+            w.u8(0)
+            w.u64(op[1])
+            w.u8(0 if op[2] == "h2d" else 1)
+
+    # Instruction pool as parallel arrays (struct-of-arrays keeps the
+    # payload compact and the decode loop tight).
+    ops_a = array("B")
+    masks_a = array("I")
+    repeats_a = array("I")
+    children_a = array("i")
+    spaces_a = array("B")
+    stores_a = array("B")
+    nlines_a = array("I")
+    lines_a = array("q")
+    for instr in pool:
+        ops_a.append(_OPS.index(instr.op))
+        masks_a.append(instr.mask)
+        repeats_a.append(instr.repeat)
+        children_a.append(
+            launch_ids[id(instr.child)] if instr.child is not None else -1
+        )
+        mem = instr.mem
+        if mem is None:
+            spaces_a.append(_NO_SPACE)
+            stores_a.append(0)
+            nlines_a.append(0)
+        else:
+            spaces_a.append(_SPACES.index(mem.space))
+            stores_a.append(1 if mem.store else 0)
+            nlines_a.append(len(mem.lines))
+            lines_a.extend(mem.lines)
+    w.u32(len(pool))
+    for a in (
+        ops_a, masks_a, repeats_a, children_a,
+        spaces_a, stores_a, nlines_a, lines_a,
+    ):
+        w.arr(a)
+
+    for warp_traces in launch_traces:
+        w.u32(len(warp_traces))
+        flat = array("I")
+        counts = array("I")
+        for trace in warp_traces:
+            counts.append(len(trace))
+            flat.extend(trace)
+        w.arr(counts)
+        w.arr(flat)
+
+    _counts_to(w, entry.total_counts)
+
+    payload = w.payload()
+    header = MAGIC + struct.pack(
+        "<HBBQI",
+        VERSION,
+        0 if sys.byteorder == "little" else 1,
+        0,
+        len(payload),
+        zlib.crc32(payload),
+    )
+    return header + payload
+
+
+def decode_bytes(data: bytes) -> StoredApplication:
+    """Decode a store payload; raises ``ValueError`` on any corruption."""
+    if len(data) < 20 or data[:4] != MAGIC:
+        raise ValueError("not a trace-store file")
+    version, order, _, payload_len, crc = struct.unpack(
+        "<HBBQI", data[4:20]
+    )
+    if version != VERSION:
+        raise ValueError(f"unsupported trace-store version {version}")
+    payload = data[20:]
+    if len(payload) != payload_len:
+        raise ValueError("truncated trace-store file")
+    if zlib.crc32(payload) != crc:
+        raise ValueError("trace-store CRC mismatch")
+    swap = order != (0 if sys.byteorder == "little" else 1)
+
+    r = _Reader(payload)
+    name = r.text()
+    may_device_launch = bool(r.u8())
+
+    num_launches = r.u32()
+    kernels: list[StoredKernel] = []
+    launches: list[KernelLaunch] = []
+    for _ in range(num_launches):
+        kernel = StoredKernel(
+            r.text(), r.u32(), r.u32(), r.u32(), r.u32()
+        )
+        kernels.append(kernel)
+        launches.append(KernelLaunch(kernel, num_ctas=r.u32()))
+
+    ops = []
+    for _ in range(r.u32()):
+        tag = r.u8()
+        if tag == 1:
+            ops.append(HostLaunch(launches[r.u32()]))
+        else:
+            nbytes = r.u64()
+            ops.append(
+                HostMemcpy(nbytes, "h2d" if r.u8() == 0 else "d2h")
+            )
+
+    num_pool = r.u32()
+    ops_a = r.arr("B", False)
+    masks_a = r.arr("I", swap)
+    repeats_a = r.arr("I", swap)
+    children_a = r.arr("i", swap)
+    spaces_a = r.arr("B", False)
+    stores_a = r.arr("B", False)
+    nlines_a = r.arr("I", swap)
+    lines_a = r.arr("q", swap)
+    if not (
+        len(ops_a) == len(masks_a) == len(repeats_a) == len(children_a)
+        == len(spaces_a) == len(stores_a) == len(nlines_a) == num_pool
+    ):
+        raise ValueError("inconsistent instruction pool")
+
+    pool: list[WarpInstruction] = []
+    line_pos = 0
+    for i in range(num_pool):
+        instr = WarpInstruction.__new__(WarpInstruction)
+        instr.op = _OPS[ops_a[i]]
+        mask = masks_a[i]
+        instr.mask = mask
+        instr.repeat = repeats_a[i]
+        child = children_a[i]
+        instr.child = launches[child] if child >= 0 else None
+        space = spaces_a[i]
+        if space == _NO_SPACE:
+            instr.mem = None
+        else:
+            n = nlines_a[i]
+            lines = tuple(lines_a[line_pos : line_pos + n])
+            line_pos += n
+            mem = MemAccess.__new__(MemAccess)
+            object.__setattr__(mem, "space", _SPACES[space])
+            object.__setattr__(mem, "lines", lines)
+            object.__setattr__(mem, "store", bool(stores_a[i]))
+            object.__setattr__(mem, "transactions", max(1, n))
+            instr.mem = mem
+        instr.active_lanes = popcount(mask)
+        pool.append(instr)
+    if line_pos != len(lines_a):
+        raise ValueError("inconsistent line table")
+
+    for kernel in kernels:
+        num_warps = r.u32()
+        counts = r.arr("I", swap)
+        flat = r.arr("I", swap)
+        if len(counts) != num_warps:
+            raise ValueError("inconsistent warp table")
+        pos = 0
+        traces = []
+        for count in counts:
+            traces.append([pool[j] for j in flat[pos : pos + count]])
+            pos += count
+        if pos != len(flat):
+            raise ValueError("inconsistent trace table")
+        kernel.traces = traces
+
+    return StoredApplication(
+        name, may_device_launch, ops, _counts_from(r)
+    )
+
+
+# -- source fingerprint -----------------------------------------------------
+
+#: Packages whose source content determines trace bytes.
+_FINGERPRINT_PACKAGES = ("kernels", "isa", "data", "genomics")
+
+_fingerprint_cache: str | None = None
+
+
+def source_fingerprint() -> str:
+    """Hash of every trace-producing source file (cached per process)."""
+    global _fingerprint_cache
+    if _fingerprint_cache is None:
+        digest = hashlib.sha256()
+        root = Path(__file__).resolve().parent.parent
+        for package in _FINGERPRINT_PACKAGES:
+            for path in sorted((root / package).rglob("*.py")):
+                digest.update(str(path.relative_to(root)).encode())
+                digest.update(path.read_bytes())
+        _fingerprint_cache = digest.hexdigest()
+    return _fingerprint_cache
+
+
+# -- the store --------------------------------------------------------------
+
+
+class TraceStore:
+    """On-disk trace store rooted at a directory."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.hits = 0
+        self.builds = 0
+
+    @classmethod
+    def from_env(cls) -> "TraceStore | None":
+        """The store named by ``REPRO_TRACE_STORE``, or None if unset."""
+        root = os.environ.get("REPRO_TRACE_STORE", "")
+        return cls(root) if root else None
+
+    def path_for(self, key) -> Path:
+        name = hashlib.sha256(
+            (repr(key) + source_fingerprint()).encode()
+        ).hexdigest()
+        return self.root / f"{name}.trace"
+
+    # -- load / save -------------------------------------------------------
+    def load(self, key) -> StoredApplication | None:
+        """The stored application for ``key``; None on miss/corruption."""
+        return self._load_path(self.path_for(key))
+
+    def _load_path(self, path: Path) -> StoredApplication | None:
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            return decode_bytes(data)
+        except Exception:
+            # Corrupt or foreign file: retire it and regenerate.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def save(self, key, entry: CachedApplication) -> Path:
+        """Serialize ``entry`` under ``key`` (atomic publish)."""
+        path = self.path_for(key)
+        self._save_path(path, entry)
+        return path
+
+    def _save_path(self, path: Path, entry: CachedApplication) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_bytes(encode_bytes(entry))
+        os.replace(tmp, path)
+
+    # -- coordinated builds ------------------------------------------------
+    def get_or_build(self, key, build):
+        """The entry for ``key``, building (exactly once) on a cold miss.
+
+        ``build`` must return a materialized :class:`CachedApplication`
+        (stored and returned) or None (nothing stored — the application
+        opted out of replay).  Concurrent callers with the same key
+        serialize on a lockfile: one builds, the rest wait for the
+        published file.
+        """
+        path = self.path_for(key)
+        stored = self._load_path(path)
+        if stored is not None:
+            self.hits += 1
+            return stored
+        self.root.mkdir(parents=True, exist_ok=True)
+        lock = path.with_name(path.name + ".lock")
+        while True:
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                stored = self._await_writer(path, lock)
+                if stored is not None:
+                    self.hits += 1
+                    return stored
+                continue  # writer vanished without publishing: take over
+            try:
+                os.write(fd, str(os.getpid()).encode())
+                os.close(fd)
+                # A writer may have published between our miss and the
+                # lock acquisition.
+                stored = self._load_path(path)
+                if stored is not None:
+                    self.hits += 1
+                    return stored
+                entry = build()
+                self.builds += 1
+                if entry is not None:
+                    self._save_path(path, entry)
+                    self._log_build(path)
+                return entry
+            finally:
+                try:
+                    os.unlink(lock)
+                except OSError:
+                    pass
+
+    def _await_writer(self, path: Path, lock: Path):
+        """Poll until the writer publishes ``path`` or abandons ``lock``."""
+        while True:
+            stored = self._load_path(path)
+            if stored is not None:
+                return stored
+            try:
+                age = time.time() - lock.stat().st_mtime
+            except OSError:
+                return None  # lock released; caller re-checks / retries
+            if age > STALE_LOCK_S:
+                # Writer died mid-build: break its lock and take over.
+                try:
+                    os.unlink(lock)
+                except OSError:
+                    pass
+                return None
+            time.sleep(_POLL_S)
+
+    def _log_build(self, path: Path) -> None:
+        """Append one line per materialization (the fan-out tests'
+        exactly-once evidence).  O_APPEND keeps concurrent lines whole."""
+        line = f"{path.name} pid={os.getpid()}\n".encode()
+        with open(self.root / "builds.log", "ab") as log:
+            log.write(line)

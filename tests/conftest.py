@@ -5,6 +5,17 @@ import pytest
 from repro.sim.config import GPUConfig
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_trace_env(monkeypatch):
+    """Keep the ambient trace-store/verify env out of every test.
+
+    Tests that exercise the store or verification opt back in via
+    ``monkeypatch.setenv`` / explicit arguments.
+    """
+    monkeypatch.delenv("REPRO_TRACE_STORE", raising=False)
+    monkeypatch.delenv("REPRO_TRACE_VERIFY", raising=False)
+
+
 @pytest.fixture
 def small_gpu() -> GPUConfig:
     """A 4-SM machine: fast to simulate, same per-SM parameters."""

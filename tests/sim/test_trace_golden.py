@@ -1,0 +1,92 @@
+"""Golden bit-identity: template and store paths vs live generation.
+
+The trace fast paths — per-class template instantiation
+(:mod:`repro.isa.template`) and binary store round trips
+(:mod:`repro.sim.trace_store`) — are only allowed to change how fast a
+trace materializes, never a single instruction of it.  Every benchmark
+(plain and CDP, small dataset) is replayed three ways and the
+resulting :class:`RunStats` must match field for field:
+
+1. live: templates disabled, every warp through its generator;
+2. templated: the default path, with ``REPRO_TRACE_VERIFY`` making the
+   replay layer cross-check each instantiation against the generator
+   (a dishonest ``trace_template`` raises instead of skewing results);
+3. stored: the templated application through an encode/decode round
+   trip.
+
+The heaviest template user (PairHMM) and the heaviest opt-out user
+(NvB, whose FM-index stages are data-dependent) get an extra
+medium-size lock.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.data.datasets import DatasetSize
+from repro.kernels import benchmark_names, build_application
+from repro.sim.config import GPUConfig
+from repro.sim.gpu import GPUSimulator
+from repro.sim.replay import CachedApplication, replay_application
+from repro.sim.trace_store import decode_bytes, encode_bytes
+
+CONFIG = GPUConfig(num_sms=4)
+
+
+def _replay(entry):
+    return dataclasses.asdict(
+        replay_application(entry, GPUSimulator(CONFIG))
+    )
+
+
+def _assert_all_paths_identical(abbr, cdp, size, monkeypatch):
+    app = build_application(abbr, cdp=cdp, size=size)
+    live = _replay(CachedApplication(app, template=False))
+
+    monkeypatch.setenv("REPRO_TRACE_VERIFY", "1")
+    templated = CachedApplication(app)
+    assert _replay(templated) == live
+
+    stored = decode_bytes(encode_bytes(templated))
+    assert stored.total_counts.instructions == \
+        templated.total_counts.instructions
+    assert _replay(stored) == live
+
+
+@pytest.mark.parametrize("cdp", [False, True], ids=["plain", "cdp"])
+@pytest.mark.parametrize("abbr", benchmark_names())
+def test_small_suite_identical(abbr, cdp, monkeypatch):
+    _assert_all_paths_identical(abbr, cdp, DatasetSize.SMALL, monkeypatch)
+
+
+@pytest.mark.parametrize("cdp", [False, True], ids=["plain", "cdp"])
+@pytest.mark.parametrize("abbr", ["PairHMM", "NvB"])
+def test_medium_heavyweights_identical(abbr, cdp, monkeypatch):
+    _assert_all_paths_identical(abbr, cdp, DatasetSize.MEDIUM, monkeypatch)
+
+
+@pytest.mark.parametrize(
+    "abbr,options",
+    [("PairHMM", {"use_shared": False}), ("NW", {"use_shared": False})],
+)
+def test_ablation_variants_identical(abbr, options, monkeypatch):
+    """The Fig 7 no-shared ablations: PairHMM opts out of templating
+    (mutable stream state), NW templates its strided global rows."""
+    app = build_application(
+        abbr, cdp=False, size=DatasetSize.SMALL, **options
+    )
+    live = _replay(CachedApplication(app, template=False))
+    monkeypatch.setenv("REPRO_TRACE_VERIFY", "1")
+    templated = CachedApplication(app)
+    assert _replay(templated) == live
+    assert _replay(decode_bytes(encode_bytes(templated))) == live
+
+
+def test_template_layer_actually_used():
+    """The golden identity above would pass vacuously if every kernel
+    opted out; pin that the big template users really instantiate."""
+    for abbr in ("PairHMM", "SW", "NW", "STAR"):
+        app = build_application(abbr, cdp=False, size=DatasetSize.SMALL)
+        entry = CachedApplication(app)
+        assert entry.template_hits > 0, abbr
+        assert entry.template_hits > entry.template_live, abbr

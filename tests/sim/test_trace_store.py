@@ -1,0 +1,268 @@
+"""Persistent trace store: round trips, corruption, and coordination."""
+
+import dataclasses
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.core.sweep import (
+    TraceCache,
+    app_key,
+    run_sweep,
+    sweep_point,
+)
+from repro.data.datasets import DatasetSize
+from repro.kernels import build_application
+from repro.sim.config import GPUConfig
+from repro.sim.gpu import GPUSimulator
+from repro.sim.replay import CachedApplication, replay_application
+from repro.sim.trace_store import (
+    TraceStore,
+    decode_bytes,
+    encode_bytes,
+)
+
+CONFIG = GPUConfig(num_sms=4)
+
+
+def _point(abbr="SW", label=None, cdp=False, config=CONFIG):
+    return sweep_point(
+        label or f"{abbr}:{cdp}", abbr, config, cdp=cdp,
+        size=DatasetSize.SMALL,
+    )
+
+
+def _cached(abbr="SW", cdp=False):
+    return CachedApplication(
+        build_application(abbr, cdp=cdp, size=DatasetSize.SMALL)
+    )
+
+
+def _stats(entry):
+    return dataclasses.asdict(
+        replay_application(entry, GPUSimulator(CONFIG))
+    )
+
+
+# -- binary round trips ------------------------------------------------------
+
+def test_round_trip_preserves_replay():
+    entry = _cached("SW")
+    stored = decode_bytes(encode_bytes(entry))
+    assert stored.name == entry.name
+    assert stored.may_device_launch == entry.may_device_launch
+    assert _stats(stored) == _stats(entry)
+
+
+def test_round_trip_preserves_cdp_launch_graph():
+    entry = _cached("PairHMM", cdp=True)
+    stored = decode_bytes(encode_bytes(entry))
+    stats = _stats(stored)
+    assert stats["device_launches"] > 0
+    assert stats == _stats(entry)
+
+
+def test_round_trip_preserves_counts():
+    entry = _cached("CLUSTER")
+    stored = decode_bytes(encode_bytes(entry))
+    assert stored.total_counts.instructions == \
+        entry.total_counts.instructions
+    assert stored.total_counts.op_mix == entry.total_counts.op_mix
+    assert stored.total_counts.mem_mix == entry.total_counts.mem_mix
+    assert stored.total_counts.warp_occupancy == \
+        entry.total_counts.warp_occupancy
+
+
+# -- corruption fallback -----------------------------------------------------
+
+def test_decode_rejects_bad_magic():
+    data = encode_bytes(_cached())
+    with pytest.raises(ValueError):
+        decode_bytes(b"XXXX" + data[4:])
+
+
+def test_decode_rejects_truncation():
+    data = encode_bytes(_cached())
+    with pytest.raises(ValueError):
+        decode_bytes(data[: len(data) // 2])
+
+
+def test_decode_rejects_bit_flip():
+    data = bytearray(encode_bytes(_cached()))
+    data[len(data) // 2] ^= 0xFF
+    with pytest.raises(ValueError):
+        decode_bytes(bytes(data))
+
+
+def test_load_retires_corrupt_file_and_regenerates(tmp_path):
+    store = TraceStore(tmp_path)
+    key = app_key(_point())
+    store.save(key, _cached())
+    path = store.path_for(key)
+    raw = bytearray(path.read_bytes())
+    raw[-3] ^= 0xFF
+    path.write_bytes(bytes(raw))
+
+    assert store.load(key) is None
+    assert not path.exists()  # corrupt entry retired
+    # get_or_build regenerates rather than crashing.
+    entry = store.get_or_build(key, lambda: _cached())
+    assert entry is not None
+    assert path.exists()
+
+
+def test_load_tolerates_truncated_file(tmp_path):
+    store = TraceStore(tmp_path)
+    key = app_key(_point())
+    store.save(key, _cached())
+    path = store.path_for(key)
+    path.write_bytes(path.read_bytes()[:10])
+    assert store.load(key) is None
+
+
+def test_load_misses_on_absent_entry(tmp_path):
+    assert TraceStore(tmp_path).load(("no", "such", "key")) is None
+
+
+# -- store keying ------------------------------------------------------------
+
+def test_distinct_app_keys_get_distinct_paths(tmp_path):
+    store = TraceStore(tmp_path)
+    paths = {
+        store.path_for(app_key(point))
+        for point in (
+            _point("SW"),
+            _point("SW", cdp=True, label="SW:cdp"),
+            _point("NW", label="NW"),
+            _point("SW", label="SW:ws16",
+                   config=CONFIG.with_(warp_size=16)),
+        )
+    }
+    assert len(paths) == 4
+
+
+def test_timing_knobs_share_one_path(tmp_path):
+    store = TraceStore(tmp_path)
+    a = store.path_for(app_key(_point("SW")))
+    b = store.path_for(app_key(_point(
+        "SW", label="SW:perfmem",
+        config=CONFIG.with_(perfect_memory=True),
+    )))
+    assert a == b
+
+
+# -- get_or_build coordination ----------------------------------------------
+
+def test_get_or_build_builds_once_then_hits(tmp_path):
+    store = TraceStore(tmp_path)
+    key = app_key(_point())
+    built = []
+
+    def build():
+        built.append(1)
+        return _cached()
+
+    first = store.get_or_build(key, build)
+    second = store.get_or_build(key, build)
+    assert len(built) == 1
+    assert store.builds == 1
+    assert store.hits == 1
+    assert _stats(first) == _stats(second)
+
+
+def test_get_or_build_passes_through_none(tmp_path):
+    store = TraceStore(tmp_path)
+    key = ("opted", "out")
+    assert store.get_or_build(key, lambda: None) is None
+    assert not store.path_for(key).exists()
+    assert not (tmp_path / "builds.log").exists()
+
+
+def test_stale_lock_is_broken(tmp_path, monkeypatch):
+    import repro.sim.trace_store as ts
+
+    monkeypatch.setattr(ts, "STALE_LOCK_S", 0.01)
+    store = TraceStore(tmp_path)
+    key = app_key(_point())
+    lock = store.path_for(key).with_name(
+        store.path_for(key).name + ".lock"
+    )
+    tmp_path.mkdir(exist_ok=True)
+    lock.write_text("dead-writer")
+    os.utime(lock, (0, 0))  # ancient mtime: the writer is gone
+    entry = store.get_or_build(key, lambda: _cached())
+    assert entry is not None
+    assert not lock.exists()
+
+
+def _contend(root: str) -> int:
+    """Pool worker: race a cold build of the same sweep point."""
+    cache = TraceCache(store=TraceStore(root))
+    entry = cache.get(_point())
+    return 0 if entry is not None else 1
+
+
+def test_concurrent_cold_builds_generate_once(tmp_path):
+    """Fan-out contention: many processes, one generation."""
+    try:
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            codes = list(pool.map(_contend, [str(tmp_path)] * 4))
+    except (OSError, PermissionError):
+        pytest.skip("no process pool in this environment")
+    assert codes == [0, 0, 0, 0]
+    log = (tmp_path / "builds.log").read_text().splitlines()
+    assert len(log) == 1  # exactly one worker materialized
+
+
+# -- sweep integration -------------------------------------------------------
+
+def _sweep_points():
+    return [
+        _point("SW", label="SW|a"),
+        _point("SW", label="SW|b",
+               config=CONFIG.with_(perfect_memory=True)),
+        _point("NW", label="NW|a"),
+        _point("NW", label="NW|b", cdp=True),
+    ]
+
+
+def test_cold_parallel_sweep_builds_each_app_once(tmp_path):
+    points = _sweep_points()
+    results = run_sweep(points, jobs=4, store=str(tmp_path))
+    log = (tmp_path / "builds.log").read_text().splitlines()
+    distinct = {app_key(point) for point in points}
+    assert len(log) == len(distinct)  # one generation per application
+    # And the stored path is bit-identical to the plain serial path.
+    plain = run_sweep(points, jobs=0, store=None)
+    assert results == plain
+
+
+def test_warm_sweep_builds_nothing(tmp_path):
+    points = _sweep_points()
+    run_sweep(points, jobs=0, store=str(tmp_path))
+    log_before = (tmp_path / "builds.log").read_text()
+    warm = run_sweep(points, jobs=0, store=str(tmp_path))
+    assert (tmp_path / "builds.log").read_text() == log_before
+    assert warm == run_sweep(points, jobs=0, store=None)
+
+
+def test_store_from_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_STORE", str(tmp_path))
+    run_sweep([_point("SW", label="env")], jobs=0)  # store="env" default
+    assert (tmp_path / "builds.log").exists()
+    monkeypatch.delenv("REPRO_TRACE_STORE")
+    assert TraceStore.from_env() is None
+
+
+def test_trace_cache_counts_store_hits(tmp_path):
+    store = TraceStore(tmp_path)
+    warm_cache = TraceCache(store=store)
+    assert warm_cache.get(_point()) is not None
+    assert warm_cache.store_hits == 0  # cold: built, not loaded
+
+    fresh = TraceCache(store=TraceStore(tmp_path))
+    assert fresh.get(_point()) is not None
+    assert fresh.store_hits == 1  # new process: served from disk
+    assert fresh.get(_point()) is not None
+    assert fresh.store_hits == 1  # second access: in-memory
