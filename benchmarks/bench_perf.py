@@ -11,6 +11,12 @@ Three harnesses, each locking performance to a bit-identity check:
   scan-per-decision reference core (``event_core=False``).  Both cores
   replay the same materialized traces, so the measurement isolates the
   issue loop itself; trace generation time is reported separately.
+  A ``parallel`` section compares the same run against the
+  window-barrier parallel core (``parallel_shards=4``) measured in the
+  same invocation, recording the host's effective CPU count and GIL
+  state alongside — the bit-identity claim is asserted unconditionally,
+  the speedup claim only where the host can actually run 4 threads in
+  parallel.
 - **trace** (``BENCH_trace.json``): trace materialization itself — the
   live generator (templates off) vs template instantiation vs a warm
   binary trace-store load, on the same application.  All three arms
@@ -34,6 +40,7 @@ import argparse
 import dataclasses
 import json
 import os
+import sys
 import tempfile
 import time
 from pathlib import Path
@@ -53,6 +60,8 @@ from repro.sim.gpu import GPUSimulator
 from repro.sim.replay import CachedApplication, replay_application
 
 POOL_JOBS = 4
+#: Shard workers for the parallel-core arm of the ``run`` benchmark.
+PARALLEL_WORKERS = 4
 _ROOT = Path(__file__).resolve().parent.parent
 SWEEP_RESULT_PATH = _ROOT / "BENCH_sweep.json"
 RUN_RESULT_PATH = _ROOT / "BENCH_run.json"
@@ -126,10 +135,12 @@ def main_sweep(quick: bool = False) -> dict:
         f"speedup_jobs{POOL_JOBS}": round(serial_s / jobsn_s, 2),
         "identical_stats": identical,
     }
+    print(json.dumps(report, indent=2))
+    # Identity gates the write: a divergent measurement must never
+    # become the recorded baseline.
+    assert identical, "sweep paths disagree with the serial reference"
     if not quick:
         SWEEP_RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
-    print(json.dumps(report, indent=2))
-    assert identical, "sweep paths disagree with the serial reference"
     return report
 
 
@@ -167,6 +178,31 @@ def main_run(quick: bool = False) -> dict:
     fast_stats, fast_s = timed(simulate, True)
     ref_stats, ref_s = timed(simulate, False)
     tel_stats, tel_s = timed(simulate, True, telemetry_interval=10_000)
+
+    # Parallel core (PR 6): same traces, same invocation as the
+    # sequential arm above, SM array sharded over PARALLEL_WORKERS
+    # window-barrier threads.  The host fields record whether real
+    # parallelism was even possible (CPU affinity, GIL); the identity
+    # claim holds regardless.
+    par_config = GPUConfig(
+        event_core=True, parallel_shards=PARALLEL_WORKERS,
+        parallel_executor="threads",
+    )
+
+    def simulate_parallel():
+        return replay_application(cached, GPUSimulator(par_config))
+
+    par_stats, par_s = timed(simulate_parallel)
+    par_identical = (
+        dataclasses.asdict(par_stats) == dataclasses.asdict(fast_stats)
+    )
+    window = GPUSimulator(par_config).memory.min_cross_sm_latency()
+    try:
+        effective_cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        effective_cpus = os.cpu_count() or 1
+    gil_enabled = getattr(sys, "_is_gil_enabled", lambda: True)()
+
     identical = (
         dataclasses.asdict(fast_stats) == dataclasses.asdict(ref_stats)
     )
@@ -187,6 +223,15 @@ def main_run(quick: bool = False) -> dict:
         "cycles": int(fast_stats.cycles),
         "identical_stats": identical,
         "telemetry_neutral": tel_neutral,
+        "parallel": {
+            "workers": PARALLEL_WORKERS,
+            "window": window,
+            "parallel_s": round(par_s, 3),
+            "speedup_vs_event_core": round(fast_s / par_s, 2),
+            "identical_stats": par_identical,
+            "effective_cpus": effective_cpus,
+            "gil_enabled": gil_enabled,
+        },
     }
     # Telemetry-off overhead vs the last recorded run of the same
     # workload: the dormant hooks' <2% budget, measured where the
@@ -205,11 +250,17 @@ def main_run(quick: bool = False) -> dict:
             report["trace_gen_speedup_vs_recorded"] = round(
                 recorded["trace_gen_s"] / gen_s, 2
             )
-    if not quick:
-        RUN_RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
+    # Identity gates the write: a run where any arm diverged (or the
+    # telemetry hooks perturbed timing) must fail loudly instead of
+    # silently becoming the recorded baseline the next run compares to.
     assert identical, "event core diverged from the reference core"
     assert tel_neutral, "telemetry sampling changed simulation results"
+    assert par_identical, (
+        "parallel core diverged from the sequential event core"
+    )
+    if not quick:
+        RUN_RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     return report
 
 
@@ -269,10 +320,10 @@ def main_trace(quick: bool = False) -> dict:
         "template_live": templated.template_live,
         "identical_stats": identical,
     }
-    if not quick:
-        TRACE_RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report, indent=2))
     assert identical, "fast trace paths diverged from the live generator"
+    if not quick:
+        TRACE_RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     return report
 
 
@@ -286,10 +337,17 @@ def test_sweep_speedup_and_identity():
 
 
 def test_single_run_speedup_and_identity():
-    """Event core must beat the reference by >= 2x with identical stats."""
+    """Event core must beat the reference by >= 2x with identical stats;
+    the parallel core must match bit-for-bit, and beat the sequential
+    event core by >= 2x wherever the host can actually run the shard
+    threads in parallel (enough CPUs, free-threaded interpreter)."""
     report = main_run()
     assert report["identical_stats"]
     assert report["speedup"] >= 2.0
+    par = report["parallel"]
+    assert par["identical_stats"]
+    if par["effective_cpus"] >= par["workers"] and not par["gil_enabled"]:
+        assert par["speedup_vs_event_core"] >= 2.0
 
 
 def test_trace_speedup_and_identity():

@@ -63,6 +63,37 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="shard the SM array across N window-barrier workers "
+             "(default: 1, sequential)",
+    )
+    parser.add_argument(
+        "--window", type=int, default=None, metavar="W",
+        help="window size in cycles (default: auto from the minimum "
+             "cross-SM latency)",
+    )
+    parser.add_argument(
+        "--relaxed", action="store_true",
+        help="allow windows beyond the safe bound (results may differ "
+             "from the sequential core)",
+    )
+
+
+def _parallel_overrides(args) -> dict:
+    overrides = {}
+    workers = getattr(args, "workers", None)
+    if workers is not None:
+        overrides["parallel_shards"] = workers
+    window = getattr(args, "window", None)
+    if window is not None:
+        overrides["window_cycles"] = window
+    if getattr(args, "relaxed", False):
+        overrides["parallel_relaxed"] = True
+    return overrides
+
+
 def _config(args):
     if getattr(args, "config", None):
         from repro.sim.configfile import load_config
@@ -70,11 +101,15 @@ def _config(args):
         config = load_config(args.config)
         if args.sms is not None:
             config = config.with_(num_sms=args.sms)
-        return config
-    overrides = {}
-    if args.sms is not None:
-        overrides["num_sms"] = args.sms
-    return baseline_config(**overrides)
+    else:
+        overrides = {}
+        if args.sms is not None:
+            overrides["num_sms"] = args.sms
+        config = baseline_config(**overrides)
+    parallel = _parallel_overrides(args)
+    if parallel:
+        config = config.with_(**parallel)
+    return config
 
 
 def cmd_list(args) -> int:
@@ -205,9 +240,15 @@ def cmd_sweep(args) -> int:
         # environment, so one assignment threads the store through
         # every harness down to the pool workers.
         os.environ["REPRO_TRACE_STORE"] = args.store
-    jobs = default_jobs() if args.jobs is None else args.jobs
+    config = _config(args)
+    # One core budget for the whole invocation: each sweep job may run
+    # --workers shards, so the process count shrinks to compensate.
+    jobs = (
+        default_jobs(workers_per_job=config.parallel_shards)
+        if args.jobs is None else args.jobs
+    )
     func = getattr(bench, SWEEP_AXES[args.axis])
-    rows = func(config=_config(args), size=args.size, jobs=jobs)
+    rows = func(config=config, size=args.size, jobs=jobs)
     print(format_table(rows))
     return 0
 
@@ -434,6 +475,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--profile", action="store_true",
                        help="print an nvprof-style per-kernel profile")
     _add_machine_args(p_run)
+    _add_parallel_args(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_prof = sub.add_parser(
@@ -465,6 +507,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_suite.add_argument("--no-cdp", action="store_true",
                          help="skip the CDP variants")
     _add_machine_args(p_suite)
+    _add_parallel_args(p_suite)
     p_suite.set_defaults(func=cmd_suite)
 
     p_sweep = sub.add_parser(
@@ -482,6 +525,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: $REPRO_TRACE_STORE when set)",
     )
     _add_machine_args(p_sweep)
+    _add_parallel_args(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_warm = sub.add_parser(

@@ -42,12 +42,22 @@ from repro.sim.stats import RunStats
 from repro.sim.trace_store import TraceStore
 
 
-def default_jobs() -> int:
-    """The ``--jobs`` default: one worker per available CPU."""
+def default_jobs(workers_per_job: int = 1) -> int:
+    """The ``--jobs`` default: the CPU-affinity budget per job.
+
+    The budget is the CPUs this process may actually run on
+    (``os.sched_getaffinity``, which respects cgroup/taskset limits),
+    not the machine-wide ``cpu_count``.  ``workers_per_job`` divides
+    the budget when each job itself runs shard workers
+    (``GPUConfig.parallel_shards``), so ``jobs × workers`` never
+    oversubscribes the cores.  This is the single core-budget source
+    for both ``sweep --jobs`` and ``run --workers``.
+    """
     try:
-        return len(os.sched_getaffinity(0)) or 1
+        cpus = len(os.sched_getaffinity(0)) or 1
     except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
+        cpus = os.cpu_count() or 1
+    return max(1, cpus // max(1, workers_per_job))
 
 
 @dataclass(frozen=True)
@@ -280,7 +290,10 @@ def run_sweep(
     if len(set(labels)) != len(labels):
         raise ValueError("sweep point labels must be unique")
     if jobs is None:
-        jobs = default_jobs()
+        workers = max(
+            (point.config.parallel_shards for point in points), default=1
+        )
+        jobs = default_jobs(workers_per_job=workers)
     if jobs < 0:
         raise ValueError("jobs must be >= 0")
 

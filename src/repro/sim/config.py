@@ -152,6 +152,29 @@ class GPUConfig:
     #: both produce field-for-field identical :class:`RunStats`.
     event_core: bool = True
 
+    #: Shard the SM array across N workers inside one simulation
+    #: (window-barrier parallel core, see :mod:`repro.sim.parallel`
+    #: and DESIGN.md "parallel core").  ``1`` (the default) keeps the
+    #: sequential event loop; ``N > 1`` partitions SMs round-robin
+    #: over N shards that advance independently to each window
+    #: boundary.  Results stay bit-identical to the sequential core.
+    parallel_shards: int = 1
+    #: Window width in cycles for the parallel core.  ``0`` (default)
+    #: auto-tunes to the safe bound — the minimum cross-SM interaction
+    #: latency (NoC request leg + L2 hit), below which no shard can
+    #: observe another shard's same-window traffic.  Explicit values
+    #: above the safe bound are rejected unless ``parallel_relaxed``.
+    window_cycles: int = 0
+    #: Opt-in relaxed synchronization: allow windows larger than the
+    #: safe bound (fewer barriers, bounded timing skew).  Results are
+    #: then approximate and excluded from the golden identity locks.
+    parallel_relaxed: bool = False
+    #: Shard execution backend: ``auto`` picks threads when more than
+    #: one CPU is available, ``threads`` / ``inline`` force a backend.
+    #: All backends produce identical results; ``inline`` runs the
+    #: shards sequentially (useful for debugging and 1-CPU hosts).
+    parallel_executor: str = "auto"
+
     # Ablation switches (defaults model the hardware; see DESIGN.md).
     #: Host-to-device copies invalidate cached device data (the paper's
     #: inter-kernel locality-loss observation).
@@ -169,6 +192,14 @@ class GPUConfig:
             raise ValueError("need at least one memory partition")
         if self.telemetry_interval < 0:
             raise ValueError("telemetry interval must be >= 0 (0 = off)")
+        if self.parallel_shards < 1:
+            raise ValueError("parallel_shards must be >= 1")
+        if self.window_cycles < 0:
+            raise ValueError("window_cycles must be >= 0 (0 = auto)")
+        if self.parallel_executor not in ("auto", "threads", "inline"):
+            raise ValueError(
+                f"unknown parallel executor {self.parallel_executor!r}"
+            )
 
     def with_(self, **changes) -> "GPUConfig":
         """A copy with fields replaced (sweep helper)."""

@@ -64,6 +64,13 @@ class GPUSimulator:
         self._active_grids = 0
         self.host_time = 0.0
         self._finalized = False
+        #: pluggable grid driver (the window-barrier parallel core
+        #: installs itself here — see repro.sim.parallel); ``None``
+        #: selects the sequential ``_drive_grid`` loop.
+        self._grid_driver = None
+        #: callbacks run at the top of ``finalize`` (the parallel core
+        #: merges per-shard stats/telemetry back into this instance).
+        self._finalize_hooks: list = []
         #: SM-local run-ahead (see repro.sim.sm._run_local): enabled in
         #: ``run_application`` for applications that declare they can
         #: never device-launch.  Off by default so direct ``run_grid``
@@ -132,6 +139,21 @@ class GPUSimulator:
             heapq.heappush(
                 self._heap, (wake, sm.sm_id, next(self._heap_seq), sm)
             )
+
+    def cta_finished(
+        self, sm: StreamingMultiprocessor, grid: Grid, t: float
+    ) -> None:
+        """A CTA of ``grid`` retired on ``sm`` at ``t``.
+
+        Grid bookkeeping lives here (not in the SM) so the parallel
+        core can stage the event at a shard boundary and replay it in
+        global ``(time, sm_id, seq)`` order at the window barrier.
+        """
+        grid.remaining_ctas -= 1
+        if grid.finished:
+            grid.completion_time = t
+            self.on_grid_finished(grid, t)
+        self.refill_sm(sm, t)
 
     def device_launch(
         self,
@@ -320,7 +342,10 @@ class GPUSimulator:
             available_time=start,
         )
         self.submit_grid(grid)
-        self._drive_grid(grid)
+        if self._grid_driver is not None:
+            self._grid_driver(grid)
+        else:
+            self._drive_grid(grid)
         return grid
 
     # -- host interface ----------------------------------------------------
@@ -339,6 +364,16 @@ class GPUSimulator:
             app, "may_device_launch", True
         )
         config = self.config
+        if config.parallel_shards > 1 and config.event_core \
+                and self._grid_driver is None:
+            # Window-barrier parallel core (lazy import: sequential
+            # runs must not pay for it).  The driver installs itself
+            # as _grid_driver and falls back to _drive_grid per grid
+            # whenever windowed execution would not be bit-identical
+            # (CDP applications, partially-dispatched grids).
+            from repro.sim.parallel import WindowBarrierDriver
+
+            WindowBarrierDriver(self)
         tel = self.telemetry
         for op in app.host_program():
             if isinstance(op, HostMemcpy):
@@ -387,6 +422,8 @@ class GPUSimulator:
         """Aggregate per-component counters into the run stats."""
         if not self._finalized:
             self._finalized = True
+            for hook in self._finalize_hooks:
+                hook()
             for sm in self.sms:
                 self.stats.l1.merge(sm.l1.stats)
                 self.stats.const_cache.merge(sm.const_cache.stats)

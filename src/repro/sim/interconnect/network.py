@@ -93,6 +93,24 @@ class Network:
             self.telemetry.noc(start, ser, bytes_total)
         return arrival
 
+    def min_request_latency(self) -> int:
+        """Lower bound on ``request`` arrival minus issue time.
+
+        Serialization is at least one cycle per hop and port waits only
+        push arrivals later, so the closest SM/partition pair bounds
+        every request leg from below.  The parallel core's window
+        auto-tune (:mod:`repro.sim.parallel`) uses this as part of the
+        minimum cross-SM interaction latency.
+        """
+        config = self.config
+        num_partitions = self.topology.total_nodes - self.num_sms
+        hops = min(
+            self.topology.hops(sm, self.num_sms + p)
+            for sm in range(self.num_sms)
+            for p in range(num_partitions)
+        )
+        return hops * (1 + config.router_delay) + config.base_latency
+
     def request(self, sm: int, partition: int, now: int, store_bytes: int = 0) -> int:
         """Send a memory request; returns arrival time at the partition.
 

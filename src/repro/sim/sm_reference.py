@@ -321,12 +321,8 @@ class ReferenceSM(StreamingMultiprocessor):
         cta = warp.cta
         if cta.live_warps == 0:
             self._release_cta(cta)
-            grid = cta.grid
-            grid.remaining_ctas -= 1
-            if grid.finished:
-                grid.completion_time = t
-                gpu.on_grid_finished(grid, t)
-            gpu.refill_sm(self, t)
+            # Same GPU-side bookkeeping hook as the event core.
+            gpu.cta_finished(self, cta.grid, t)
         elif cta.barrier_arrived and cta.barrier_ready():
             # An exiting warp can satisfy a barrier its peers wait on.
             released = 0

@@ -31,6 +31,14 @@ class TestRun:
         assert main(["run", "BLAST", "--sms", "4"]) == 2
         assert "unknown benchmark" in capsys.readouterr().err
 
+    def test_run_with_workers_matches_sequential(self, capsys):
+        """--workers routes through the parallel core and must print
+        the exact characterization the sequential run prints."""
+        assert main(["run", "NW", "--sms", "4"]) == 0
+        sequential = capsys.readouterr().out
+        assert main(["run", "NW", "--sms", "4", "--workers", "2"]) == 0
+        assert capsys.readouterr().out == sequential
+
 
 class TestFigure:
     def test_table3(self, capsys):

@@ -1,0 +1,101 @@
+"""Golden bit-identity: window-barrier parallel core vs sequential.
+
+The parallel core (``repro.sim.parallel``) shards the SM array across
+N workers and synchronizes them at window barriers; within the safe
+window bound it must produce field-for-field identical
+:class:`RunStats` to the sequential event core on every benchmark —
+sharding is only allowed to change wall-clock, never the timing model.
+
+The full suite runs at the small dataset for shards in {2, 4}; the
+heaviest benchmarks get an extra medium-size lock, and a shards x
+windows matrix (marked ``slow``) locks the identity across explicit
+window sizes up to the safe bound.  Relaxed mode (windows beyond the
+bound) is deliberately absent from these locks: its results are
+approximate by design.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.runner import run_benchmark
+from repro.data.datasets import DatasetSize
+from repro.kernels import benchmark_names
+from repro.sim.config import GPUConfig
+
+
+def _sequential(abbr: str, cdp: bool, size: DatasetSize):
+    return dataclasses.asdict(run_benchmark(
+        abbr, cdp=cdp, size=size, config=GPUConfig(event_core=True)
+    ))
+
+
+def _parallel(abbr: str, cdp: bool, size: DatasetSize, shards: int,
+              window: int = 0, executor: str = "auto"):
+    config = GPUConfig(
+        event_core=True,
+        parallel_shards=shards,
+        window_cycles=window,
+        parallel_executor=executor,
+    )
+    return dataclasses.asdict(
+        run_benchmark(abbr, cdp=cdp, size=size, config=config)
+    )
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+@pytest.mark.parametrize("cdp", [False, True], ids=["plain", "cdp"])
+@pytest.mark.parametrize("abbr", benchmark_names())
+def test_small_suite_identical(abbr, cdp, shards):
+    seq = _sequential(abbr, cdp, DatasetSize.SMALL)
+    par = _parallel(abbr, cdp, DatasetSize.SMALL, shards)
+    assert par == seq
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("cdp", [False, True], ids=["plain", "cdp"])
+@pytest.mark.parametrize("abbr", ["PairHMM", "NvB"])
+def test_medium_heavyweights_identical(abbr, cdp):
+    seq = _sequential(abbr, cdp, DatasetSize.MEDIUM)
+    par = _parallel(abbr, cdp, DatasetSize.MEDIUM, 4)
+    assert par == seq
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("window", [1, 16, 64, 131])
+@pytest.mark.parametrize("shards", [2, 4])
+@pytest.mark.parametrize("abbr", ["NW", "PairHMM"])
+def test_shards_windows_matrix_identical(abbr, shards, window):
+    """Explicit window sizes up to the default safe bound (131)."""
+    seq = _sequential(abbr, False, DatasetSize.SMALL)
+    par = _parallel(abbr, False, DatasetSize.SMALL, shards, window=window)
+    assert par == seq
+
+
+def test_inline_matches_threads():
+    """The executor is pure mechanism: inline (no threads) and the
+    thread pool must walk the exact same schedule."""
+    threaded = _parallel(
+        "PairHMM", False, DatasetSize.SMALL, 4, executor="threads"
+    )
+    inline = _parallel(
+        "PairHMM", False, DatasetSize.SMALL, 4, executor="inline"
+    )
+    assert inline == threaded
+
+
+def test_telemetry_differential_identical():
+    """Per-shard telemetry absorbed at finalize must reproduce the
+    sequential sampler's rows and events."""
+    def stats(shards):
+        config = GPUConfig(
+            event_core=True, parallel_shards=shards,
+            telemetry_interval=5_000,
+        )
+        return run_benchmark(
+            "PairHMM", size=DatasetSize.SMALL, config=config
+        )
+
+    seq, par = stats(1), stats(4)
+    assert par.telemetry == seq.telemetry
+    assert dataclasses.asdict(par) == dataclasses.asdict(seq)
