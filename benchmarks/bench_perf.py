@@ -14,13 +14,19 @@ Three harnesses, each locking performance to a bit-identity check:
   A ``parallel`` section compares the same run against the
   window-barrier parallel core (``parallel_shards=4``) measured in the
   same invocation, recording the host's effective CPU count and GIL
-  state alongside — the bit-identity claim is asserted unconditionally,
-  the speedup claim only where the host can actually run 4 threads in
-  parallel.
+  state alongside — the bit-identity claim is asserted wherever the
+  section runs, the speedup claim only where the host can actually run
+  4 threads in parallel.  On a 1-CPU host the section is skipped and
+  records the reason instead of a meaningless 0.73x slowdown.
 - **trace** (``BENCH_trace.json``): trace materialization itself — the
   live generator (templates off) vs template instantiation vs a warm
   binary trace-store load, on the same application.  All three arms
   must replay to identical ``RunStats``.
+- **sampled** (``BENCH_sampled.json``): the warp-sampled estimator —
+  estimation vs exact replay on the suite's two heaviest large
+  workloads (the >= 10x claim) plus an exact-vs-estimated whole-suite
+  ranking check (Spearman correlation and ranking inversions on cycle
+  counts, CI coverage per variant).
 
 Usage::
 
@@ -66,6 +72,11 @@ _ROOT = Path(__file__).resolve().parent.parent
 SWEEP_RESULT_PATH = _ROOT / "BENCH_sweep.json"
 RUN_RESULT_PATH = _ROOT / "BENCH_run.json"
 TRACE_RESULT_PATH = _ROOT / "BENCH_trace.json"
+SAMPLED_RESULT_PATH = _ROOT / "BENCH_sampled.json"
+
+#: The sampled-estimation benchmark's operating point (the estimator's
+#: documented default fraction).
+SAMPLE_FRACTION = 0.1
 
 #: The single-run benchmark target: the slowest benchmark at the
 #: largest dataset (PairHMM large dominates suite wall time).
@@ -183,25 +194,48 @@ def main_run(quick: bool = False) -> dict:
     # sequential arm above, SM array sharded over PARALLEL_WORKERS
     # window-barrier threads.  The host fields record whether real
     # parallelism was even possible (CPU affinity, GIL); the identity
-    # claim holds regardless.
-    par_config = GPUConfig(
-        event_core=True, parallel_shards=PARALLEL_WORKERS,
-        parallel_executor="threads",
-    )
-
-    def simulate_parallel():
-        return replay_application(cached, GPUSimulator(par_config))
-
-    par_stats, par_s = timed(simulate_parallel)
-    par_identical = (
-        dataclasses.asdict(par_stats) == dataclasses.asdict(fast_stats)
-    )
-    window = GPUSimulator(par_config).memory.min_cross_sm_latency()
+    # claim holds wherever the measurement runs.  On a 1-CPU host the
+    # section is skipped outright: the shard threads would serialize on
+    # the single core, so the measurement records only barrier overhead
+    # (0.73x on a recorded 1-CPU run) — noise, not a property of the
+    # parallel core (see DESIGN.md "parallel core", host gating).
     try:
         effective_cpus = len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux
         effective_cpus = os.cpu_count() or 1
     gil_enabled = getattr(sys, "_is_gil_enabled", lambda: True)()
+    par_config = GPUConfig(
+        event_core=True, parallel_shards=PARALLEL_WORKERS,
+        parallel_executor="threads",
+    )
+    window = GPUSimulator(par_config).memory.min_cross_sm_latency()
+    par_identical = True  # vacuous when the section is skipped
+    if effective_cpus == 1:
+        par_section = {
+            "workers": PARALLEL_WORKERS,
+            "window": window,
+            "skipped": "effective_cpus == 1: shard threads would "
+                       "serialize, measuring barrier overhead only",
+            "effective_cpus": effective_cpus,
+            "gil_enabled": gil_enabled,
+        }
+    else:
+        def simulate_parallel():
+            return replay_application(cached, GPUSimulator(par_config))
+
+        par_stats, par_s = timed(simulate_parallel)
+        par_identical = (
+            dataclasses.asdict(par_stats) == dataclasses.asdict(fast_stats)
+        )
+        par_section = {
+            "workers": PARALLEL_WORKERS,
+            "window": window,
+            "parallel_s": round(par_s, 3),
+            "speedup_vs_event_core": round(fast_s / par_s, 2),
+            "identical_stats": par_identical,
+            "effective_cpus": effective_cpus,
+            "gil_enabled": gil_enabled,
+        }
 
     identical = (
         dataclasses.asdict(fast_stats) == dataclasses.asdict(ref_stats)
@@ -223,15 +257,7 @@ def main_run(quick: bool = False) -> dict:
         "cycles": int(fast_stats.cycles),
         "identical_stats": identical,
         "telemetry_neutral": tel_neutral,
-        "parallel": {
-            "workers": PARALLEL_WORKERS,
-            "window": window,
-            "parallel_s": round(par_s, 3),
-            "speedup_vs_event_core": round(fast_s / par_s, 2),
-            "identical_stats": par_identical,
-            "effective_cpus": effective_cpus,
-            "gil_enabled": gil_enabled,
-        },
+        "parallel": par_section,
     }
     # Telemetry-off overhead vs the last recorded run of the same
     # workload: the dormant hooks' <2% budget, measured where the
@@ -327,6 +353,117 @@ def main_trace(quick: bool = False) -> dict:
     return report
 
 
+# -- sampled estimation benchmark (PR 7) ------------------------------------
+
+def main_sampled(quick: bool = False) -> dict:
+    """Warp-sampled estimation vs exact replay.
+
+    Two claims, measured in one invocation:
+
+    - **speedup**: estimation at ``sample_fraction=0.1`` must beat the
+      exact replay of the same materialized traces by >= 10x on the
+      suite's two heaviest large workloads (PairHMM: few launches with
+      many CTAs; NvB: thousands of 1-CTA launches — the two sampling
+      regimes).  The exact cycle count must fall inside the estimate's
+      declared confidence interval.
+    - **ranking**: estimated cycle counts across the whole 20-variant
+      suite must preserve the exact mode's ranking (Spearman >= 0.95;
+      the raw inversion count is recorded).  Config-space exploration
+      only needs ordering, so this is the property sweeps rely on.
+
+    ``--quick`` runs only the small-suite ranking check.
+    """
+    from repro.core.sweep import run_sweep, suite_points
+    from repro.sim.sampled import (
+        estimate_application,
+        ranking_inversions,
+        spearman,
+    )
+
+    config = baseline_config()
+    est_config = config.with_(sample_fraction=SAMPLE_FRACTION)
+
+    # Whole-suite ranking check (small datasets; both sweeps share
+    # traces because sample knobs are not part of the trace signature).
+    points = suite_points(config=config)
+    est_points = [
+        dataclasses.replace(p, config=est_config) for p in points
+    ]
+    exact, exact_suite_s = timed(run_sweep, points, jobs=0, store=None)
+    est, est_suite_s = timed(run_sweep, est_points, jobs=0, store=None)
+    names = [p.label for p in points]
+    exact_cycles = [exact[n].cycles for n in names]
+    est_cycles = [est[n].cycles for n in names]
+    rank_rho = spearman(exact_cycles, est_cycles)
+    exact_order = sorted(names, key=lambda n: (exact[n].cycles, n))
+    est_order = sorted(names, key=lambda n: (est[n].cycles, n))
+    inversions = ranking_inversions(exact_order, est_order)
+    suite_covered = {
+        n: est[n].covers("cycles", exact[n].cycles) for n in names
+    }
+
+    report = {
+        "quick": quick,
+        "sample_fraction": SAMPLE_FRACTION,
+        "suite": {
+            "variants": len(names),
+            "exact_s": round(exact_suite_s, 3),
+            "estimate_s": round(est_suite_s, 3),
+            "spearman_cycles": round(rank_rho, 4),
+            "ranking_inversions": inversions,
+            "max_inversions": len(names) * (len(names) - 1) // 2,
+            "ci_covered": sum(suite_covered.values()),
+            "ci_misses": sorted(
+                n for n, ok in suite_covered.items() if not ok
+            ),
+        },
+    }
+
+    # Large-workload speedup claim (full mode only: large traces take
+    # tens of seconds to build, which --quick cannot afford).
+    if not quick:
+        large = {}
+        for abbr in ("PairHMM", "NvB"):
+            cached = CachedApplication(
+                build_application(abbr, cdp=False, size=DatasetSize.LARGE)
+            )
+            exact_stats, exact_s = timed(
+                lambda: replay_application(cached, GPUSimulator(config))
+            )
+            est_stats, est_s = timed(
+                estimate_application, cached, est_config
+            )
+            error = est_stats.cycles / exact_stats.cycles - 1
+            large[abbr] = {
+                "exact_s": round(exact_s, 3),
+                "estimate_s": round(est_s, 3),
+                "speedup": round(exact_s / est_s, 2),
+                "exact_cycles": int(exact_stats.cycles),
+                "estimated_cycles": int(est_stats.cycles),
+                "cycles_error": round(error, 4),
+                "ci_covers_exact": est_stats.covers(
+                    "cycles", exact_stats.cycles
+                ),
+            }
+        report["large"] = large
+
+    print(json.dumps(report, indent=2))
+    assert report["suite"]["spearman_cycles"] >= 0.95, (
+        "estimated suite ranking diverged from exact"
+    )
+    assert not report["suite"]["ci_misses"], (
+        "exact cycles escaped the declared confidence interval for: "
+        f"{report['suite']['ci_misses']}"
+    )
+    if not quick:
+        for abbr, row in report["large"].items():
+            assert row["ci_covers_exact"], (
+                f"{abbr}: exact cycles outside the estimate's CI"
+            )
+        SAMPLED_RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
 # -- pytest entry points ----------------------------------------------------
 
 def test_sweep_speedup_and_identity():
@@ -345,9 +482,10 @@ def test_single_run_speedup_and_identity():
     assert report["identical_stats"]
     assert report["speedup"] >= 2.0
     par = report["parallel"]
-    assert par["identical_stats"]
-    if par["effective_cpus"] >= par["workers"] and not par["gil_enabled"]:
-        assert par["speedup_vs_event_core"] >= 2.0
+    if "skipped" not in par:  # 1-CPU hosts skip the section cleanly
+        assert par["identical_stats"]
+        if par["effective_cpus"] >= par["workers"] and not par["gil_enabled"]:
+            assert par["speedup_vs_event_core"] >= 2.0
 
 
 def test_trace_speedup_and_identity():
@@ -359,6 +497,18 @@ def test_trace_speedup_and_identity():
     assert report["speedup_store"] >= 3.0
 
 
+def test_sampled_speedup_and_accuracy():
+    """Estimation must beat exact replay >= 10x on the large workloads
+    with the exact cycle count inside the declared CI, and preserve the
+    exact suite ranking (Spearman >= 0.95)."""
+    report = main_sampled()
+    assert report["suite"]["spearman_cycles"] >= 0.95
+    for abbr in ("PairHMM", "NvB"):
+        row = report["large"][abbr]
+        assert row["ci_covers_exact"], abbr
+        assert row["speedup"] >= 10.0, (abbr, row["speedup"])
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -367,7 +517,7 @@ def main() -> None:
              "does not overwrite the recorded BENCH_*.json)",
     )
     parser.add_argument(
-        "--only", choices=("sweep", "run", "trace"),
+        "--only", choices=("sweep", "run", "trace", "sampled"),
         help="run just one of the benchmarks",
     )
     args = parser.parse_args()
@@ -377,6 +527,8 @@ def main() -> None:
         main_sweep(quick=args.quick)
     if args.only in (None, "trace"):
         main_trace(quick=args.quick)
+    if args.only in (None, "sampled"):
+        main_sampled(quick=args.quick)
 
 
 if __name__ == "__main__":

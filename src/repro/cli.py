@@ -5,13 +5,18 @@ Commands
 list
     Table III: the ten benchmarks and their properties.
 run ABBR
-    Run one benchmark on the GPU model and print its characterization.
+    Run one benchmark on the GPU model and print its characterization
+    (``--estimate`` switches to the sampled estimator and reports
+    confidence intervals instead of exact counts).
 suite
     Run every benchmark (with CDP variants) and print a summary table.
 sweep AXIS
     Run a config sweep across the suite through the sweep engine
     (``--jobs N`` fans points out over worker processes; ``--store
-    DIR`` persists materialized traces across invocations).
+    DIR`` persists materialized traces across invocations;
+    ``--estimate`` routes every point through the sampled estimator
+    for 10x+ config-space exploration; the ``benchmark`` axis runs
+    the whole suite at one config with per-variant rank columns).
 warm
     Materialize benchmark traces into the persistent trace store so
     later runs (sweeps, CI jobs, other processes) start warm.
@@ -81,6 +86,39 @@ def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _fraction(text: str) -> float:
+    value = float(text)
+    if not 0.0 < value <= 1.0:
+        raise argparse.ArgumentTypeError("must be in (0, 1]")
+    return value
+
+
+def _add_estimate_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--estimate", action="store_true",
+        help="sampled-estimation mode: simulate a stratified warp "
+             "sample and report estimates with confidence intervals "
+             "(exact simulation stays the default)",
+    )
+    parser.add_argument(
+        "--sample-fraction", type=_fraction, default=0.1, metavar="F",
+        help="fraction of work to simulate under --estimate "
+             "(default: 0.1)",
+    )
+    parser.add_argument(
+        "--sample-seed", type=int, default=0, metavar="S",
+        help="deterministic sampling seed (default: 0)",
+    )
+
+
+def _estimate_config(args, config):
+    """Apply the ``--estimate`` sampling knobs to ``config``."""
+    return config.with_(
+        sample_fraction=args.sample_fraction,
+        sample_seed=args.sample_seed,
+    )
+
+
 def _parallel_overrides(args) -> dict:
     overrides = {}
     workers = getattr(args, "workers", None)
@@ -135,6 +173,8 @@ def cmd_run(args) -> int:
         print(f"unknown benchmark {args.benchmark!r}; "
               f"choose from {benchmark_names()}", file=sys.stderr)
         return 2
+    if args.estimate:
+        return _run_estimate(args)
     suite = BenchmarkSuite(_config(args), size=args.size)
     stats = suite.run(args.benchmark, cdp=args.cdp)
     name = suite.variant_name(args.benchmark, args.cdp)
@@ -152,6 +192,27 @@ def cmd_run(args) -> int:
     if args.profile:
         print("\nPer-kernel profile:")
         print(format_kernel_profile(stats))
+    return 0
+
+
+def _run_estimate(args) -> int:
+    """``repro run --estimate``: sampled estimates with error bounds."""
+    from repro.core.report import format_estimate, format_sample_note
+    from repro.core.runner import estimate_benchmark, variant_name
+
+    config = _estimate_config(args, _config(args))
+    stats = estimate_benchmark(
+        args.benchmark, cdp=args.cdp, size=args.size, config=config
+    )
+    name = variant_name(args.benchmark, args.cdp)
+    mode = "estimated" if stats.estimated else "estimated (exact fallback)"
+    print(f"{name} ({mode}): {stats.instructions} instructions, "
+          f"~{stats.cycles} kernel cycles (IPC {stats.ipc:.3f})")
+    print(format_sample_note(stats))
+    print()
+    print(format_estimate(stats))
+    print("\nStall breakdown (estimated):")
+    print(format_breakdown(stats.stall_breakdown()))
     return 0
 
 
@@ -241,14 +302,55 @@ def cmd_sweep(args) -> int:
         # every harness down to the pool workers.
         os.environ["REPRO_TRACE_STORE"] = args.store
     config = _config(args)
+    if args.estimate:
+        # run_point routes every sampled point through the estimator;
+        # traces are still shared with exact sweeps (sample knobs are
+        # not part of the trace signature).
+        config = _estimate_config(args, config)
     # One core budget for the whole invocation: each sweep job may run
     # --workers shards, so the process count shrinks to compensate.
     jobs = (
         default_jobs(workers_per_job=config.parallel_shards)
         if args.jobs is None else args.jobs
     )
+    if args.axis == "benchmark":
+        return _sweep_benchmark(args, config, jobs)
     func = getattr(bench, SWEEP_AXES[args.axis])
     rows = func(config=config, size=args.size, jobs=jobs)
+    print(format_table(rows))
+    return 0
+
+
+def _sweep_benchmark(args, config, jobs: int) -> int:
+    """The ``benchmark`` axis: the whole suite at one config.
+
+    One row per variant with the cycle estimate, its confidence
+    interval, and the variant's rank by cycles — the view the CI
+    ``sampled-smoke`` job diffs against the committed exact baseline
+    (estimation must preserve the exact mode's ranking).
+    """
+    from repro.core.sweep import run_sweep, suite_points
+
+    results = run_sweep(
+        suite_points(cdp_variants=not args.no_cdp, size=args.size,
+                     config=config),
+        jobs=jobs,
+    )
+    order = sorted(results, key=lambda name: (results[name].cycles, name))
+    ranks = {name: i + 1 for i, name in enumerate(order)}
+    rows = []
+    for name, stats in results.items():
+        lo, hi = getattr(stats, "intervals", {}).get(
+            "cycles", (stats.cycles, stats.cycles)
+        )
+        rows.append({
+            "benchmark": name,
+            "cycles": stats.cycles,
+            "ci_lo": int(lo),
+            "ci_hi": int(hi),
+            "ipc": round(stats.ipc, 3),
+            "rank": ranks[name],
+        })
     print(format_table(rows))
     return 0
 
@@ -476,6 +578,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print an nvprof-style per-kernel profile")
     _add_machine_args(p_run)
     _add_parallel_args(p_run)
+    _add_estimate_args(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_prof = sub.add_parser(
@@ -513,8 +616,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep = sub.add_parser(
         "sweep", help="run a config sweep through the sweep engine"
     )
-    p_sweep.add_argument("axis", choices=sorted(SWEEP_AXES),
-                         help="which config axis to sweep")
+    p_sweep.add_argument(
+        "axis", choices=sorted(SWEEP_AXES) + ["benchmark"],
+        help="which config axis to sweep ('benchmark' runs the whole "
+             "suite at one config, with per-variant rank columns)",
+    )
     p_sweep.add_argument(
         "--jobs", type=_nonneg_int, default=None, metavar="N",
         help="worker processes (default: one per CPU; 0 = in-process)",
@@ -524,8 +630,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="persistent trace store directory "
              "(default: $REPRO_TRACE_STORE when set)",
     )
+    p_sweep.add_argument(
+        "--no-cdp", action="store_true",
+        help="benchmark axis: skip the CDP variants",
+    )
     _add_machine_args(p_sweep)
     _add_parallel_args(p_sweep)
+    _add_estimate_args(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
 
     p_warm = sub.add_parser(

@@ -13,7 +13,12 @@ The suite object wraps the registry for bulk runs:
 >>> results = suite.run_all(cdp_variants=True)
 """
 
-from repro.core.runner import run_benchmark, run_suite, variant_name
+from repro.core.runner import (
+    estimate_benchmark,
+    run_benchmark,
+    run_suite,
+    variant_name,
+)
 from repro.core.suite import BenchmarkSuite
 from repro.core.sweep import (
     SweepPoint,
@@ -40,8 +45,10 @@ from repro.core.report import (
     format_table,
     format_breakdown,
     format_bar_chart,
+    format_estimate,
     format_interval_profile,
     format_kernel_profile,
+    format_sample_note,
 )
 from repro.core.analysis import (
     RooflinePoint,
@@ -52,6 +59,7 @@ from repro.core.analysis import (
 from repro.sim.config import a100_config, rtx3070_baseline, rtx3090_config
 
 __all__ = [
+    "estimate_benchmark",
     "run_benchmark",
     "run_suite",
     "variant_name",
@@ -76,8 +84,10 @@ __all__ = [
     "format_table",
     "format_breakdown",
     "format_bar_chart",
+    "format_estimate",
     "format_interval_profile",
     "format_kernel_profile",
+    "format_sample_note",
     "RooflinePoint",
     "machine_peaks",
     "roofline_point",

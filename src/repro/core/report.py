@@ -116,6 +116,81 @@ def format_interval_profile(stats, max_rows: int | None = None) -> str:
     return text
 
 
+#: Default metric rows of :func:`format_estimate`, in display order.
+ESTIMATE_METRICS = (
+    "cycles",
+    "device_time",
+    "ipc",
+    "l1_miss_rate",
+    "l2_miss_rate",
+    "dram_requests",
+    "noc_bytes",
+)
+
+
+def format_estimate(stats, metrics: Sequence[str] | None = None) -> str:
+    """Estimate-with-error-bounds table for a sampled run.
+
+    ``stats`` is an :class:`~repro.sim.sampled.EstimatedRunStats`; one
+    row per metric shows the point estimate, its 95% confidence
+    interval, and the half-width as a percentage of the estimate.
+    Metrics without a declared interval are skipped.
+    """
+    intervals = getattr(stats, "intervals", None)
+    if not intervals:
+        return "(exact run; no confidence intervals)"
+    values = {
+        "cycles": stats.cycles,
+        "kernel_cycles": stats.kernel_cycles,
+        "device_time": stats.device_time(),
+        "ipc": stats.ipc,
+        "l1_miss_rate": stats.l1.miss_rate,
+        "l2_miss_rate": stats.l2.miss_rate,
+        "dram_requests": stats.dram.requests,
+        "dram_data_cycles": stats.dram.data_cycles,
+        "noc_bytes": stats.noc.bytes,
+        "noc_messages": stats.noc.messages,
+    }
+    rows = []
+    for metric in metrics or ESTIMATE_METRICS:
+        bounds = intervals.get(metric)
+        if bounds is None:
+            continue
+        lo, hi = bounds
+        value = values.get(metric)
+        if value is None:
+            value = (lo + hi) / 2
+        half_pct = 100.0 * (hi - lo) / 2 / value if value else 0.0
+        rows.append({
+            "metric": metric,
+            "estimate": round(float(value), 3),
+            "ci_lo": round(float(lo), 3),
+            "ci_hi": round(float(hi), 3),
+            "+/-%": round(half_pct, 1),
+        })
+    return format_table(rows)
+
+
+def format_sample_note(stats) -> str:
+    """One-line provenance summary of a sampled estimate."""
+    sample = getattr(stats, "sample", None)
+    if not sample:
+        return "(exact run)"
+    if sample.get("exact_fallback"):
+        return (
+            "sample covered the whole run (fraction "
+            f"{sample.get('requested_fraction', 0.0):g}); "
+            "degenerated to a bit-exact replay"
+        )
+    return (
+        f"sampled {sample.get('sampled_ctas', 0)}/{sample.get('total_ctas', 0)}"
+        f" CTAs across {sample.get('launches_kept', 0)}/"
+        f"{sample.get('launches', 0)} launches "
+        f"(work fraction {sample.get('achieved_work_fraction', 0.0):.3f}, "
+        f"seed {sample.get('seed', 0)})"
+    )
+
+
 def format_bar_chart(
     rows: Sequence[Mapping[str, object]],
     label: str,

@@ -32,6 +32,34 @@ def run_benchmark(
     return simulator.run_application(app)
 
 
+def estimate_benchmark(
+    abbr: str,
+    cdp: bool = False,
+    size: DatasetSize = DatasetSize.SMALL,
+    config: GPUConfig | None = None,
+    workload=None,
+    **options,
+):
+    """Estimate one benchmark's statistics from a warp sample.
+
+    Returns an :class:`~repro.sim.sampled.EstimatedRunStats`: the same
+    fields as :func:`run_benchmark`'s exact :class:`RunStats`, plus
+    per-metric confidence intervals (``stats.interval("cycles")``) and
+    the sampling metadata (``stats.sample``).  When ``config`` leaves
+    ``sample_fraction`` at ``0.0`` (the exact-mode default) a 10%
+    sample is used; pass an explicit fraction to override.
+    """
+    from repro.sim.replay import CachedApplication
+    from repro.sim.sampled import estimate_application
+
+    config = config or GPUConfig()
+    if config.sample_fraction == 0.0:
+        config = config.with_(sample_fraction=0.1)
+    app = build_application(abbr, cdp=cdp, size=size, workload=workload,
+                            **options)
+    return estimate_application(CachedApplication(app), config)
+
+
 def run_suite(
     benchmarks: list[str] | None = None,
     cdp_variants: bool = True,

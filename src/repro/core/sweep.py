@@ -25,6 +25,10 @@ that changes *trace shape* (not timing) must be listed there, so two
 configs differing in such a knob never share traces.  Today that is
 only ``warp_size``; timing knobs (cache geometry, schedulers, DRAM,
 NoC, CTA limits, ``perfect_memory``...) deliberately do not invalidate.
+The sampled-estimation knobs (``sample_fraction``, ``sample_seed``...)
+are timing-side too: an ``--estimate`` sweep replays the very traces
+an exact sweep materialized, and :func:`run_point` routes such points
+through :mod:`repro.sim.sampled` instead of the cycle-exact replay.
 """
 
 from __future__ import annotations
@@ -190,7 +194,25 @@ class TraceCache:
 
 
 def run_point(point: SweepPoint, cache: TraceCache | None = None) -> RunStats:
-    """Simulate one sweep point (through ``cache`` when given)."""
+    """Simulate one sweep point (through ``cache`` when given).
+
+    A point whose config sets ``sample_fraction > 0`` is routed to the
+    sampled estimator (:mod:`repro.sim.sampled`) and returns an
+    :class:`~repro.sim.sampled.EstimatedRunStats`.  Sample knobs are
+    deliberately absent from :func:`trace_signature`, so exact and
+    estimated points of the same application share materialized
+    traces.  Applications that opt out of trace replay cannot be
+    sampled (estimation is built on the replay equivalence classes);
+    they fall back to an exact fresh simulation.
+    """
+    if point.config.sample_fraction > 0.0:
+        from repro.sim.sampled import estimate_application
+
+        entry = (cache or TraceCache()).get(point)
+        if entry is not None:
+            return estimate_application(entry, point.config)
+        # Not replayable -> not estimable; run the exact core instead.
+        point = replace(point, config=point.config.with_(sample_fraction=0.0))
     if cache is None:
         from repro.core.runner import run_benchmark
 

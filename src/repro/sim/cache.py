@@ -176,6 +176,13 @@ class Cache:
             return False
         return line in self._sets[line % self.config.num_sets]
 
+    def dirty_resident(self) -> int:
+        """Number of dirty lines currently resident (not yet written back)."""
+        return sum(
+            sum(1 for dirty in ways.values() if dirty)
+            for ways in self._sets
+        )
+
     def flush(self) -> int:
         """Invalidate everything; returns the number of dirty writebacks.
 

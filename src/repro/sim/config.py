@@ -175,6 +175,31 @@ class GPUConfig:
     #: shards sequentially (useful for debugging and 1-CPU hosts).
     parallel_executor: str = "auto"
 
+    #: Sampled-estimation mode (:mod:`repro.sim.sampled`).  ``0.0``
+    #: (the default) runs the exact cycle-accurate core.  A positive
+    #: fraction simulates a stratified sample of CTAs on a
+    #: proportionally scaled machine and extrapolates whole-run stats
+    #: with confidence intervals — go through
+    #: :func:`repro.sim.sampled.estimate_application` (or
+    #: ``repro run --estimate``); ``GPUSimulator.run_application``
+    #: rejects configs with a positive fraction to catch misuse.
+    sample_fraction: float = 0.0
+    #: Deterministic seed for CTA sampling.  The same
+    #: ``(app, config, sample_seed)`` always yields the same
+    #: :class:`~repro.sim.sampled.EstimatedRunStats`, regardless of
+    #: ``--jobs`` / ``--workers`` (no global RNG state is touched).
+    sample_seed: int = 0
+    #: Minimum CTAs sampled per equivalence class (stratum), so rare
+    #: classes are never extrapolated from zero observations.
+    sample_min_per_class: int = 2
+    #: Cap on host launches simulated per launch stratum (``0`` =
+    #: uncapped).  Stratum-rate sampling error shrinks with the
+    #: absolute sample size, not the fraction, so apps issuing
+    #: thousands of similar launches (NvB) gain nothing past a few
+    #: dozen observations — the cap is what lets launch-heavy apps
+    #: beat the ``1/sample_fraction`` speedup ceiling.
+    sample_max_launches_per_class: int = 24
+
     # Ablation switches (defaults model the hardware; see DESIGN.md).
     #: Host-to-device copies invalidate cached device data (the paper's
     #: inter-kernel locality-loss observation).
@@ -199,6 +224,14 @@ class GPUConfig:
         if self.parallel_executor not in ("auto", "threads", "inline"):
             raise ValueError(
                 f"unknown parallel executor {self.parallel_executor!r}"
+            )
+        if not 0.0 <= self.sample_fraction <= 1.0:
+            raise ValueError("sample_fraction must be in [0, 1]")
+        if self.sample_min_per_class < 1:
+            raise ValueError("sample_min_per_class must be >= 1")
+        if self.sample_max_launches_per_class < 0:
+            raise ValueError(
+                "sample_max_launches_per_class must be >= 0 (0 = uncapped)"
             )
 
     def with_(self, **changes) -> "GPUConfig":

@@ -18,7 +18,7 @@ from repro.sim.launch import Application, HostLaunch, HostMemcpy, KernelLaunch
 from repro.sim.memory import MemorySubsystem
 from repro.sim.sm import StreamingMultiprocessor
 from repro.sim.stats import RunStats, StallReason
-from repro.sim.warp import Grid, Warp
+from repro.sim.warp import CTA, Grid, Warp
 
 
 class SimulationDeadlock(RuntimeError):
@@ -77,6 +77,17 @@ class GPUSimulator:
         #: or ``_run_until`` callers get the one-decision-per-pop
         #: schedule without needing any declaration.
         self._runahead = False
+        #: optional ``(cta, t)`` callback fired as each CTA retires —
+        #: the sampled-estimation mode records per-CTA durations here.
+        #: ``None`` (the default) costs one attribute check per CTA.
+        self.cta_observer = None
+        #: optional ``(launch, grid)`` callback fired after each host
+        #: launch completes (the host program is synchronous, so the
+        #: callback sees all of the launch's traffic — CDP descendants
+        #: included — already retired).  The sampled-estimation mode
+        #: snapshots memory-system counters here to attribute cache
+        #: and DRAM/NoC traffic to individual host launches.
+        self.launch_observer = None
 
     # -- grid management ---------------------------------------------------
     def submit_grid(self, grid: Grid) -> None:
@@ -141,7 +152,11 @@ class GPUSimulator:
             )
 
     def cta_finished(
-        self, sm: StreamingMultiprocessor, grid: Grid, t: float
+        self,
+        sm: StreamingMultiprocessor,
+        grid: Grid,
+        t: float,
+        cta: CTA | None = None,
     ) -> None:
         """A CTA of ``grid`` retired on ``sm`` at ``t``.
 
@@ -149,6 +164,8 @@ class GPUSimulator:
         core can stage the event at a shard boundary and replay it in
         global ``(time, sm_id, seq)`` order at the window barrier.
         """
+        if cta is not None and self.cta_observer is not None:
+            self.cta_observer(cta, t)
         grid.remaining_ctas -= 1
         if grid.finished:
             grid.completion_time = t
@@ -357,6 +374,13 @@ class GPUSimulator:
         """Execute an application's host program to completion."""
         if self._finalized:
             raise RuntimeError("simulator instances are single use")
+        if self.config.sample_fraction > 0:
+            raise RuntimeError(
+                "config requests sampled estimation "
+                f"(sample_fraction={self.config.sample_fraction}); use "
+                "repro.sim.sampled.estimate_application, not "
+                "run_application"
+            )
         # SM-local run-ahead is only sound when no kernel can ever
         # device-launch; applications opt in by declaring it (the
         # Application default is the conservative True).
@@ -414,6 +438,8 @@ class GPUSimulator:
                     grid.completion_time - grid.available_time
                 )
                 self.host_time = max(self.host_time, grid.completion_time)
+                if self.launch_observer is not None:
+                    self.launch_observer(op.launch, grid)
             else:  # pragma: no cover - HostOp union is closed
                 raise TypeError(f"unknown host op {op!r}")
         return self.finalize()

@@ -153,9 +153,9 @@ class _ShardContext:
         # applications never enter windowed execution).
         self._gpu.device_launch(sm, warp, spec, t)
 
-    def cta_finished(self, sm, grid, t):
+    def cta_finished(self, sm, grid, t, cta=None):
         shard = self._shard
-        shard.staged.append((shard.next_key(), _CTA, (sm, grid, t), None))
+        shard.staged.append((shard.next_key(), _CTA, (sm, grid, t, cta), None))
 
 
 class _Shard:
@@ -481,8 +481,8 @@ class WindowBarrierDriver:
             elif kind == _WB:
                 memory.writeback(*payload)
             else:  # _CTA
-                sm, target, t = payload
-                gpu.cta_finished(sm, target, t)
+                sm, target, t, cta = payload
+                gpu.cta_finished(sm, target, t, cta)
         for shard in self.shards:
             shard.staged.clear()
 

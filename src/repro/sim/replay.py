@@ -79,6 +79,21 @@ class TraceCounts:
                 self.warp_occupancy.get(key, 0) + value
             )
 
+    def signature(self) -> tuple:
+        """A canonical hashable identity for stratification.
+
+        Two warps with equal signatures did the same amount and kind
+        of work (instruction count, op mix, memory mix, lane
+        occupancy) — the fallback equivalence when a kernel declares
+        no ``trace_template`` (see ``ReplayKernel.class_key``).
+        """
+        return (
+            self.instructions,
+            tuple(sorted(self.op_mix.items())),
+            tuple(sorted(self.mem_mix.items())),
+            tuple(sorted(self.warp_occupancy.items())),
+        )
+
     def merge_into(self, stats: RunStats) -> None:
         """Credit these totals to a finished run's statistics."""
         stats.instructions += self.instructions
@@ -246,6 +261,22 @@ class ReplayKernel(KernelProgram):
         # and list iterators resume faster than a generator would.
         return self.entry_for(ctx)[0]
 
+    def class_key(self, ctx: WarpContext) -> tuple:
+        """The equivalence-class identity of one warp, for sampling.
+
+        Template-declaring kernels use their template key (structural
+        equivalence); everything else falls back to the canonical
+        :meth:`TraceCounts.signature` of the materialized trace, which
+        still groups same-work warps even when relocation equivalence
+        was never declared.
+        """
+        spec = (
+            self.base.trace_template(ctx) if self._owner.template else None
+        )
+        if spec is not None:
+            return ("tpl", self.name, spec[0])
+        return ("mix", self.name) + self.entry_for(ctx)[1].signature()
+
 
 class CachedApplication(Application):
     """An application with a fully materialized, replayable host program.
@@ -319,16 +350,40 @@ class CachedApplication(Application):
             return token
         return cached[1]
 
+    def launch_key(self, launch: KernelLaunch) -> tuple:
+        """The identity under which a launch's profile is memoized."""
+        return (
+            id(launch.kernel),
+            launch.num_ctas,
+            self.args_token(launch.args),
+        )
+
     def _materialize_all(self) -> None:
         """Expand every launch (including CDP children) exactly as one
-        execution would, accumulating the application-wide totals."""
-        pending = [
-            op.launch for op in self.ops if isinstance(op, HostLaunch)
-        ]
-        while pending:
-            launch = pending.pop()
+        execution would, accumulating the application-wide totals.
+
+        Each distinct launch additionally records a profile in
+        ``launch_profiles`` (keyed by :meth:`launch_key`): its
+        aggregate :class:`TraceCounts`, total and per-CTA-max
+        instruction work, and CDP descendant count — all including
+        descendants.  The sampled estimator
+        (:mod:`repro.sim.sampled`) reads these instead of re-walking
+        every warp of every launch.
+        """
+        self.launch_profiles: dict[tuple, tuple] = {}
+
+        def visit(launch: KernelLaunch) -> tuple:
+            key = self.launch_key(launch)
+            profile = self.launch_profiles.get(key)
+            if profile is not None:
+                return profile
             kernel = launch.kernel
+            agg = TraceCounts()
+            total = 0
+            max_cta = 0
+            descendants = 0
             for cta_id in range(launch.num_ctas):
+                cta_total = 0
                 for warp_id in range(kernel.warps_per_cta):
                     ctx = WarpContext(
                         cta_id=cta_id,
@@ -338,10 +393,23 @@ class CachedApplication(Application):
                         args=launch.args,
                     )
                     instrs, counts = kernel.entry_for(ctx)
-                    self.total_counts.merge(counts)
+                    agg.merge(counts)
+                    cta_total += counts.instructions
                     for instr in instrs:
                         if instr.op is OpClass.LAUNCH:
-                            pending.append(instr.child)
+                            child = visit(instr.child)
+                            agg.merge(child[0])
+                            cta_total += child[1]
+                            descendants += 1 + child[3]
+                total += cta_total
+                max_cta = max(max_cta, cta_total)
+            profile = (agg, total, max_cta, descendants)
+            self.launch_profiles[key] = profile
+            return profile
+
+        for op in self.ops:
+            if isinstance(op, HostLaunch):
+                self.total_counts.merge(visit(op.launch)[0])
 
     # -- replay ------------------------------------------------------------
     def host_program(self):

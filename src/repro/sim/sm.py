@@ -1054,7 +1054,7 @@ class StreamingMultiprocessor:
             # Grid bookkeeping (retire count, completion, backfill)
             # lives on the GPU so the parallel core can stage it at a
             # shard boundary and replay it in global order.
-            gpu.cta_finished(self, cta.grid, t)
+            gpu.cta_finished(self, cta.grid, t, cta)
         elif cta.barrier_arrived and cta.barrier_ready():
             # An exiting warp can satisfy a barrier its peers wait on.
             rc = self._reason_counts

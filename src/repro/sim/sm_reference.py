@@ -322,7 +322,7 @@ class ReferenceSM(StreamingMultiprocessor):
         if cta.live_warps == 0:
             self._release_cta(cta)
             # Same GPU-side bookkeeping hook as the event core.
-            gpu.cta_finished(self, cta.grid, t)
+            gpu.cta_finished(self, cta.grid, t, cta)
         elif cta.barrier_arrived and cta.barrier_ready():
             # An exiting warp can satisfy a barrier its peers wait on.
             released = 0

@@ -60,7 +60,9 @@ class Warp:
 class CTA:
     """A cooperative thread array resident on one SM."""
 
-    __slots__ = ("cta_id", "grid", "warps", "barrier_arrived", "sm")
+    __slots__ = (
+        "cta_id", "grid", "warps", "barrier_arrived", "sm", "start_time"
+    )
 
     def __init__(self, cta_id: int, grid: "Grid"):
         self.cta_id = cta_id
@@ -68,6 +70,7 @@ class CTA:
         self.warps: list[Warp] = []
         self.barrier_arrived = 0
         self.sm = None  # set on admission by the owning SM
+        self.start_time: float = 0.0  # dispatch time, set in make_cta
 
     @property
     def live_warps(self) -> int:
@@ -117,6 +120,7 @@ class Grid:
         if self.dispatch_done:
             raise RuntimeError("all CTAs already dispatched")
         cta = CTA(self.next_cta, self)
+        cta.start_time = sm_time
         self.next_cta += 1
         if self.start_time is None:
             self.start_time = sm_time
