@@ -27,6 +27,11 @@ Three harnesses, each locking performance to a bit-identity check:
   workloads (the >= 10x claim) plus an exact-vs-estimated whole-suite
   ranking check (Spearman correlation and ranking inversions on cycle
   counts, CI coverage per variant).
+- **service** (``BENCH_service.json``): the simulation service — cold
+  request latency (queue + fork + simulate + serialize over live HTTP)
+  vs the content-addressed cache hit answering the identical request,
+  plus sustained cache-hit requests/sec from one client.  The hit must
+  carry bit-identical stats to the cold run and dispatch no worker.
 
 Usage::
 
@@ -73,6 +78,7 @@ SWEEP_RESULT_PATH = _ROOT / "BENCH_sweep.json"
 RUN_RESULT_PATH = _ROOT / "BENCH_run.json"
 TRACE_RESULT_PATH = _ROOT / "BENCH_trace.json"
 SAMPLED_RESULT_PATH = _ROOT / "BENCH_sampled.json"
+SERVICE_RESULT_PATH = _ROOT / "BENCH_service.json"
 
 #: The sampled-estimation benchmark's operating point (the estimator's
 #: documented default fraction).
@@ -464,6 +470,101 @@ def main_sampled(quick: bool = False) -> dict:
     return report
 
 
+# -- service benchmark (PR 8) -----------------------------------------------
+
+def main_service(quick: bool = False) -> dict:
+    """Cold request vs content-addressed cache hit, over live HTTP.
+
+    One in-process server (ephemeral port, fresh cache in a temp dir),
+    one client.  The cold arm pays the full service path — schema
+    validation, queueing, a forked worker running the simulation,
+    serialization, HTTP — on the suite's slowest benchmark.  The hit
+    arm repeats the identical request: it must answer inline from the
+    cache with *bit-identical* stats and dispatch no worker
+    (``jobs_executed`` stays 1), which gates the recorded numbers.
+    Sustained hit throughput is measured with sequential requests from
+    one client — on this 1-CPU GIL container that is the honest
+    number; a parallel-client rate would mostly measure thread churn.
+    """
+    import threading
+
+    from repro.service.client import ServiceClient
+    from repro.service.server import make_server
+
+    size = DatasetSize.SMALL if quick else DatasetSize.LARGE
+    payload = {"benchmark": RUN_BENCHMARK, "size": size.value}
+    hit_rounds = 20 if quick else 100
+    try:
+        effective_cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        effective_cpus = os.cpu_count() or 1
+
+    with tempfile.TemporaryDirectory() as tmp:
+        server = make_server(
+            "127.0.0.1", 0,
+            cache_root=Path(tmp) / "results",
+            artifact_root=Path(tmp) / "artifacts",
+            workers=2,
+        )
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            client = ServiceClient(*server.server_address)
+
+            start = time.perf_counter()
+            cold = client.run("simulate", timeout=600, **payload)
+            cold_s = time.perf_counter() - start
+            cold_stats = cold["result"]["stats"]
+
+            def one_hit():
+                view = client.simulate(**payload)
+                assert view["cached"], "expected a cache hit"
+                return view
+
+            hit_view, hit_s = timed(one_hit)
+            hit_stats = hit_view["result"]["stats"]
+
+            start = time.perf_counter()
+            for _ in range(hit_rounds):
+                one_hit()
+            hit_sweep_s = time.perf_counter() - start
+
+            metrics = client.metrics()
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+
+    identical = json.dumps(hit_stats, sort_keys=True) == json.dumps(
+        cold_stats, sort_keys=True
+    )
+    no_worker = metrics["jobs_executed"] == 1
+    report = {
+        "benchmark": RUN_BENCHMARK,
+        "size": size.name.lower(),
+        "quick": quick,
+        "effective_cpus": effective_cpus,
+        "gil_enabled": getattr(sys, "_is_gil_enabled", lambda: True)(),
+        "cold_request_s": round(cold_s, 3),
+        "cache_hit_s": round(hit_s, 4),
+        "speedup_cache_hit": round(cold_s / hit_s, 1),
+        "cache_hit_rps": round(hit_rounds / hit_sweep_s, 1),
+        "queue_wait_s": round(
+            metrics["stage_latency"]["queue_wait_s"]["mean_s"], 4
+        ),
+        "sim_s": round(metrics["stage_latency"]["sim_s"]["mean_s"], 3),
+        "jobs_executed": metrics["jobs_executed"],
+        "identical_stats": identical,
+        "no_worker_on_hit": no_worker,
+    }
+    print(json.dumps(report, indent=2))
+    assert identical, "cache hit returned different stats than the cold run"
+    assert no_worker, "cache hit dispatched a worker"
+    if not quick:
+        SERVICE_RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
 # -- pytest entry points ----------------------------------------------------
 
 def test_sweep_speedup_and_identity():
@@ -509,6 +610,15 @@ def test_sampled_speedup_and_accuracy():
         assert row["speedup"] >= 10.0, (abbr, row["speedup"])
 
 
+def test_service_cache_hit_identity_and_speedup():
+    """A cache hit must return bit-identical stats without dispatching
+    a worker, and beat the cold request by >= 10x."""
+    report = main_service()
+    assert report["identical_stats"]
+    assert report["no_worker_on_hit"]
+    assert report["speedup_cache_hit"] >= 10.0
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -517,7 +627,7 @@ def main() -> None:
              "does not overwrite the recorded BENCH_*.json)",
     )
     parser.add_argument(
-        "--only", choices=("sweep", "run", "trace", "sampled"),
+        "--only", choices=("sweep", "run", "trace", "sampled", "service"),
         help="run just one of the benchmarks",
     )
     args = parser.parse_args()
@@ -529,6 +639,8 @@ def main() -> None:
         main_trace(quick=args.quick)
     if args.only in (None, "sampled"):
         main_sampled(quick=args.quick)
+    if args.only in (None, "service"):
+        main_service(quick=args.quick)
 
 
 if __name__ == "__main__":

@@ -29,6 +29,10 @@ dataset ABBR
     Write a benchmark's synthetic input dataset to FASTA/FASTQ files.
 align QUERY TARGET
     Align two sequences from the command line.
+serve
+    Run the simulation service: typed simulate/sweep/profile/estimate
+    HTTP endpoints over an async job queue with a content-addressed
+    result cache (see :mod:`repro.service`).
 """
 
 from __future__ import annotations
@@ -174,6 +178,21 @@ def cmd_run(args) -> int:
               f"choose from {benchmark_names()}", file=sys.stderr)
         return 2
     if args.estimate:
+        # The estimator replays a miniature machine of its own: the
+        # exact core's per-kernel profile and shard knobs don't apply,
+        # and silently ignoring them would misreport what ran.
+        exact_only = [
+            flag for flag, given in (
+                ("--profile", args.profile),
+                ("--workers", args.workers is not None),
+                ("--window", args.window is not None),
+                ("--relaxed", args.relaxed),
+            ) if given
+        ]
+        if exact_only:
+            print("--estimate cannot be combined with exact-only flags: "
+                  + ", ".join(exact_only), file=sys.stderr)
+            return 2
         return _run_estimate(args)
     suite = BenchmarkSuite(_config(args), size=args.size)
     stats = suite.run(args.benchmark, cdp=args.cdp)
@@ -533,6 +552,28 @@ def cmd_replay(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the simulation service (blocking)."""
+    from repro.service.server import is_port_in_use_error, serve
+
+    try:
+        serve(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            cache_root=args.cache,
+            artifact_root=args.artifacts,
+        )
+    except OSError as exc:
+        if is_port_in_use_error(exc):
+            print(f"cannot bind {args.host}:{args.port}: {exc.strerror} "
+                  "(is another server running? pass --port to move)",
+                  file=sys.stderr)
+            return 2
+        raise
+    return 0
+
+
 def cmd_align(args) -> int:
     from repro.genomics.align import (
         banded_global,
@@ -683,6 +724,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_replay.add_argument("trace")
     _add_machine_args(p_replay)
     p_replay.set_defaults(func=cmd_replay)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the simulation service (HTTP job API)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8777,
+                         help="bind port (default: 8777)")
+    p_serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="job-queue worker slots (default: the core budget, "
+             "one per available CPU)",
+    )
+    p_serve.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="content-addressed result cache directory "
+             "(default: cache disabled)",
+    )
+    p_serve.add_argument(
+        "--artifacts", default=None, metavar="DIR",
+        help="per-job artifact directory (default: a temp dir)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     p_align = sub.add_parser("align", help="align two sequences")
     p_align.add_argument("query")

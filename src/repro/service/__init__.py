@@ -1,0 +1,43 @@
+"""Simulation-as-a-service: async job API over the benchmark suite.
+
+The suite's heavy entry points (simulate, sweep, profile, estimate)
+become HTTP endpoints backed by an async job queue
+(:mod:`repro.service.jobs`) and a content-addressed result cache
+(:mod:`repro.service.result_cache`): repeat requests — the common case
+under production traffic, where the same (app, trace fingerprint,
+config) tuples recur — are answered from the cache without dispatching
+a worker.  Typed request/response schemas live in
+:mod:`repro.service.schemas`, the stdlib HTTP layer in
+:mod:`repro.service.server`, and a small client in
+:mod:`repro.service.client` (used by ``tests/service/``).
+
+Start a server with ``repro serve`` or programmatically::
+
+    from repro.service import SimulationService, make_server
+
+    service = SimulationService(cache_root="~/.cache/repro-results")
+    server = make_server("127.0.0.1", 8777, service)
+    server.serve_forever()
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import Job, JobQueue, JobState
+from repro.service.result_cache import ResultCache
+from repro.service.schemas import SCHEMA_VERSION, SchemaError, parse_request
+from repro.service.service import SimulationService
+from repro.service.server import make_server, serve
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Job",
+    "JobQueue",
+    "JobState",
+    "ResultCache",
+    "SchemaError",
+    "ServiceClient",
+    "ServiceError",
+    "SimulationService",
+    "make_server",
+    "parse_request",
+    "serve",
+]

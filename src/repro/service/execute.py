@@ -1,0 +1,148 @@
+"""Job executors: the bridge from request schemas to the simulator.
+
+Each executor runs inside a forked worker child (see
+:mod:`repro.service.jobs`) and returns ``(result_payload,
+stage_timings)``.  Payloads are plain JSON-safe dicts — stats travel
+as :meth:`repro.sim.stats.RunStats.to_dict` payloads, which the result
+cache persists verbatim and :func:`repro.sim.stats.stats_from_dict`
+rebuilds bit-identically.  Stage timings split the work the way the
+``/metrics`` endpoint reports it: ``trace_load_s`` (application /
+trace construction), ``sim_s`` (the simulation proper) and
+``serialize_s`` (stats -> wire payload).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from repro.core.runner import variant_name
+from repro.data.datasets import DatasetSize
+from repro.kernels import build_application
+from repro.sim.gpu import GPUSimulator
+
+
+def _stamp(timings: dict, stage: str, since: float) -> float:
+    now = time.monotonic()
+    timings[stage] = now - since
+    return now
+
+
+def execute_simulate(request, artifact_dir: str | None):
+    """Exact cycle-accurate run of one benchmark variant."""
+    config = request.resolved_config()
+    timings: dict = {}
+    t = time.monotonic()
+    app = build_application(
+        request.benchmark, cdp=request.cdp, size=DatasetSize(request.size)
+    )
+    t = _stamp(timings, "trace_load_s", t)
+    stats = GPUSimulator(config).run_application(app)
+    t = _stamp(timings, "sim_s", t)
+    payload = {
+        "kind": request.KIND,
+        "label": variant_name(request.benchmark, request.cdp),
+        "stats": stats.to_dict(),
+    }
+    _stamp(timings, "serialize_s", t)
+    return payload, timings
+
+
+def execute_estimate(request, artifact_dir: str | None):
+    """Warp-sampled estimation (stats carry confidence intervals)."""
+    from repro.sim.replay import CachedApplication
+    from repro.sim.sampled import estimate_application
+
+    config = request.resolved_config()
+    timings: dict = {}
+    t = time.monotonic()
+    cached = CachedApplication(
+        build_application(
+            request.benchmark, cdp=request.cdp, size=DatasetSize(request.size)
+        )
+    )
+    t = _stamp(timings, "trace_load_s", t)
+    stats = estimate_application(cached, config)
+    t = _stamp(timings, "sim_s", t)
+    payload = {
+        "kind": request.KIND,
+        "label": variant_name(request.benchmark, request.cdp),
+        "stats": stats.to_dict(),
+    }
+    _stamp(timings, "serialize_s", t)
+    return payload, timings
+
+
+def execute_sweep(request, artifact_dir: str | None):
+    """The suite (or a subset) at the request's config.
+
+    Runs in-process (``jobs=0``): the job queue already bounds
+    process-level concurrency to the shared core budget, so nesting a
+    pool inside a worker child would oversubscribe the host.  The
+    in-process path still gets full trace reuse through its
+    :class:`~repro.core.sweep.TraceCache` (and the persistent store
+    when ``REPRO_TRACE_STORE`` is set).
+    """
+    from repro.core.sweep import run_sweep, suite_points
+
+    config = request.resolved_config()
+    timings: dict = {}
+    t = time.monotonic()
+    points = suite_points(
+        benchmarks=list(request.benchmarks) or None,
+        cdp_variants=request.cdp_variants,
+        size=DatasetSize(request.size),
+        config=config,
+    )
+    results = run_sweep(points, jobs=0)
+    t = _stamp(timings, "sim_s", t)
+    payload = {
+        "kind": request.KIND,
+        "results": {
+            label: stats.to_dict() for label, stats in results.items()
+        },
+    }
+    _stamp(timings, "serialize_s", t)
+    return payload, timings
+
+
+def execute_profile(request, artifact_dir: str | None):
+    """Telemetry run; exports become downloadable per-job artifacts."""
+    from repro.sim.telemetry import write_chrome_trace, write_jsonl
+
+    config = request.resolved_config()
+    timings: dict = {}
+    t = time.monotonic()
+    app = build_application(
+        request.benchmark, cdp=request.cdp, size=DatasetSize(request.size)
+    )
+    t = _stamp(timings, "trace_load_s", t)
+    stats = GPUSimulator(config).run_application(app)
+    t = _stamp(timings, "sim_s", t)
+    artifacts = []
+    out = Path(artifact_dir) if artifact_dir else None
+    if out is not None and stats.telemetry is not None:
+        if "jsonl" in request.artifacts:
+            write_jsonl(stats.telemetry, out / "telemetry.jsonl")
+            artifacts.append("telemetry.jsonl")
+        if "chrome_trace" in request.artifacts:
+            write_chrome_trace(stats.telemetry, out / "trace.json")
+            artifacts.append("trace.json")
+    payload = {
+        "kind": request.KIND,
+        "label": variant_name(request.benchmark, request.cdp),
+        "stats": stats.to_dict(),
+        "artifacts": artifacts,
+    }
+    _stamp(timings, "serialize_s", t)
+    return payload, timings
+
+
+#: kind -> executor, the registry a :class:`repro.service.jobs.JobQueue`
+#: is built from.
+EXECUTORS = {
+    "simulate": execute_simulate,
+    "estimate": execute_estimate,
+    "sweep": execute_sweep,
+    "profile": execute_profile,
+}

@@ -1,0 +1,181 @@
+"""Content-addressed result cache: repeat requests skip the workers.
+
+Under serving traffic most requests repeat the same (application,
+trace fingerprint, config) tuple, so finished results are worth far
+more than recomputation.  A cache entry is addressed by
+:func:`cache_key`::
+
+    sha256( json({kind, identity, config-file text}) + source_fingerprint() )
+
+- ``identity`` is the request's result-defining fields (benchmark,
+  CDP, dataset size...) — scheduling knobs are excluded.
+- The config contributes through its *full* serialized form
+  (:func:`repro.sim.configfile.save_config`), which covers every knob
+  including ``sample_fraction`` / ``sample_seed`` and
+  ``telemetry_interval`` — two requests differing in any config field
+  never share an entry.
+- ``source_fingerprint()`` is :mod:`repro.sim.trace_store`'s hash of
+  every trace-producing source tree, so editing a kernel silently
+  retires every stale result (old entries are just never addressed
+  again), exactly like the trace store.
+
+Layout (in the style of :mod:`repro.sim.trace_store`): one
+``<key>.json`` payload file per entry, published by atomic rename so
+readers never see partial writes; an ``index.json`` with per-entry
+metadata, serialized under a single-writer ``index.lock``
+(``O_CREAT | O_EXCL``; locks older than ``stale_lock_s`` are presumed
+dead and broken).  A corrupt payload or index is retired on read, not
+raised.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.sim.configfile import save_config
+from repro.sim.trace_store import _default_stale_lock_s, source_fingerprint
+
+#: Version stamp inside every payload file and the index.
+CACHE_VERSION = 1
+
+#: Poll interval while another writer holds the index lock.
+_POLL_S = 0.005
+
+
+def cache_key(kind: str, identity: dict, config) -> str:
+    """The content address of one request's result."""
+    material = json.dumps(
+        {
+            "version": CACHE_VERSION,
+            "kind": kind,
+            "identity": identity,
+            "config": save_config(config),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(
+        (material + source_fingerprint()).encode()
+    ).hexdigest()
+
+
+class ResultCache:
+    """On-disk result cache rooted at a directory."""
+
+    def __init__(
+        self, root: str | os.PathLike, stale_lock_s: float | None = None
+    ):
+        self.root = Path(root).expanduser()
+        self.stale_lock_s = (
+            _default_stale_lock_s() if stale_lock_s is None else stale_lock_s
+        )
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def __len__(self) -> int:
+        return len(self.index().get("entries", {}))
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    # -- payloads -----------------------------------------------------------
+    def get(self, key: str) -> dict | None:
+        """The cached result payload for ``key``; None on miss.
+
+        Corrupt entries (truncated writes from killed processes,
+        foreign files) are unlinked and reported as misses, so callers
+        always fall back to computing and overwriting.
+        """
+        path = self.path_for(key)
+        try:
+            data = json.loads(path.read_bytes())
+            if data.get("version") != CACHE_VERSION or "payload" not in data:
+                raise ValueError("foreign result-cache entry")
+        except OSError:
+            self.misses += 1
+            return None
+        except ValueError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return data["payload"]
+
+    def put(self, key: str, payload: dict, meta: dict | None = None) -> Path:
+        """Publish ``payload`` under ``key`` (atomic, idempotent).
+
+        Concurrent writers of the same key are harmless: the payload
+        is content-addressed, so both renames publish identical bytes.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(
+            json.dumps(
+                {"version": CACHE_VERSION, "key": key, "payload": payload}
+            )
+        )
+        os.replace(tmp, path)
+        self._index_put(key, meta or {})
+        self.stores += 1
+        return path
+
+    # -- index --------------------------------------------------------------
+    def index(self) -> dict:
+        """The JSON index (``{"version", "entries": {key: meta}}``)."""
+        try:
+            data = json.loads((self.root / "index.json").read_bytes())
+            if data.get("version") != CACHE_VERSION:
+                raise ValueError("foreign index")
+            return data
+        except (OSError, ValueError):
+            return {"version": CACHE_VERSION, "entries": {}}
+
+    def _index_put(self, key: str, meta: dict) -> None:
+        lock = self.root / "index.lock"
+        self._acquire(lock)
+        try:
+            data = self.index()
+            data["entries"][key] = {
+                **meta,
+                "file": f"{key}.json",
+                "created": time.time(),
+            }
+            tmp = self.root / f"index.json.{os.getpid()}.tmp"
+            tmp.write_text(json.dumps(data, indent=1, sort_keys=True))
+            os.replace(tmp, self.root / "index.json")
+        finally:
+            try:
+                os.unlink(lock)
+            except OSError:
+                pass
+
+    def _acquire(self, lock: Path) -> None:
+        """Single-writer lockfile with stale-age takeover."""
+        while True:
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    age = time.time() - lock.stat().st_mtime
+                except OSError:
+                    continue  # released between EXCL failure and stat
+                if age > self.stale_lock_s:
+                    # Writer died holding the lock: break it and retry.
+                    try:
+                        os.unlink(lock)
+                    except OSError:
+                        pass
+                    continue
+                time.sleep(_POLL_S)
+                continue
+            os.write(fd, str(os.getpid()).encode())
+            os.close(fd)
+            return

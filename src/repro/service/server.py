@@ -1,0 +1,303 @@
+"""Stdlib HTTP layer over :class:`~repro.service.service.SimulationService`.
+
+Endpoints (all JSON unless noted)::
+
+    POST   /v1/simulate | /v1/estimate | /v1/sweep | /v1/profile
+               -> 200 job view (cache hit, result inline)
+               -> 202 job view (queued / coalesced)
+    GET    /v1/jobs                    -> job list (most recent first)
+    GET    /v1/jobs/<id>               -> job view
+    GET    /v1/jobs/<id>/result        -> {job, result} (409 until done)
+    DELETE /v1/jobs/<id>               -> cancel; view + "cancelled" flag
+    GET    /v1/jobs/<id>/artifacts/<name>  -> raw artifact bytes
+    GET    /metrics                    -> observability counters
+    GET    /healthz                    -> {"ok": true}
+
+Every response carries ``X-Request-Id`` (echoing the request header or
+minting one) and one structured log line goes to stderr per request:
+``[repro.serve] rid=... method path status dur_ms``.  Errors use the
+uniform envelope from :func:`repro.service.schemas.error_body`.
+
+Built on ``ThreadingHTTPServer`` — one thread per connection, no
+third-party dependencies — which is plenty: the heavy lifting happens
+in the job queue's bounded workers, and cache hits are dict lookups.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import re
+import sys
+import time
+import uuid
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.service.schemas import (
+    SCHEMA_VERSION,
+    REQUEST_TYPES,
+    SchemaError,
+    error_body,
+)
+from repro.service.service import SimulationService
+
+_JOB_ROUTE = re.compile(r"^/v1/jobs/([0-9a-f]+)$")
+_RESULT_ROUTE = re.compile(r"^/v1/jobs/([0-9a-f]+)/result$")
+_ARTIFACT_ROUTE = re.compile(
+    r"^/v1/jobs/([0-9a-f]+)/artifacts/([A-Za-z0-9._-]+)$"
+)
+
+#: Upper bound on accepted request bodies (1 MiB is generous for
+#: config overrides; anything larger is a client bug or abuse).
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """HTTP server bound to one :class:`SimulationService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, service: SimulationService):
+        self.service = service
+        super().__init__(address, _Handler)
+
+    def shutdown(self) -> None:  # also stops the workers
+        super().shutdown()
+        self.service.shutdown()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: ServiceHTTPServer
+
+    # -- plumbing -----------------------------------------------------------
+    def _begin(self) -> None:
+        self.request_id = (
+            self.headers.get("X-Request-Id") or uuid.uuid4().hex[:12]
+        )
+        self._started = time.monotonic()
+
+    def _send_json(self, status: int, body: dict) -> None:
+        data = json.dumps(body).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.send_header("X-Request-Id", self.request_id)
+        self.end_headers()
+        self.wfile.write(data)
+        self._log(status)
+
+    def _send_error(self, status: int, message: str,
+                    field: str | None = None) -> None:
+        self._send_json(
+            status, error_body(message, self.request_id, field)
+        )
+
+    def _send_bytes(self, data: bytes, content_type: str) -> None:
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.send_header("X-Request-Id", self.request_id)
+        self.end_headers()
+        self.wfile.write(data)
+        self._log(200)
+
+    def _log(self, status: int) -> None:
+        dur_ms = (time.monotonic() - self._started) * 1000.0
+        print(
+            f"[repro.serve] rid={self.request_id} {self.command} "
+            f"{self.path} {status} {dur_ms:.1f}ms",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # replaced by the structured _log line
+
+    def _read_body(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            raise SchemaError("", f"request body over {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            return json.loads(raw)
+        except ValueError as exc:
+            raise SchemaError("", f"invalid JSON body: {exc}") from exc
+
+    # -- verbs --------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._begin()
+        kind = self.path.rstrip("/").rpartition("/")[2]
+        if not self.path.startswith("/v1/") or kind not in REQUEST_TYPES:
+            self._send_error(404, f"no such endpoint {self.path!r}")
+            return
+        try:
+            payload = self._read_body()
+            job = self.server.service.submit(
+                kind, payload, request_id=self.request_id
+            )
+        except SchemaError as exc:
+            self._send_error(400, str(exc), field=exc.field or None)
+            return
+        body = job.view().to_dict()
+        if job.state == "done":
+            body["result"] = job.result
+            self._send_json(200, body)
+        else:
+            self._send_json(202, body)
+
+    def do_GET(self) -> None:  # noqa: N802
+        self._begin()
+        service = self.server.service
+        path = self.path.split("?", 1)[0]
+        if path == "/healthz":
+            self._send_json(
+                200, {"ok": True, "schema_version": SCHEMA_VERSION}
+            )
+            return
+        if path == "/metrics":
+            self._send_json(200, service.metrics_dict())
+            return
+        if path == "/v1/jobs":
+            jobs = sorted(
+                service.queue.jobs.values(),
+                key=lambda job: job.submitted_at,
+                reverse=True,
+            )
+            self._send_json(
+                200,
+                {
+                    "schema_version": SCHEMA_VERSION,
+                    "jobs": [job.view().to_dict() for job in jobs[:200]],
+                },
+            )
+            return
+        match = _JOB_ROUTE.match(path)
+        if match:
+            job = service.job(match.group(1))
+            if job is None:
+                self._send_error(404, f"unknown job {match.group(1)!r}")
+            else:
+                self._send_json(200, job.view().to_dict())
+            return
+        match = _RESULT_ROUTE.match(path)
+        if match:
+            self._send_result(service, match.group(1))
+            return
+        match = _ARTIFACT_ROUTE.match(path)
+        if match:
+            self._send_artifact(service, match.group(1), match.group(2))
+            return
+        self._send_error(404, f"no such endpoint {path!r}")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._begin()
+        match = _JOB_ROUTE.match(self.path)
+        if not match:
+            self._send_error(404, f"no such endpoint {self.path!r}")
+            return
+        job = self.server.service.job(match.group(1))
+        if job is None:
+            self._send_error(404, f"unknown job {match.group(1)!r}")
+            return
+        cancelled = self.server.service.cancel(job.id)
+        body = job.view().to_dict()
+        body["cancelled"] = cancelled
+        self._send_json(200, body)
+
+    # -- route bodies -------------------------------------------------------
+    def _send_result(self, service, job_id: str) -> None:
+        job = service.job(job_id)
+        if job is None:
+            self._send_error(404, f"unknown job {job_id!r}")
+            return
+        if job.state != "done":
+            self._send_error(
+                409,
+                f"job {job_id} is {job.state}"
+                + (f": {job.error}" if job.error else ""),
+            )
+            return
+        self._send_json(
+            200,
+            {
+                "schema_version": SCHEMA_VERSION,
+                "job": job.view().to_dict(),
+                "result": job.result,
+            },
+        )
+
+    def _send_artifact(self, service, job_id: str, name: str) -> None:
+        job = service.job(job_id)
+        if job is None:
+            self._send_error(404, f"unknown job {job_id!r}")
+            return
+        if name not in job.artifacts or job.artifact_dir is None:
+            self._send_error(
+                404, f"job {job_id} has no artifact {name!r}"
+            )
+            return
+        try:
+            data = (job.artifact_dir / name).read_bytes()
+        except OSError:
+            self._send_error(404, f"artifact {name!r} is gone")
+            return
+        content_type = (
+            "application/json" if name.endswith(".json")
+            else "application/x-ndjson" if name.endswith(".jsonl")
+            else "application/octet-stream"
+        )
+        self._send_bytes(data, content_type)
+
+
+def make_server(
+    host: str,
+    port: int,
+    service: SimulationService | None = None,
+    **service_kwargs,
+) -> ServiceHTTPServer:
+    """Bind a server (``port=0`` picks a free port; see
+    ``server.server_address``).  Raises ``OSError`` (``EADDRINUSE``)
+    when the port is taken — callers own the friendly message."""
+    if service is None:
+        service = SimulationService(**service_kwargs)
+    return ServiceHTTPServer((host, port), service)
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8777,
+    workers: int | None = None,
+    cache_root=None,
+    artifact_root=None,
+) -> None:
+    """Blocking entry point for ``repro serve``."""
+    server = make_server(
+        host,
+        port,
+        workers=workers,
+        cache_root=cache_root,
+        artifact_root=artifact_root,
+    )
+    bound = server.server_address
+    cache = cache_root or "off"
+    print(
+        f"[repro.serve] listening on http://{bound[0]}:{bound[1]} "
+        f"(workers={server.service.queue.workers}, result cache: {cache})",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def is_port_in_use_error(exc: OSError) -> bool:
+    """True for the bind failures ``repro serve`` reports as exit 2."""
+    return exc.errno in (errno.EADDRINUSE, errno.EACCES)

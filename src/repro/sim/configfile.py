@@ -100,6 +100,68 @@ def parse_config(text: str) -> GPUConfig:
     return base.with_(**top) if top else base
 
 
+def apply_overrides(config: GPUConfig, overrides: dict) -> GPUConfig:
+    """``config`` with dotted-key ``overrides`` applied and validated.
+
+    The mapping uses the file format's key space (``num_sms``,
+    ``l1.size_bytes``, ``dram.controller``...) with already-typed
+    values — the service layer's request schemas resolve their
+    ``config`` objects through here so an HTTP client and a config
+    file reject exactly the same typos.  Raises ``ValueError`` for
+    unknown keys, wrong value types, and (via the dataclass
+    ``__post_init__`` validators) out-of-range values.
+    """
+    top: dict = {}
+    nested: dict[str, dict] = {}
+    gpu_fields = _field_map(GPUConfig)
+    component_fields = {name for name, _ in _COMPONENTS.values()}
+
+    for key, value in overrides.items():
+        if not isinstance(key, str):
+            raise ValueError(f"config keys must be strings, got {key!r}")
+        if "." in key:
+            prefix, _, sub = key.partition(".")
+            if prefix not in _COMPONENTS:
+                raise ValueError(f"unknown component {prefix!r}")
+            _, cls = _COMPONENTS[prefix]
+            fields = _field_map(cls)
+            if sub not in fields:
+                raise ValueError(f"unknown key {sub!r} for {prefix}")
+            nested.setdefault(prefix, {})[sub] = _check_type(
+                fields[sub], value
+            )
+        else:
+            if key not in gpu_fields or key in component_fields:
+                raise ValueError(f"unknown key {key!r}")
+            top[key] = _check_type(gpu_fields[key], value)
+
+    for prefix, changes in nested.items():
+        field_name, _ = _COMPONENTS[prefix]
+        top[field_name] = dataclasses.replace(
+            getattr(config, field_name), **changes
+        )
+    return config.with_(**top) if top else config
+
+
+def _check_type(field: dataclasses.Field, value):
+    """Validate an already-typed override value against its field."""
+    if field.type in ("bool", bool):
+        if not isinstance(value, bool):
+            raise ValueError(f"{field.name} expects a boolean, got {value!r}")
+        return value
+    if field.type in ("float", float):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueError(f"{field.name} expects a number, got {value!r}")
+        return float(value)
+    if field.type in ("int", int):
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValueError(f"{field.name} expects an integer, got {value!r}")
+        return value
+    if not isinstance(value, str):
+        raise ValueError(f"{field.name} expects a string, got {value!r}")
+    return value
+
+
 def load_config(path: str | Path) -> GPUConfig:
     """Read a config file from disk."""
     return parse_config(Path(path).read_text())

@@ -171,6 +171,20 @@ class EstimatedRunStats(RunStats):
             raise KeyError(f"no interval declared for {metric!r}")
         return bounds[0] <= value <= bounds[1]
 
+    def to_dict(self) -> dict:
+        """JSON-safe payload; ``stats_from_dict`` rebuilds this class.
+
+        The interval bounds serialize as two-element lists (JSON has
+        no tuples); the deserializer restores tuples.
+        """
+        data = super().to_dict()
+        data["intervals"] = {
+            metric: list(bounds)
+            for metric, bounds in self.intervals.items()
+        }
+        data["sample"] = self.sample
+        return data
+
 
 # -- sampling plan ---------------------------------------------------------
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 
 from repro.isa.instructions import MemSpace, OpClass
 from repro.sim.cache import CacheStats
@@ -183,6 +183,66 @@ class RunStats:
         """End-to-end host cycles (kernels + launches + PCI transfers)."""
         return self.device_time() + self.pci_cycles
 
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe payload; :func:`stats_from_dict` round-trips it.
+
+        The round trip is bit-exact: every counter is an int, every
+        rate is recomputed from counters, and ``json.dumps`` preserves
+        Python floats exactly (repr round-trip).  ``sm_instructions``
+        keys go through ``str`` because JSON objects cannot have int
+        keys — ``stats_from_dict`` converts them back.
+        """
+        return {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "op_mix": dict(self.op_mix),
+            "mem_mix": dict(self.mem_mix),
+            "warp_occupancy": dict(self.warp_occupancy),
+            "stalls": dict(self.stalls),
+            "l1": asdict(self.l1),
+            "l2": asdict(self.l2),
+            "const_cache": asdict(self.const_cache),
+            "dram": asdict(self.dram),
+            "noc": asdict(self.noc),
+            "kernel_launches": self.kernel_launches,
+            "memcpy_calls": self.memcpy_calls,
+            "kernel_cycles": self.kernel_cycles,
+            "pci_cycles": self.pci_cycles,
+            "launch_overhead_cycles": self.launch_overhead_cycles,
+            "device_launches": self.device_launches,
+            "kernel_timeline": [dict(rec) for rec in self.kernel_timeline],
+            "sm_instructions": {
+                str(sm): n for sm, n in self.sm_instructions.items()
+            },
+            "telemetry": self.telemetry,
+        }
+
+    def _restore(self, data: dict) -> None:
+        """Fill this instance from a :meth:`to_dict` payload."""
+        self.cycles = data["cycles"]
+        self.instructions = data["instructions"]
+        self.op_mix = dict(data["op_mix"])
+        self.mem_mix = dict(data["mem_mix"])
+        self.warp_occupancy = dict(data["warp_occupancy"])
+        self.stalls = dict(data["stalls"])
+        self.l1 = CacheStats(**data["l1"])
+        self.l2 = CacheStats(**data["l2"])
+        self.const_cache = CacheStats(**data["const_cache"])
+        self.dram = DRAMStats(**data["dram"])
+        self.noc = NetworkStats(**data["noc"])
+        self.kernel_launches = data["kernel_launches"]
+        self.memcpy_calls = data["memcpy_calls"]
+        self.kernel_cycles = data["kernel_cycles"]
+        self.pci_cycles = data["pci_cycles"]
+        self.launch_overhead_cycles = data["launch_overhead_cycles"]
+        self.device_launches = data["device_launches"]
+        self.kernel_timeline = [dict(rec) for rec in data["kernel_timeline"]]
+        self.sm_instructions = {
+            int(sm): n for sm, n in data["sm_instructions"].items()
+        }
+        self.telemetry = data["telemetry"]
+
     def merge(self, other: "RunStats") -> None:
         """Accumulate another run's counters into this one."""
         self.cycles += other.cycles
@@ -211,3 +271,29 @@ class RunStats:
             self.sm_instructions[sm_id] = (
                 self.sm_instructions.get(sm_id, 0) + count
             )
+
+
+def stats_from_dict(data: dict) -> RunStats:
+    """Rebuild the :class:`RunStats` a :meth:`RunStats.to_dict` made.
+
+    Payloads carrying estimation fields (``intervals``/``sample``)
+    come back as :class:`~repro.sim.sampled.EstimatedRunStats`, so the
+    service result cache round-trips both kinds transparently.  The
+    import is lazy — :mod:`repro.sim.sampled` depends on this module.
+    """
+    if "intervals" in data:
+        from repro.sim.sampled import EstimatedRunStats
+
+        est = EstimatedRunStats()
+        est._restore(data)
+        # JSON turns the (lo, hi) tuples into lists; restore the
+        # tuple contract ``EstimatedRunStats.interval`` documents.
+        est.intervals = {
+            metric: tuple(bounds)
+            for metric, bounds in data["intervals"].items()
+        }
+        est.sample = data["sample"]
+        return est
+    stats = RunStats()
+    stats._restore(data)
+    return stats

@@ -68,7 +68,22 @@ MAGIC = b"RTRX"
 VERSION = 1
 
 #: Seconds after which another process's lockfile is presumed dead.
+#: Per-store override: ``TraceStore(root, stale_lock_s=...)`` or the
+#: ``REPRO_TRACE_LOCK_TIMEOUT`` environment variable.  A writer that
+#: dies holding the O_EXCL lock (kill -9 mid-build) leaves waiters
+#: polling until this age elapses, so short-lived jobs want a bound
+#: matched to their build times rather than the conservative default
+#: (``tests/sim/test_trace_store.py`` locks the takeover behavior).
 STALE_LOCK_S = 60.0
+
+
+def _default_stale_lock_s() -> float:
+    raw = os.environ.get("REPRO_TRACE_LOCK_TIMEOUT", "")
+    try:
+        value = float(raw)
+    except ValueError:
+        return STALE_LOCK_S
+    return value if value > 0 else STALE_LOCK_S
 
 #: Poll interval while waiting for a concurrent writer.
 _POLL_S = 0.02
@@ -497,10 +512,16 @@ def source_fingerprint() -> str:
 class TraceStore:
     """On-disk trace store rooted at a directory."""
 
-    def __init__(self, root: str | os.PathLike):
+    def __init__(
+        self, root: str | os.PathLike, stale_lock_s: float | None = None
+    ):
         self.root = Path(root)
         self.hits = 0
         self.builds = 0
+        #: Lock age beyond which a (presumed dead) writer is evicted.
+        self.stale_lock_s = (
+            _default_stale_lock_s() if stale_lock_s is None else stale_lock_s
+        )
 
     @classmethod
     def from_env(cls) -> "TraceStore | None":
@@ -603,7 +624,7 @@ class TraceStore:
                 age = time.time() - lock.stat().st_mtime
             except OSError:
                 return None  # lock released; caller re-checks / retries
-            if age > STALE_LOCK_S:
+            if age > self.stale_lock_s:
                 # Writer died mid-build: break its lock and take over.
                 try:
                     os.unlink(lock)

@@ -153,3 +153,62 @@ class TestProfile:
     def test_profile_unknown_benchmark(self, capsys):
         assert main(["profile", "BLAST"]) == 2
         assert "unknown benchmark" in capsys.readouterr().err
+
+
+class TestErrorPaths:
+    """Malformed invocations must exit 2 with a pointed stderr message
+    (never a traceback, never silent misbehaviour)."""
+
+    @pytest.mark.parametrize("bad", ["0", "-0.5", "1.5", "lots"])
+    def test_invalid_sample_fraction(self, bad, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["run", "SW", "--estimate", "--sample-fraction", bad])
+        assert exit_info.value.code == 2
+        err = capsys.readouterr().err
+        assert "--sample-fraction" in err
+        assert "in (0, 1]" in err or "invalid" in err
+
+    @pytest.mark.parametrize("flags", [
+        ["--profile"],
+        ["--workers", "2"],
+        ["--window", "1000"],
+        ["--relaxed"],
+        ["--profile", "--workers", "2"],
+    ])
+    def test_estimate_rejects_exact_only_flags(self, flags, capsys):
+        assert main(["run", "SW", "--sms", "4", "--estimate", *flags]) == 2
+        err = capsys.readouterr().err
+        assert "--estimate cannot be combined" in err
+        assert flags[0] in err
+
+    def test_estimate_conflict_names_every_flag(self, capsys):
+        assert main(["run", "SW", "--estimate", "--profile",
+                     "--relaxed"]) == 2
+        err = capsys.readouterr().err
+        assert "--profile" in err and "--relaxed" in err
+
+    def test_estimate_without_conflicts_runs(self, capsys):
+        assert main(["run", "SW", "--sms", "4", "--estimate",
+                     "--sample-fraction", "0.5"]) == 0
+        assert "estimated" in capsys.readouterr().out
+
+    def test_serve_port_in_use(self, capsys):
+        import socket
+
+        holder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            holder.bind(("127.0.0.1", 0))
+            holder.listen(1)
+            port = holder.getsockname()[1]
+            assert main(["serve", "--port", str(port)]) == 2
+        finally:
+            holder.close()
+        err = capsys.readouterr().err
+        assert f"cannot bind 127.0.0.1:{port}" in err
+        assert "--port" in err
+
+    def test_serve_rejects_bad_port(self, capsys):
+        with pytest.raises(SystemExit) as exit_info:
+            main(["serve", "--port", "not-a-port"])
+        assert exit_info.value.code == 2
+        assert "--port" in capsys.readouterr().err

@@ -1,0 +1,195 @@
+"""Content-addressed result cache: keying, durability, concurrency."""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+import repro.service.result_cache as result_cache_mod
+from repro.service.result_cache import CACHE_VERSION, ResultCache, cache_key
+from repro.service.schemas import parse_request
+from repro.sim.config import GPUConfig
+
+pytestmark = pytest.mark.service
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "results")
+
+
+class TestCacheKey:
+    def test_stable_across_calls(self):
+        request = parse_request("simulate", {"benchmark": "NW"})
+        first = cache_key("simulate", request.identity(),
+                          request.resolved_config())
+        second = cache_key("simulate", request.identity(),
+                           request.resolved_config())
+        assert first == second
+        assert len(first) == 64  # sha256 hex
+
+    def test_kind_separates_keys(self):
+        request = parse_request("simulate", {"benchmark": "NW"})
+        config = request.resolved_config()
+        assert cache_key("simulate", request.identity(), config) != \
+            cache_key("estimate", request.identity(), config)
+
+    def test_identity_fields_separate_keys(self):
+        base = parse_request("simulate", {"benchmark": "NW"})
+        cdp = parse_request("simulate", {"benchmark": "NW", "cdp": True})
+        assert cache_key("simulate", base.identity(),
+                         base.resolved_config()) != \
+            cache_key("simulate", cdp.identity(), cdp.resolved_config())
+
+    def test_any_config_field_separates_keys(self):
+        identity = {"benchmark": "NW"}
+        base = GPUConfig()
+        for variant in (
+            base.with_(num_sms=8),
+            base.with_(sample_fraction=0.5),
+            base.with_(sample_seed=7),
+            base.with_(telemetry_interval=5000),
+        ):
+            assert cache_key("simulate", identity, base) != \
+                cache_key("simulate", identity, variant)
+
+    def test_scheduling_knobs_share_a_key(self):
+        fast = parse_request(
+            "simulate", {"benchmark": "NW", "priority": 9, "timeout_s": 5}
+        )
+        slow = parse_request("simulate", {"benchmark": "NW"})
+        assert cache_key("simulate", fast.identity(),
+                         fast.resolved_config()) == \
+            cache_key("simulate", slow.identity(), slow.resolved_config())
+
+    def test_source_fingerprint_invalidates(self, monkeypatch):
+        """Editing any trace-producing source retires every entry."""
+        identity = {"benchmark": "NW"}
+        config = GPUConfig()
+        before = cache_key("simulate", identity, config)
+        monkeypatch.setattr(
+            result_cache_mod, "source_fingerprint", lambda: "edited-tree"
+        )
+        after = cache_key("simulate", identity, config)
+        assert before != after
+
+
+class TestPayloads:
+    def test_round_trip(self, cache):
+        payload = {"stats": {"cycles": 123, "ipc": 0.75}, "label": "NW"}
+        key = "ab" * 32
+        cache.put(key, payload)
+        assert cache.get(key) == payload
+        assert (cache.hits, cache.misses, cache.stores) == (1, 0, 1)
+
+    def test_miss_on_unknown_key(self, cache):
+        assert cache.get("cd" * 32) is None
+        assert cache.misses == 1
+
+    def test_round_trip_is_bit_identical(self, cache):
+        """Float payloads survive json round-trip bit-for-bit (repr
+        floats): what comes back equals what went in, exactly."""
+        payload = {"pi": 3.141592653589793, "tiny": 5e-324,
+                   "counts": {"7": 1234567890123}}
+        key = "ef" * 32
+        cache.put(key, payload)
+        again = cache.get(key)
+        assert again == payload
+        assert json.dumps(again, sort_keys=True) == json.dumps(
+            payload, sort_keys=True
+        )
+
+    def test_corrupt_entry_retired_as_miss(self, cache):
+        key = "12" * 32
+        cache.put(key, {"ok": True})
+        cache.path_for(key).write_text('{"version": 1, "payl')  # torn write
+        assert cache.get(key) is None
+        assert not cache.path_for(key).exists()  # retired, not raised
+
+    def test_foreign_version_retired(self, cache):
+        key = "34" * 32
+        cache.path_for(key).parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(key).write_text(
+            json.dumps({"version": CACHE_VERSION + 1, "payload": {}})
+        )
+        assert cache.get(key) is None
+        assert not cache.path_for(key).exists()
+
+    def test_overwrite_is_idempotent(self, cache):
+        key = "56" * 32
+        cache.put(key, {"v": 1})
+        cache.put(key, {"v": 1})
+        assert cache.get(key) == {"v": 1}
+        assert len(cache) == 1
+
+    def test_survives_restart(self, tmp_path):
+        key = "78" * 32
+        ResultCache(tmp_path).put(key, {"persisted": True})
+        reopened = ResultCache(tmp_path)
+        assert reopened.get(key) == {"persisted": True}
+        assert len(reopened) == 1
+
+
+class TestIndex:
+    def test_index_records_meta(self, cache):
+        key = "9a" * 32
+        cache.put(key, {"x": 1}, meta={"kind": "simulate"})
+        entry = cache.index()["entries"][key]
+        assert entry["kind"] == "simulate"
+        assert entry["file"] == f"{key}.json"
+        assert entry["created"] > 0
+
+    def test_corrupt_index_tolerated(self, cache):
+        cache.put("bc" * 32, {"x": 1})
+        (cache.root / "index.json").write_text("not json{{")
+        assert cache.index() == {"version": CACHE_VERSION, "entries": {}}
+        # payloads are untouched by index corruption
+        assert cache.get("bc" * 32) == {"x": 1}
+
+    def test_concurrent_writers_all_land(self, tmp_path):
+        """N threads with their own cache handles share one index."""
+        keys = [f"{i:02x}" * 32 for i in range(8)]
+        errors = []
+
+        def writer(key):
+            try:
+                ResultCache(tmp_path).put(key, {"key": key})
+            except Exception as exc:  # pragma: no cover - fail loudly
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(key,)) for key in keys
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        index = ResultCache(tmp_path).index()
+        assert sorted(index["entries"]) == sorted(keys)
+        assert not (tmp_path / "index.lock").exists()
+
+    def test_stale_index_lock_broken(self, tmp_path):
+        """A lock from a dead writer is taken over, not waited out."""
+        cache = ResultCache(tmp_path, stale_lock_s=0.2)
+        cache.root.mkdir(parents=True, exist_ok=True)
+        lock = cache.root / "index.lock"
+        lock.write_text("99999")  # orphaned by a killed process
+        old = time.time() - 5.0
+        os.utime(lock, (old, old))
+        started = time.monotonic()
+        cache.put("de" * 32, {"recovered": True})
+        assert time.monotonic() - started < 2.0  # did not block for 60s
+        assert cache.get("de" * 32) == {"recovered": True}
+
+    def test_fresh_lock_respected(self, tmp_path):
+        """A live writer's lock delays, not breaks, the second writer."""
+        cache = ResultCache(tmp_path, stale_lock_s=0.25)
+        cache.root.mkdir(parents=True, exist_ok=True)
+        (cache.root / "index.lock").write_text("123")  # freshly created
+        started = time.monotonic()
+        cache.put("f0" * 32, {"waited": True})
+        # Had to wait for the lock to cross the stale threshold.
+        assert time.monotonic() - started >= 0.2

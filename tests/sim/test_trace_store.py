@@ -196,6 +196,112 @@ def test_stale_lock_is_broken(tmp_path, monkeypatch):
     assert not lock.exists()
 
 
+def test_dead_writer_lock_recovered(tmp_path):
+    """A writer SIGKILLed while holding the O_EXCL lock must not wedge
+    later readers: once the lock crosses the stale age they take over
+    and build themselves."""
+    import multiprocessing
+    import time as time_mod
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("needs fork to stage a killable writer")
+    store = TraceStore(tmp_path, stale_lock_s=0.3)
+    key = app_key(_point())
+    path = store.path_for(key)
+    lock = path.with_name(path.name + ".lock")
+    ctx = multiprocessing.get_context("fork")
+
+    def doomed_writer():
+        fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        os.write(fd, str(os.getpid()).encode())
+        os.close(fd)
+        time_mod.sleep(60)  # "building" forever; killed by the parent
+
+    tmp_path.mkdir(exist_ok=True)
+    writer = ctx.Process(target=doomed_writer)
+    writer.start()
+    deadline = time_mod.monotonic() + 5
+    while not lock.exists():  # wait until the victim holds the lock
+        assert time_mod.monotonic() < deadline
+        time_mod.sleep(0.005)
+    writer.kill()
+    writer.join(timeout=10)
+
+    started = time_mod.monotonic()
+    entry = store.get_or_build(key, lambda: _cached())
+    assert entry is not None
+    assert time_mod.monotonic() - started < 5  # took over, no 60s wait
+    assert store.builds == 1
+    assert not lock.exists()
+    assert path.exists()  # and the takeover published normally
+
+
+def test_stale_lock_s_constructor_override(tmp_path):
+    """Per-store stale age: an old lock is broken after ~stale_lock_s,
+    not after the 60s module default."""
+    import time as time_mod
+
+    store = TraceStore(tmp_path, stale_lock_s=0.1)
+    assert store.stale_lock_s == 0.1
+    key = app_key(_point())
+    path = store.path_for(key)
+    lock = path.with_name(path.name + ".lock")
+    tmp_path.mkdir(exist_ok=True)
+    lock.write_text("dead")
+    os.utime(lock, (0, 0))
+    started = time_mod.monotonic()
+    assert store.get_or_build(key, lambda: _cached()) is not None
+    assert time_mod.monotonic() - started < 5
+
+
+def test_stale_lock_env_override(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_LOCK_TIMEOUT", "0.25")
+    assert TraceStore(tmp_path).stale_lock_s == 0.25
+    monkeypatch.setenv("REPRO_TRACE_LOCK_TIMEOUT", "not-a-number")
+    assert TraceStore(tmp_path).stale_lock_s == 60.0  # fallback
+    monkeypatch.setenv("REPRO_TRACE_LOCK_TIMEOUT", "-5")
+    assert TraceStore(tmp_path).stale_lock_s == 60.0  # rejects <= 0
+    monkeypatch.delenv("REPRO_TRACE_LOCK_TIMEOUT")
+    assert TraceStore(tmp_path).stale_lock_s == 60.0
+
+
+def test_live_writer_is_awaited_not_preempted(tmp_path):
+    """A fresh lock means the writer is alive: the reader waits for the
+    published file and loads it instead of building a duplicate."""
+    import threading
+    import time as time_mod
+
+    store = TraceStore(tmp_path, stale_lock_s=30.0)
+    key = app_key(_point())
+    path = store.path_for(key)
+    lock = path.with_name(path.name + ".lock")
+    tmp_path.mkdir(exist_ok=True)
+    entry = _cached()
+
+    def writer():
+        fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        os.close(fd)
+        time_mod.sleep(0.15)  # mid-build
+        store.save(key, entry)
+        os.unlink(lock)
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    deadline = time_mod.monotonic() + 5
+    while not lock.exists():
+        assert time_mod.monotonic() < deadline
+        time_mod.sleep(0.005)
+    reader = TraceStore(tmp_path, stale_lock_s=30.0)
+    stored = reader.get_or_build(
+        key, lambda: pytest.fail("reader must wait, not rebuild")
+    )
+    thread.join(timeout=10)
+    assert stored is not None
+    assert reader.builds == 0
+    assert reader.hits == 1
+    assert _stats(stored) == _stats(entry)
+
+
 def _contend(root: str) -> int:
     """Pool worker: race a cold build of the same sweep point."""
     cache = TraceCache(store=TraceStore(root))
