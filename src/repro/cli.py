@@ -88,6 +88,13 @@ def _add_parallel_args(parser: argparse.ArgumentParser) -> None:
         help="allow windows beyond the safe bound (results may differ "
              "from the sequential core)",
     )
+    parser.add_argument(
+        "--backend", default=None,
+        choices=("auto", "threads", "processes", "inline"),
+        help="shard execution backend (default: auto — forked worker "
+             "processes when eligible and >1 CPU, else threads/inline; "
+             "all backends are bit-identical)",
+    )
 
 
 def _fraction(text: str) -> float:
@@ -133,6 +140,9 @@ def _parallel_overrides(args) -> dict:
         overrides["window_cycles"] = window
     if getattr(args, "relaxed", False):
         overrides["parallel_relaxed"] = True
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        overrides["parallel_executor"] = backend
     return overrides
 
 
@@ -187,6 +197,7 @@ def cmd_run(args) -> int:
                 ("--workers", args.workers is not None),
                 ("--window", args.window is not None),
                 ("--relaxed", args.relaxed),
+                ("--backend", args.backend is not None),
             ) if given
         ]
         if exact_only:
@@ -563,6 +574,8 @@ def cmd_serve(args) -> int:
             workers=args.workers,
             cache_root=args.cache,
             artifact_root=args.artifacts,
+            cache_max_bytes=args.cache_max_bytes,
+            cache_max_entries=args.cache_max_entries,
         )
     except OSError as exc:
         if is_port_in_use_error(exc):
@@ -745,6 +758,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--artifacts", default=None, metavar="DIR",
         help="per-job artifact directory (default: a temp dir)",
+    )
+    p_serve.add_argument(
+        "--cache-max-bytes", type=int, default=None, metavar="B",
+        help="evict oldest result-cache entries past this payload "
+             "budget (default: unbounded)",
+    )
+    p_serve.add_argument(
+        "--cache-max-entries", type=int, default=None, metavar="N",
+        help="evict oldest result-cache entries past this count "
+             "(default: unbounded)",
     )
     p_serve.set_defaults(func=cmd_serve)
 

@@ -55,7 +55,12 @@ def default_jobs(workers_per_job: int = 1) -> int:
     the budget when each job itself runs shard workers
     (``GPUConfig.parallel_shards``), so ``jobs × workers`` never
     oversubscribes the cores.  This is the single core-budget source
-    for both ``sweep --jobs`` and ``run --workers``.
+    for all three consumers of the host's cores: ``sweep --jobs``
+    (pool processes), ``run --workers`` (per-run shard workers, now
+    real forked processes under ``--backend processes``), and the
+    service's worker pool — whose :class:`~repro.service.jobs.JobQueue`
+    additionally *weights* each job by its shard count so the three
+    never multiply together.
     """
     try:
         cpus = len(os.sched_getaffinity(0)) or 1

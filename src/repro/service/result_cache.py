@@ -26,6 +26,15 @@ metadata, serialized under a single-writer ``index.lock``
 (``O_CREAT | O_EXCL``; locks older than ``stale_lock_s`` are presumed
 dead and broken).  A corrupt payload or index is retired on read, not
 raised.
+
+Eviction: optional ``max_entries`` / ``max_bytes`` budgets evict the
+oldest entries (by the index's ``created`` timestamps) inside the
+same locked index transaction that publishes a new entry, so a
+long-running server's cache directory stays bounded.  The entry being
+published always survives — a budget smaller than one payload must
+not turn the cache into a thrash loop.  ``repro serve
+--cache-max-bytes`` wires this up; evictions are counted in
+``/metrics``.
 """
 
 from __future__ import annotations
@@ -66,15 +75,26 @@ class ResultCache:
     """On-disk result cache rooted at a directory."""
 
     def __init__(
-        self, root: str | os.PathLike, stale_lock_s: float | None = None
+        self,
+        root: str | os.PathLike,
+        stale_lock_s: float | None = None,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
     ):
         self.root = Path(root).expanduser()
         self.stale_lock_s = (
             _default_stale_lock_s() if stale_lock_s is None else stale_lock_s
         )
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self.index().get("entries", {}))
@@ -117,13 +137,12 @@ class ResultCache:
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(key)
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        tmp.write_text(
-            json.dumps(
-                {"version": CACHE_VERSION, "key": key, "payload": payload}
-            )
+        encoded = json.dumps(
+            {"version": CACHE_VERSION, "key": key, "payload": payload}
         )
+        tmp.write_text(encoded)
         os.replace(tmp, path)
-        self._index_put(key, meta or {})
+        self._index_put(key, {**(meta or {}), "bytes": len(encoded)})
         self.stores += 1
         return path
 
@@ -148,6 +167,7 @@ class ResultCache:
                 "file": f"{key}.json",
                 "created": time.time(),
             }
+            self._evict_locked(data, keep=key)
             tmp = self.root / f"index.json.{os.getpid()}.tmp"
             tmp.write_text(json.dumps(data, indent=1, sort_keys=True))
             os.replace(tmp, self.root / "index.json")
@@ -156,6 +176,48 @@ class ResultCache:
                 os.unlink(lock)
             except OSError:
                 pass
+
+    def _entry_bytes(self, meta: dict) -> int:
+        size = meta.get("bytes")
+        if isinstance(size, int):
+            return size
+        try:  # entries written before the budgets existed
+            return (self.root / meta.get("file", "")).stat().st_size
+        except OSError:
+            return 0
+
+    def _evict_locked(self, data: dict, keep: str) -> None:
+        """Drop oldest entries past the budgets (caller holds the lock).
+
+        ``keep`` (the entry being published) is never evicted, so one
+        oversized payload degrades to a single-entry cache rather than
+        an unwritable one.
+        """
+        if self.max_entries is None and self.max_bytes is None:
+            return
+        entries = data["entries"]
+        total = sum(self._entry_bytes(meta) for meta in entries.values())
+        oldest = sorted(
+            (k for k in entries if k != keep),
+            key=lambda k: (entries[k].get("created", 0.0), k),
+        )
+        for key in oldest:
+            over_count = (
+                self.max_entries is not None
+                and len(entries) > self.max_entries
+            )
+            over_bytes = (
+                self.max_bytes is not None and total > self.max_bytes
+            )
+            if not over_count and not over_bytes:
+                break
+            meta = entries.pop(key)
+            total -= self._entry_bytes(meta)
+            try:
+                (self.root / meta.get("file", f"{key}.json")).unlink()
+            except OSError:
+                pass
+            self.evictions += 1
 
     def _acquire(self, lock: Path) -> None:
         """Single-writer lockfile with stale-age takeover."""

@@ -272,6 +272,8 @@ def serve(
     workers: int | None = None,
     cache_root=None,
     artifact_root=None,
+    cache_max_entries: int | None = None,
+    cache_max_bytes: int | None = None,
 ) -> None:
     """Blocking entry point for ``repro serve``."""
     server = make_server(
@@ -280,6 +282,8 @@ def serve(
         workers=workers,
         cache_root=cache_root,
         artifact_root=artifact_root,
+        cache_max_entries=cache_max_entries,
+        cache_max_bytes=cache_max_bytes,
     )
     bound = server.server_address
     cache = cache_root or "off"

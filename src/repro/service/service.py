@@ -95,8 +95,18 @@ class SimulationService:
         artifact_root=None,
         use_processes: bool = True,
         start: bool = True,
+        cache_max_entries: int | None = None,
+        cache_max_bytes: int | None = None,
     ):
-        self.cache = ResultCache(cache_root) if cache_root else None
+        self.cache = (
+            ResultCache(
+                cache_root,
+                max_entries=cache_max_entries,
+                max_bytes=cache_max_bytes,
+            )
+            if cache_root
+            else None
+        )
         self.metrics = Metrics()
         self.queue = JobQueue(
             EXECUTORS,
@@ -190,6 +200,9 @@ class SimulationService:
                 "hits": self.cache.hits,
                 "misses": self.cache.misses,
                 "stores": self.cache.stores,
+                "evictions": self.cache.evictions,
+                "max_entries": self.cache.max_entries,
+                "max_bytes": self.cache.max_bytes,
             }
         return data
 

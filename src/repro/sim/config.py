@@ -169,10 +169,15 @@ class GPUConfig:
     #: safe bound (fewer barriers, bounded timing skew).  Results are
     #: then approximate and excluded from the golden identity locks.
     parallel_relaxed: bool = False
-    #: Shard execution backend: ``auto`` picks threads when more than
-    #: one CPU is available, ``threads`` / ``inline`` force a backend.
-    #: All backends produce identical results; ``inline`` runs the
-    #: shards sequentially (useful for debugging and 1-CPU hosts).
+    #: Shard execution backend: ``auto`` prefers forked shard worker
+    #: processes (real multi-core speedup under the GIL — see
+    #: :mod:`repro.sim.parallel_proc`) when the application is
+    #: eligible and more than one CPU is available, degrading to
+    #: threads, then inline; ``processes`` / ``threads`` / ``inline``
+    #: force a backend (``processes`` still falls back to threads for
+    #: ineligible applications — CDP, observers attached, partial
+    #: dispatch).  All backends produce identical results; ``inline``
+    #: runs the shards sequentially (useful for debugging).
     parallel_executor: str = "auto"
 
     #: Sampled-estimation mode (:mod:`repro.sim.sampled`).  ``0.0``
@@ -221,7 +226,9 @@ class GPUConfig:
             raise ValueError("parallel_shards must be >= 1")
         if self.window_cycles < 0:
             raise ValueError("window_cycles must be >= 0 (0 = auto)")
-        if self.parallel_executor not in ("auto", "threads", "inline"):
+        if self.parallel_executor not in (
+            "auto", "threads", "processes", "inline"
+        ):
             raise ValueError(
                 f"unknown parallel executor {self.parallel_executor!r}"
             )

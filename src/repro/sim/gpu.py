@@ -71,6 +71,10 @@ class GPUSimulator:
         #: callbacks run at the top of ``finalize`` (the parallel core
         #: merges per-shard stats/telemetry back into this instance).
         self._finalize_hooks: list = []
+        #: callbacks run after a host-side cache flush (the process
+        #: shard backend forwards the flush to its forked workers,
+        #: whose SM caches hold the authoritative lines).
+        self._flush_hooks: list = []
         #: SM-local run-ahead (see repro.sim.sm._run_local): enabled in
         #: ``run_application`` for applications that declare they can
         #: never device-launch.  Off by default so direct ``run_grid``
@@ -391,13 +395,15 @@ class GPUSimulator:
         if config.parallel_shards > 1 and config.event_core \
                 and self._grid_driver is None:
             # Window-barrier parallel core (lazy import: sequential
-            # runs must not pay for it).  The driver installs itself
-            # as _grid_driver and falls back to _drive_grid per grid
-            # whenever windowed execution would not be bit-identical
-            # (CDP applications, partially-dispatched grids).
-            from repro.sim.parallel import WindowBarrierDriver
+            # runs must not pay for it).  The installer picks a backend
+            # (forked shard workers when eligible, in-process shards
+            # otherwise); the driver installs itself as _grid_driver
+            # and falls back to _drive_grid per grid whenever windowed
+            # execution would not be bit-identical (CDP applications,
+            # partially-dispatched grids).
+            from repro.sim.parallel import install_parallel_driver
 
-            WindowBarrierDriver(self)
+            app = install_parallel_driver(self, app)
         tel = self.telemetry
         for op in app.host_program():
             if isinstance(op, HostMemcpy):
@@ -420,6 +426,8 @@ class GPUSimulator:
                         sm.const_cache.flush()
                         sm.tex_cache.flush()
                     self.memory.flush()
+                    for hook in self._flush_hooks:
+                        hook()
             elif isinstance(op, HostLaunch):
                 self.stats.kernel_launches += 1
                 self.stats.launch_overhead_cycles += config.host_launch_cycles

@@ -45,6 +45,16 @@ run under the plain sequential ``_drive_grid`` on the same simulator.
 An opt-in relaxed mode (``GPUConfig.parallel_relaxed``) admits windows
 beyond the safe bound — fewer barriers, approximate results — and is
 excluded from the golden identity locks.
+
+Backends: the shard abstraction is executor-agnostic.  This module
+implements the in-process executors (``threads`` — real concurrency
+only on free-threaded builds — and ``inline``);
+:mod:`repro.sim.parallel_proc` adds the ``processes`` backend (forked
+shard workers exchanging staged interactions over a binary channel),
+which is what delivers real multi-core speedup under the GIL.
+:func:`install_parallel_driver` picks between them: ``auto`` prefers
+forked workers whenever the application is eligible and more than one
+CPU is available.
 """
 
 from __future__ import annotations
@@ -67,6 +77,67 @@ _REQ = 0  # memory.line_request       -> completion slot
 _BATCH = 1  # memory.line_requests    -> completion slot
 _WB = 2  # memory.writeback           (fire-and-forget)
 _CTA = 3  # gpu.cta_finished          (grid bookkeeping)
+
+
+def effective_cpus() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def resolve_window(gpu) -> tuple[float, float, bool, bool]:
+    """Resolve ``(window, safe_bound, exact, enabled)`` for ``gpu``.
+
+    Shared between the thread and process drivers so both reject unsafe
+    explicit windows with the same error and agree on exactness.
+    """
+    config = gpu.config
+    safe = gpu.memory.min_cross_sm_latency()
+    requested = config.window_cycles
+    if requested and requested > safe and not config.parallel_relaxed:
+        raise ValueError(
+            f"window_cycles={requested} exceeds the safe bound {safe} "
+            "(minimum cross-SM interaction latency); set "
+            "parallel_relaxed=True to accept approximate results"
+        )
+    if requested:
+        window = requested
+    elif config.parallel_relaxed:
+        # Relaxed auto-tune: roughly a full L2-miss round trip
+        # (both NoC legs + L2 + DRAM service) — several times
+        # fewer barriers, timing skew bounded by one window.
+        dram_floor = min(
+            channel.min_service_latency() for channel in gpu.memory.dram
+        )
+        window = 2 * safe + dram_floor
+    else:
+        window = safe
+    exact = window <= safe and local_completion_floor(config) < safe
+    return window, safe, exact, exact or config.parallel_relaxed
+
+
+def install_parallel_driver(gpu, app):
+    """Pick and install the shard driver for one ``run_application``.
+
+    Resolves the ``parallel_executor`` policy: ``processes`` (and
+    ``auto`` on multi-CPU hosts) first tries the forked shard backend,
+    which requires a windowable application (see
+    ``parallel_proc.try_install_process_driver``); anything else — or
+    any ineligible application — gets the in-process
+    :class:`WindowBarrierDriver`.  Returns the application to run
+    (possibly wrapped so its host program is materialized exactly once).
+    """
+    mode = gpu.config.parallel_executor
+    if mode == "processes" or (mode == "auto" and effective_cpus() > 1):
+        from repro.sim.parallel_proc import try_install_process_driver
+
+        wrapped = try_install_process_driver(gpu, app)
+        if wrapped is not None:
+            return wrapped
+    WindowBarrierDriver(gpu)
+    return app
 
 
 def local_completion_floor(config) -> int:
@@ -280,40 +351,18 @@ class WindowBarrierDriver:
     automatically when ``config.parallel_shards > 1``.
     """
 
-    def __init__(self, gpu: GPUSimulator):
+    def __init__(self, gpu: GPUSimulator, executor: str | None = None):
         config = gpu.config
         self.gpu = gpu
         self.num_shards = max(1, min(config.parallel_shards, len(gpu.sms)))
-        safe = gpu.memory.min_cross_sm_latency()
-        self.safe_window = safe
-        requested = config.window_cycles
-        if requested and requested > safe and not config.parallel_relaxed:
-            raise ValueError(
-                f"window_cycles={requested} exceeds the safe bound {safe} "
-                "(minimum cross-SM interaction latency); set "
-                "parallel_relaxed=True to accept approximate results"
-            )
-        if requested:
-            self.window = requested
-        elif config.parallel_relaxed:
-            # Relaxed auto-tune: roughly a full L2-miss round trip
-            # (both NoC legs + L2 + DRAM service) — several times
-            # fewer barriers, timing skew bounded by one window.
-            dram_floor = min(
-                channel.min_service_latency() for channel in gpu.memory.dram
-            )
-            self.window = 2 * safe + dram_floor
-        else:
-            self.window = safe
         #: bit-identity holds iff the window respects the safe bound
-        #: and delivered wakes dominate SM-local completion parts
-        self.exact = (
-            self.window <= safe and local_completion_floor(config) < safe
-        )
+        #: and delivered wakes dominate SM-local completion parts;
         #: windowed execution runs when it is exact, or when the user
         #: opted into approximate results; otherwise every grid takes
         #: the sequential fallback
-        self.enabled = self.exact or config.parallel_relaxed
+        self.window, self.safe_window, self.exact, self.enabled = (
+            resolve_window(gpu)
+        )
 
         self.shards: list[_Shard] = []
         tel = gpu.telemetry
@@ -329,12 +378,15 @@ class WindowBarrierDriver:
                     sm._tel = shard.telemetry
             self.shards.append(shard)
 
-        mode = config.parallel_executor
+        mode = config.parallel_executor if executor is None else executor
+        if mode == "processes":
+            # The forked backend lives in parallel_proc and is selected
+            # by install_parallel_driver; a plain WindowBarrierDriver
+            # asked for "processes" (ineligible application, or direct
+            # construction) degrades to the thread pool — same results.
+            mode = "auto"
         if mode == "auto":
-            try:
-                cpus = len(os.sched_getaffinity(0))
-            except AttributeError:  # pragma: no cover - non-Linux hosts
-                cpus = os.cpu_count() or 1
+            cpus = effective_cpus()
             mode = "threads" if cpus > 1 and self.num_shards > 1 else "inline"
         self.executor_mode = mode
         self._pool = (
@@ -500,5 +552,8 @@ class WindowBarrierDriver:
 
 __all__ = [
     "WindowBarrierDriver",
+    "effective_cpus",
+    "install_parallel_driver",
     "local_completion_floor",
+    "resolve_window",
 ]

@@ -284,3 +284,84 @@ class TestConcurrencyBounds:
     def test_worker_floor(self):
         with pytest.raises(ValueError, match="at least one worker"):
             JobQueue({"quick": quick}, workers=0)
+
+
+class TestWeightedBudget:
+    """One job running ``parallel_shards=N`` occupies N worker slots —
+    the fix for the ``--workers x --jobs`` core double-count."""
+
+    @staticmethod
+    def _sharded(shards):
+        from types import SimpleNamespace
+
+        config = SimpleNamespace(parallel_shards=shards)
+        return SimpleNamespace(resolved_config=lambda: config)
+
+    def test_sharded_jobs_never_overlap(self):
+        """Three weight-2 jobs on two workers must serialize: each
+        holds the whole budget while its shard workers run."""
+        running = []
+        peaks = []
+
+        def tracked(request, artifact_dir):
+            running.append(1)
+            peaks.append(len(running))
+            time.sleep(0.05)
+            running.pop()
+            return {}, {}
+
+        jobs = JobQueue({"t": tracked}, workers=2, use_processes=False)
+        try:
+            submitted = [
+                jobs.submit("t", self._sharded(2)) for _ in range(3)
+            ]
+            for job in submitted:
+                jobs.wait(job.id, timeout=30)
+        finally:
+            jobs.shutdown()
+        assert peaks and max(peaks) == 1
+
+    def test_weight_capped_at_pool_size(self):
+        """A job over-sharded past the worker count still runs (alone)
+        rather than deadlocking on slots that cannot exist."""
+        jobs = JobQueue({"quick": quick}, workers=2, use_processes=False)
+        try:
+            job = jobs.submit("quick", self._sharded(99))
+            done = jobs.wait(job.id, timeout=30)
+        finally:
+            jobs.shutdown()
+        assert done.state == JobState.DONE
+
+    def test_unsharded_requests_weigh_one(self):
+        """Plain requests (no resolvable config) keep full overlap."""
+        jobs = JobQueue({"sleep": sleeper}, workers=2, use_processes=False)
+        try:
+            first = jobs.submit("sleep", 0.2)
+            second = jobs.submit("sleep", 0.2)
+            started = time.monotonic()
+            jobs.wait(first.id, timeout=30)
+            jobs.wait(second.id, timeout=30)
+            elapsed = time.monotonic() - started
+        finally:
+            jobs.shutdown()
+        assert elapsed < 0.38  # ran concurrently, not back-to-back
+
+    def test_cancel_while_waiting_for_slots(self):
+        """A queued heavy job cancelled while a running job holds its
+        slots must die without ever dispatching."""
+        jobs = JobQueue({"sleep": sleeper, "quick": quick},
+                        workers=2, use_processes=False)
+        try:
+            blocker = jobs.submit("sleep", 0.3)
+            heavy_req = self._sharded(2)
+            heavy = jobs.submit("quick", heavy_req)
+            time.sleep(0.05)  # let the blocker start
+            assert jobs.cancel(heavy.id)
+            done = jobs.wait(heavy.id, timeout=30)
+            jobs.wait(blocker.id, timeout=30)
+        finally:
+            jobs.shutdown()
+        assert done.state == JobState.CANCELLED
+
+    def test_depth_reports_slots(self, queue):
+        assert "slots_in_use" in queue.depth()

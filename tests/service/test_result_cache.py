@@ -193,3 +193,78 @@ class TestIndex:
         cache.put("f0" * 32, {"waited": True})
         # Had to wait for the lock to cross the stale threshold.
         assert time.monotonic() - started >= 0.2
+
+
+class TestEviction:
+    def test_max_entries_evicts_oldest(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        for i, key in enumerate(("a1" * 32, "b2" * 32, "c3" * 32)):
+            cache.put(key, {"n": i})
+            time.sleep(0.01)  # distinct created timestamps
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.get("a1" * 32) is None  # oldest gone...
+        assert not cache.path_for("a1" * 32).exists()  # ...payload too
+        assert cache.get("b2" * 32) == {"n": 1}
+        assert cache.get("c3" * 32) == {"n": 2}
+
+    def test_max_bytes_evicts_until_under(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=1)
+        cache.put("d4" * 32, {"first": True})
+        # The freshly published entry always survives, even oversized:
+        # a budget below one payload degrades to a single-entry cache.
+        assert len(cache) == 1
+        assert cache.evictions == 0
+        time.sleep(0.01)
+        cache.put("e5" * 32, {"second": True})
+        assert len(cache) == 1
+        assert cache.evictions == 1
+        assert cache.get("d4" * 32) is None
+        assert cache.get("e5" * 32) == {"second": True}
+
+    def test_pre_budget_entries_sized_by_stat(self, tmp_path):
+        """Entries written before the budgets existed carry no
+        ``bytes`` in the index; eviction falls back to the payload
+        file's on-disk size."""
+        legacy = ResultCache(tmp_path)
+        legacy.put("f6" * 32, {"old": True})
+        index = legacy.index()
+        del index["entries"]["f6" * 32]["bytes"]
+        (tmp_path / "index.json").write_text(json.dumps(index))
+        time.sleep(0.01)
+        bounded = ResultCache(tmp_path, max_bytes=16)
+        bounded.put("a7" * 32, {"new": True})
+        assert bounded.evictions == 1
+        assert bounded.get("f6" * 32) is None
+        assert bounded.get("a7" * 32) == {"new": True}
+
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(8):
+            cache.put(f"{i:02d}" * 32, {"n": i})
+        assert len(cache) == 8
+        assert cache.evictions == 0
+
+    def test_budget_floor_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="max_entries"):
+            ResultCache(tmp_path, max_entries=0)
+        with pytest.raises(ValueError, match="max_bytes"):
+            ResultCache(tmp_path, max_bytes=0)
+
+    def test_service_reports_eviction_metrics(self, tmp_path):
+        from repro.service.service import SimulationService
+
+        service = SimulationService(
+            cache_root=tmp_path / "results",
+            workers=1,
+            start=False,
+            cache_max_entries=5,
+            cache_max_bytes=1 << 20,
+        )
+        try:
+            stats = service.metrics_dict()["result_cache"]
+            assert stats["evictions"] == 0
+            assert stats["max_entries"] == 5
+            assert stats["max_bytes"] == 1 << 20
+        finally:
+            service.shutdown()

@@ -6,12 +6,13 @@ window bound it must produce field-for-field identical
 :class:`RunStats` to the sequential event core on every benchmark —
 sharding is only allowed to change wall-clock, never the timing model.
 
-The full suite runs at the small dataset for shards in {2, 4}; the
-heaviest benchmarks get an extra medium-size lock, and a shards x
-windows matrix (marked ``slow``) locks the identity across explicit
-window sizes up to the safe bound.  Relaxed mode (windows beyond the
-bound) is deliberately absent from these locks: its results are
-approximate by design.
+The full suite runs at the small dataset for shards in {2, 4} under
+*both* execution backends — the in-process thread pool and the forked
+process workers (``repro.sim.parallel_proc``); the heaviest benchmarks
+get an extra medium-size lock, and a shards x windows matrix (marked
+``slow``) locks the identity across explicit window sizes up to the
+safe bound.  Relaxed mode (windows beyond the bound) is deliberately
+absent from these locks: its results are approximate by design.
 """
 
 import dataclasses
@@ -43,12 +44,16 @@ def _parallel(abbr: str, cdp: bool, size: DatasetSize, shards: int,
     )
 
 
+@pytest.mark.parametrize("executor", ["threads", "processes"])
 @pytest.mark.parametrize("shards", [2, 4])
 @pytest.mark.parametrize("cdp", [False, True], ids=["plain", "cdp"])
 @pytest.mark.parametrize("abbr", benchmark_names())
-def test_small_suite_identical(abbr, cdp, shards):
+def test_small_suite_identical(abbr, cdp, shards, executor):
+    """Both backends, whole suite.  CDP variants exercise the process
+    backend's eligibility fallback (device launches keep the run
+    in-process) — the identity contract holds either way."""
     seq = _sequential(abbr, cdp, DatasetSize.SMALL)
-    par = _parallel(abbr, cdp, DatasetSize.SMALL, shards)
+    par = _parallel(abbr, cdp, DatasetSize.SMALL, shards, executor=executor)
     assert par == seq
 
 
@@ -84,13 +89,28 @@ def test_inline_matches_threads():
     assert inline == threaded
 
 
-def test_telemetry_differential_identical():
+def test_processes_match_threads():
+    """The forked backend and the thread pool are two mechanisms for
+    the same schedule: their RunStats must agree field-for-field."""
+    procs = _parallel(
+        "PairHMM", False, DatasetSize.SMALL, 4, executor="processes"
+    )
+    threaded = _parallel(
+        "PairHMM", False, DatasetSize.SMALL, 4, executor="threads"
+    )
+    assert procs == threaded
+
+
+@pytest.mark.parametrize("executor", ["threads", "processes"])
+def test_telemetry_differential_identical(executor):
     """Per-shard telemetry absorbed at finalize must reproduce the
-    sequential sampler's rows and events."""
+    sequential sampler's rows and events — for both backends (the
+    process backend ships each worker's Telemetry pickled at
+    finalize)."""
     def stats(shards):
         config = GPUConfig(
             event_core=True, parallel_shards=shards,
-            telemetry_interval=5_000,
+            telemetry_interval=5_000, parallel_executor=executor,
         )
         return run_benchmark(
             "PairHMM", size=DatasetSize.SMALL, config=config
