@@ -17,9 +17,20 @@ sweep AXIS
     ``--estimate`` routes every point through the sampled estimator
     for 10x+ config-space exploration; the ``benchmark`` axis runs
     the whole suite at one config with per-variant rank columns).
+dsweep
+    Run the benchmark sweep through the distributed coordinator:
+    chunked dispatch over local subprocess workers (``--dist-workers``)
+    or remote ``repro serve`` instances (``--endpoints``), with
+    straggler re-dispatch, bounded retry, a resumable completion
+    journal (``--journal``) and a merge bit-identical to ``sweep
+    benchmark``.
 warm
     Materialize benchmark traces into the persistent trace store so
-    later runs (sweeps, CI jobs, other processes) start warm.
+    later runs (sweeps, CI jobs, other processes) start warm
+    (``--shard I/N`` warms one host's deterministic slice).
+store
+    Pack the trace store into a CRC-checked archive, or unpack one
+    produced on another host (fingerprint-validated).
 figure NAME
     Regenerate one of the paper's tables/figures (e.g. ``fig3``).
 profile ABBR
@@ -345,27 +356,23 @@ def cmd_sweep(args) -> int:
     )
     if args.axis == "benchmark":
         return _sweep_benchmark(args, config, jobs)
+    if args.resume or args.results:
+        print("--resume/--results only apply to the benchmark axis",
+              file=sys.stderr)
+        return 2
     func = getattr(bench, SWEEP_AXES[args.axis])
     rows = func(config=config, size=args.size, jobs=jobs)
     print(format_table(rows))
     return 0
 
 
-def _sweep_benchmark(args, config, jobs: int) -> int:
-    """The ``benchmark`` axis: the whole suite at one config.
+def _print_benchmark_table(results) -> None:
+    """One row per variant: cycles, CI, IPC, rank by cycles.
 
-    One row per variant with the cycle estimate, its confidence
-    interval, and the variant's rank by cycles — the view the CI
-    ``sampled-smoke`` job diffs against the committed exact baseline
-    (estimation must preserve the exact mode's ranking).
+    Shared by ``sweep benchmark`` and ``dsweep`` so the two commands
+    emit byte-identical tables for the same grid — the CI
+    ``dist-smoke`` job literally ``cmp``'s them.
     """
-    from repro.core.sweep import run_sweep, suite_points
-
-    results = run_sweep(
-        suite_points(cdp_variants=not args.no_cdp, size=args.size,
-                     config=config),
-        jobs=jobs,
-    )
     order = sorted(results, key=lambda name: (results[name].cycles, name))
     ranks = {name: i + 1 for i, name in enumerate(order)}
     rows = []
@@ -382,7 +389,52 @@ def _sweep_benchmark(args, config, jobs: int) -> int:
             "rank": ranks[name],
         })
     print(format_table(rows))
+
+
+def _load_resume(path: str | None):
+    """``--resume FILE`` into a ``{point_key: RunStats}`` mapping."""
+    if not path:
+        return None
+    from repro.dist.journal import load_results_file
+
+    return load_results_file(path)
+
+
+def _sweep_benchmark(args, config, jobs: int) -> int:
+    """The ``benchmark`` axis: the whole suite at one config.
+
+    The table is the view the CI ``sampled-smoke`` job diffs against
+    the committed exact baseline (estimation must preserve the exact
+    mode's ranking).  ``--resume FILE`` skips points already present
+    in a partial results file (matched by content identity, the
+    coordinator's point keys); ``--results FILE`` writes one.
+    """
+    from repro.core.sweep import run_sweep, suite_points
+
+    points = suite_points(cdp_variants=not args.no_cdp, size=args.size,
+                          config=config)
+    results = run_sweep(points, jobs=jobs,
+                        resume=_load_resume(getattr(args, "resume", None)))
+    if getattr(args, "results", None):
+        from repro.dist.journal import write_results_file
+
+        write_results_file(args.results, points, results)
+    _print_benchmark_table(results)
     return 0
+
+
+def _shard(text: str) -> tuple[int, int]:
+    """Parse ``--shard I/N`` (0-based shard index of N)."""
+    try:
+        index, _, count = text.partition("/")
+        index, count = int(index), int(count)
+    except ValueError:
+        raise argparse.ArgumentTypeError("expected I/N, e.g. 0/4") from None
+    if count < 1 or not 0 <= index < count:
+        raise argparse.ArgumentTypeError(
+            f"shard index must be in [0, {count}) for {text!r}"
+        )
+    return index, count
 
 
 def cmd_warm(args) -> int:
@@ -404,25 +456,111 @@ def cmd_warm(args) -> int:
         print(f"unknown benchmarks {unknown}; "
               f"choose from {benchmark_names()}", file=sys.stderr)
         return 2
+    variants = [
+        (abbr, cdp)
+        for abbr in benchmarks
+        for cdp in ((False,) if args.no_cdp else (False, True))
+    ]
+    if args.shard is not None:
+        # Deterministic round-robin slice of the variant list: N hosts
+        # running shards 0/N..N-1/N materialize disjoint subsets that
+        # union to the whole warm set (then sync via `repro store
+        # pack`/`unpack`).
+        index, count = args.shard
+        variants = variants[index::count]
+        print(f"shard {index}/{count}: {len(variants)} variant(s)")
     cache = TraceCache(store=store)
-    for abbr in benchmarks:
-        for cdp in (False,) if args.no_cdp else (False, True):
-            name = variant_name(abbr, cdp)
-            hits, builds = store.hits, store.builds
-            point = sweep_point(name, abbr, config, cdp=cdp,
-                                size=args.size)
-            entry = cache.get(point)
-            if entry is None:
-                state = "not replayable, skipped"
-            elif store.hits > hits:
-                state = "already stored"
-            elif store.builds > builds:
-                state = "materialized"
-            else:  # pragma: no cover - in-memory duplicate
-                state = "cached"
-            print(f"{name}: {state}")
+    for abbr, cdp in variants:
+        name = variant_name(abbr, cdp)
+        hits, builds = store.hits, store.builds
+        point = sweep_point(name, abbr, config, cdp=cdp,
+                            size=args.size)
+        entry = cache.get(point)
+        if entry is None:
+            state = "not replayable, skipped"
+        elif store.hits > hits:
+            state = "already stored"
+        elif store.builds > builds:
+            state = "materialized"
+        else:  # pragma: no cover - in-memory duplicate
+            state = "cached"
+        print(f"{name}: {state}")
     print(f"store: {store.root} ({store.builds} built, "
           f"{store.hits} already present)")
+    return 0
+
+
+def cmd_store(args) -> int:
+    """Pack/unpack trace-store entries for host-to-host sync."""
+    from repro.sim.trace_store import TraceStore
+
+    root = args.store or os.environ.get("REPRO_TRACE_STORE")
+    if not root:
+        print("no trace store: pass --store DIR or set REPRO_TRACE_STORE",
+              file=sys.stderr)
+        return 2
+    store = TraceStore(root)
+    if args.action == "pack":
+        count = store.pack(args.archive)
+        print(f"packed {count} entr{'y' if count == 1 else 'ies'} "
+              f"from {store.root} into {args.archive}")
+        return 0
+    try:
+        count = store.unpack(args.archive)
+    except (OSError, ValueError) as exc:
+        print(f"unpack failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"unpacked {count} entr{'y' if count == 1 else 'ies'} "
+          f"into {store.root}")
+    return 0
+
+
+def cmd_dsweep(args) -> int:
+    """The benchmark axis through the distributed sweep coordinator."""
+    from repro.core.sweep import suite_points
+    from repro.dist import LocalProcessLauncher, ServiceLauncher, run_dsweep
+
+    if args.store:
+        os.environ["REPRO_TRACE_STORE"] = args.store
+    config = _config(args)
+    if args.estimate:
+        config = _estimate_config(args, config)
+    points = suite_points(cdp_variants=not args.no_cdp, size=args.size,
+                          config=config)
+    if args.endpoints:
+        launcher = ServiceLauncher(
+            [e for e in args.endpoints.split(",") if e]
+        )
+    else:
+        launcher = LocalProcessLauncher(
+            workers=args.dist_workers,
+            store=args.store or os.environ.get("REPRO_TRACE_STORE") or None,
+        )
+    try:
+        results = run_dsweep(
+            points,
+            launcher,
+            chunk_size=args.chunk_size,
+            chunk_timeout=args.chunk_timeout,
+            max_retries=args.max_retries,
+            journal=args.journal,
+            resume=_load_resume(args.resume),
+        )
+    finally:
+        launcher.close()
+    if args.results:
+        from repro.dist.journal import write_results_file
+
+        write_results_file(args.results, points, results)
+    _print_benchmark_table(results)
+    stats = run_dsweep.last_stats
+    print(
+        f"# dsweep: {stats['chunks']} chunk(s), "
+        f"{stats['replayed']} replayed from journal, "
+        f"{stats['retries']} retried, "
+        f"{stats['redispatches']} straggler re-dispatches",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -688,10 +826,72 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cdp", action="store_true",
         help="benchmark axis: skip the CDP variants",
     )
+    p_sweep.add_argument(
+        "--resume", default=None, metavar="FILE",
+        help="benchmark axis: skip points already present in a results "
+             "file (matched by content identity)",
+    )
+    p_sweep.add_argument(
+        "--results", default=None, metavar="FILE",
+        help="benchmark axis: write a results file usable by --resume",
+    )
     _add_machine_args(p_sweep)
     _add_parallel_args(p_sweep)
     _add_estimate_args(p_sweep)
     p_sweep.set_defaults(func=cmd_sweep)
+
+    p_dsweep = sub.add_parser(
+        "dsweep",
+        help="run the benchmark sweep through the distributed coordinator",
+    )
+    p_dsweep.add_argument(
+        "--dist-workers", type=int, default=2, metavar="N",
+        help="local subprocess workers (default: 2; ignored with "
+             "--endpoints)",
+    )
+    p_dsweep.add_argument(
+        "--endpoints", default=None, metavar="HOST:PORT,...",
+        help="dispatch chunks to remote `repro serve` instances "
+             "instead of local subprocesses",
+    )
+    p_dsweep.add_argument(
+        "--chunk-size", type=int, default=4, metavar="N",
+        help="points per work unit (default: 4)",
+    )
+    p_dsweep.add_argument(
+        "--chunk-timeout", type=float, default=None, metavar="S",
+        help="per-chunk deadline in seconds (default: none)",
+    )
+    p_dsweep.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="re-dispatch attempts per chunk before failing the sweep "
+             "(default: 2)",
+    )
+    p_dsweep.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="chunk-completion journal; rerunning with the same grid "
+             "replays finished chunks instead of re-simulating",
+    )
+    p_dsweep.add_argument(
+        "--resume", default=None, metavar="FILE",
+        help="skip points already present in a results file",
+    )
+    p_dsweep.add_argument(
+        "--results", default=None, metavar="FILE",
+        help="write a results file usable by --resume",
+    )
+    p_dsweep.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="persistent trace store directory, exported to workers "
+             "(default: $REPRO_TRACE_STORE when set)",
+    )
+    p_dsweep.add_argument(
+        "--no-cdp", action="store_true",
+        help="skip the CDP variants",
+    )
+    _add_machine_args(p_dsweep)
+    _add_estimate_args(p_dsweep)
+    p_dsweep.set_defaults(func=cmd_dsweep)
 
     p_warm = sub.add_parser(
         "warm", help="materialize traces into the persistent store"
@@ -704,8 +904,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--store", default=None, metavar="DIR",
         help="store directory (default: $REPRO_TRACE_STORE)",
     )
+    p_warm.add_argument(
+        "--shard", type=_shard, default=None, metavar="I/N",
+        help="warm only this host's deterministic slice of the variant "
+             "list (N hosts run shards 0/N..N-1/N)",
+    )
     _add_machine_args(p_warm)
     p_warm.set_defaults(func=cmd_warm)
+
+    p_store = sub.add_parser(
+        "store", help="pack/unpack the trace store for host-to-host sync"
+    )
+    p_store.add_argument("action", choices=("pack", "unpack"))
+    p_store.add_argument("archive", help="archive file (RPAK format)")
+    p_store.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="store directory (default: $REPRO_TRACE_STORE)",
+    )
+    p_store.set_defaults(func=cmd_store)
 
     p_roof = sub.add_parser("roofline", help="roofline analysis of the suite")
     p_roof.add_argument("benchmarks", nargs="*",

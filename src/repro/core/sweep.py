@@ -33,6 +33,8 @@ through :mod:`repro.sim.sampled` instead of the cycle-exact replay.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
@@ -117,6 +119,89 @@ def trace_signature(config: GPUConfig) -> tuple:
     timing-only knobs must stay out, or sweeps lose all trace reuse.
     """
     return (("warp_size", config.warp_size),)
+
+
+class SweepMergeError(RuntimeError):
+    """The reassembled result list does not cover the input point grid.
+
+    Carries the offending point identities so a failed distributed (or
+    pooled) sweep names exactly what was lost instead of silently
+    returning a partial grid.
+    """
+
+    def __init__(self, missing: list[str], duplicated: list[str] = ()):
+        self.missing = list(missing)
+        self.duplicated = list(duplicated)
+        parts = []
+        if self.missing:
+            parts.append(f"missing results for {len(self.missing)} "
+                         f"point(s): {self.missing}")
+        if self.duplicated:
+            parts.append(f"duplicate results for: {self.duplicated}")
+        super().__init__("; ".join(parts) or "inconsistent sweep merge")
+
+
+def _wire_value(name: str, value):
+    """Validate an application option as wire/key material."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(
+        f"sweep option {name}={value!r} is not a JSON scalar; "
+        "distributed sweeps and resume keys require plain option values"
+    )
+
+
+def point_key(point: SweepPoint) -> str:
+    """A stable content identity for one sweep point.
+
+    Hashes everything that determines the point's ``RunStats`` — the
+    benchmark identity plus the *full* serialized config — and nothing
+    that doesn't (the display label).  This is the shared identity key
+    of the distributed coordinator's chunk journal, ``repro sweep
+    --resume`` partial-results files, and the dsweep wire protocol:
+    a result computed anywhere can be matched to its point everywhere.
+    """
+    from repro.sim.configfile import save_config
+
+    material = json.dumps(
+        {
+            "abbr": point.abbr,
+            "cdp": point.cdp,
+            "size": point.size.value,
+            "options": [
+                [name, _wire_value(name, value)]
+                for name, value in point.options
+            ],
+            "config": save_config(point.config),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(material.encode()).hexdigest()[:16]
+
+
+def assert_merge_complete(points: list[SweepPoint], results: list) -> None:
+    """Verify ``results`` covers exactly the input point grid.
+
+    ``results`` is the reassembled per-point list (aligned with
+    ``points``); a ``None`` entry is a dropped point.  Raises
+    :class:`SweepMergeError` naming the missing point identities — the
+    merge contract every fan-out path (process pool, distributed
+    coordinator) must satisfy before returning.
+    """
+    if len(results) != len(points):
+        raise SweepMergeError(
+            missing=[
+                f"{p.label} [{point_key(p)}]" for p in points[len(results):]
+            ]
+            or [f"<{len(results) - len(points)} extra results>"],
+        )
+    missing = [
+        f"{point.label} [{point_key(point)}]"
+        for point, stats in zip(points, results)
+        if stats is None
+    ]
+    if missing:
+        raise SweepMergeError(missing=missing)
 
 
 def app_key(point: SweepPoint) -> tuple:
@@ -281,6 +366,7 @@ def run_sweep(
     cache: TraceCache | None = None,
     telemetry_interval: int | None = None,
     store="env",
+    resume=None,
 ) -> dict[str, RunStats]:
     """Run every point; returns ``{point.label: RunStats}`` in input order.
 
@@ -302,6 +388,14 @@ def run_sweep(
     the process-pool pickle boundary unchanged.  Sampling never alters
     a point's trace-cache key — the interval is not part of
     :func:`trace_signature` — so sweeps keep full trace reuse.
+
+    ``resume`` is a ``{point_key: RunStats}`` mapping of already-known
+    results (a partial results file, a dsweep journal replay): matching
+    points are filled from it without simulating, the rest run normally
+    (``repro.dist.journal`` loads the file format).  Keys are matched on
+    each point's *final* config — after the ``telemetry_interval``
+    override — so a resumed result always carries the payload the live
+    run would have produced.
     """
     if telemetry_interval is not None:
         points = [
@@ -316,6 +410,24 @@ def run_sweep(
     labels = [point.label for point in points]
     if len(set(labels)) != len(labels):
         raise ValueError("sweep point labels must be unique")
+    if resume:
+        hits = {}
+        for index, point in enumerate(points):
+            known = resume.get(point_key(point))
+            if known is not None:
+                hits[index] = known
+        if hits:
+            todo = [
+                point for index, point in enumerate(points)
+                if index not in hits
+            ]
+            fresh = run_sweep(todo, jobs=jobs, cache=cache, store=store)
+            return {
+                point.label: (
+                    hits[index] if index in hits else fresh[point.label]
+                )
+                for index, point in enumerate(points)
+            }
     if jobs is None:
         workers = max(
             (point.config.parallel_shards for point in points), default=1
@@ -345,12 +457,24 @@ def run_sweep(
                 for indices in groups
             ]
             for indices, future in futures:
-                for i, stats in zip(indices, future.result()):
+                group = future.result()
+                if len(group) != len(indices):  # pragma: no cover - guard
+                    raise SweepMergeError(
+                        missing=[
+                            f"{points[i].label} [{point_key(points[i])}]"
+                            for i in indices[len(group):]
+                        ]
+                    )
+                for i, stats in zip(indices, group):
                     results[i] = stats
     except (OSError, PermissionError):
         # No process pool available (sandboxed /dev/shm, fork limits):
         # degrade to the in-process cached path, same results.
         return run_sweep(points, jobs=0, cache=cache, store=resolved)
+    # Merge integrity: the reassembled list must cover exactly the
+    # input grid — a worker failure must fail loudly with the lost
+    # point identities, never return a silently partial grid.
+    assert_merge_complete(points, results)
     return {
         point.label: stats
         for point, stats in zip(points, results)

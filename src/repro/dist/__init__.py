@@ -1,0 +1,40 @@
+"""Distributed sweep engine: run one point grid across many workers.
+
+The coordinator (:mod:`repro.dist.coordinator`) chunks a
+``(benchmark, cdp, size, config)`` point grid into work units,
+dispatches them to a launcher-managed worker pool — local subprocesses
+(:class:`~repro.dist.launchers.LocalProcessLauncher`) or remote
+``repro serve`` instances
+(:class:`~repro.dist.launchers.ServiceLauncher`) — and merges the
+results back in input order, bit-identical to a local
+:func:`~repro.core.sweep.run_sweep` of the same grid.  Robustness is
+structural: per-chunk timeouts with bounded retry, straggler
+re-dispatch, worker-death detection that only fails the sweep after
+the work could not be re-run elsewhere, and an on-disk journal
+(:mod:`repro.dist.journal`) so an interrupted sweep resumes without
+recomputation.
+"""
+
+from repro.dist.coordinator import DistSweepError, make_chunks, run_dsweep
+from repro.dist.journal import ChunkJournal, load_results_file, write_results_file
+from repro.dist.launchers import (
+    ChunkFailed,
+    ChunkTimeout,
+    LocalProcessLauncher,
+    ServiceLauncher,
+    WorkerDied,
+)
+
+__all__ = [
+    "ChunkFailed",
+    "ChunkJournal",
+    "ChunkTimeout",
+    "DistSweepError",
+    "LocalProcessLauncher",
+    "ServiceLauncher",
+    "WorkerDied",
+    "load_results_file",
+    "make_chunks",
+    "run_dsweep",
+    "write_results_file",
+]

@@ -1,0 +1,411 @@
+"""The sweep coordinator: chunk, dispatch, retry, merge.
+
+:func:`run_dsweep` turns one point grid into the same ``{label:
+RunStats}`` mapping a local :func:`~repro.core.sweep.run_sweep`
+returns — bit-identically — by chunking the grid into work units and
+dispatching them across a launcher's worker slots
+(:mod:`repro.dist.launchers`).
+
+Determinism contract
+--------------------
+Results are merged by *input position*, never arrival order, and the
+merge is checked against the full grid
+(:func:`~repro.core.sweep.assert_merge_complete`) before anything is
+returned.  Workers run points through the exact ``run_point`` path a
+local sweep uses and stats cross the wire through the bit-exact
+``to_dict``/``stats_from_dict`` round trip, so where a point ran can
+never change what it returned.
+
+Robustness
+----------
+Failures re-queue the chunk for any other worker, bounded by
+``max_retries`` attempts; only when a chunk exhausts its retries —
+i.e. the work could not be re-run elsewhere either — does the sweep
+fail, loudly, naming the lost point identities
+(:class:`DistSweepError`).  A dead worker is respawned by its
+launcher; a chunk that blows ``chunk_timeout`` gets its worker killed
+first so a wedged simulation cannot absorb retries.  When every
+pending chunk is taken, idle workers re-dispatch the slowest in-flight
+straggler (elapsed > ``straggler_factor`` x the median completed-chunk
+duration); whichever copy finishes first wins and the duplicate result
+is dropped.  With a ``journal``, completed chunks are persisted as
+they land, so an interrupted sweep re-run with the same grid resumes
+instead of recomputing (:mod:`repro.dist.journal`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+
+from repro.core.sweep import (
+    SweepPoint,
+    app_key,
+    assert_merge_complete,
+    point_key,
+)
+from repro.dist.journal import ChunkJournal
+from repro.dist.launchers import ChunkFailed, ChunkTimeout, WorkerDied
+
+#: Default ceiling on points per chunk: small enough that retries and
+#: journal increments stay cheap, big enough to amortize dispatch.
+DEFAULT_CHUNK_SIZE = 4
+
+#: A straggler must also have run at least this long before an idle
+#: worker duplicates it (guards against thrashing on tiny chunks).
+MIN_STRAGGLER_S = 0.5
+
+
+class DistSweepError(RuntimeError):
+    """The sweep lost points it could not re-run anywhere.
+
+    Raised only after the retry budget is exhausted; carries the lost
+    point identities (``label [point_key]``) and the last failure.
+    """
+
+    def __init__(self, lost: list[str], cause: str):
+        self.lost = list(lost)
+        self.cause = cause
+        super().__init__(
+            f"lost {len(self.lost)} point(s) after exhausting retries: "
+            f"{self.lost} (last failure: {cause})"
+        )
+
+
+@dataclass
+class _Chunk:
+    """One work unit: a contiguous same-application slice of the grid."""
+
+    id: int
+    indices: list[int]  # positions in the (todo) point list
+    points: list[SweepPoint]
+    keys: list[str] = field(default_factory=list)
+    attempts: int = 0  # dispatches that have *failed*
+    running: int = 0  # live dispatches right now (straggler dup <= 2)
+    started: float = 0.0  # monotonic start of the oldest live dispatch
+
+    def __post_init__(self):
+        if not self.keys:
+            self.keys = [point_key(point) for point in self.points]
+
+
+def make_chunks(
+    points: list[SweepPoint], chunk_size: int = DEFAULT_CHUNK_SIZE
+) -> list[list[int]]:
+    """Index chunks: same-application groups, sliced to ``chunk_size``.
+
+    Grouping by :func:`~repro.core.sweep.app_key` first keeps trace
+    reuse intact — a worker that materializes an application's traces
+    replays them for every other point of the chunk — and slicing
+    bounds the retry/journal granularity.  Order inside a chunk follows
+    input order, so the merge is position-stable.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be >= 1")
+    groups: dict[tuple, list[int]] = {}
+    for index, point in enumerate(points):
+        groups.setdefault(app_key(point), []).append(index)
+    chunks = []
+    for indices in groups.values():
+        for start in range(0, len(indices), chunk_size):
+            chunks.append(indices[start:start + chunk_size])
+    return chunks
+
+
+class _State:
+    """Shared coordinator state; every mutation holds ``cond``."""
+
+    def __init__(self, chunks: list[_Chunk], max_retries: int,
+                 straggler_factor: float | None, workers: int):
+        self.cond = threading.Condition()
+        self.pending: deque[_Chunk] = deque(chunks)
+        self.results: dict[int, list] = {}
+        self.durations: list[float] = []
+        self.duplicates = 0  # results dropped by first-wins
+        self.redispatches = 0  # straggler duplications issued
+        self.retries = 0  # failure re-queues
+        self.retired = 0  # worker slots quarantined for repeat deaths
+        self.max_retries = max_retries
+        self.straggler_factor = straggler_factor
+        self.fatal: DistSweepError | None = None
+        self.inflight: dict[int, _Chunk] = {}
+        self.active = workers
+
+    def done(self) -> bool:
+        return self.fatal is not None or (
+            not self.pending and not self.inflight
+        )
+
+    # -- dispatch ------------------------------------------------------------
+    def next_chunk(self) -> _Chunk | None:
+        """Pop fresh work, or duplicate a straggler; None = wait/exit."""
+        while self.pending:
+            chunk = self.pending.popleft()
+            if chunk.id in self.results:
+                continue  # a straggler duplicate beat the retry to it
+            return chunk
+        return self._steal_straggler()
+
+    def _steal_straggler(self) -> _Chunk | None:
+        if self.straggler_factor is None or not self.durations:
+            return None
+        ordered = sorted(self.durations)
+        median = ordered[len(ordered) // 2]
+        threshold = max(self.straggler_factor * median, MIN_STRAGGLER_S)
+        now = time.monotonic()
+        slowest = None
+        for chunk in self.inflight.values():
+            if chunk.running != 1 or chunk.id in self.results:
+                continue  # already duplicated (or already answered)
+            elapsed = now - chunk.started
+            if elapsed > threshold and (
+                slowest is None
+                or elapsed > now - slowest.started
+            ):
+                slowest = chunk
+        if slowest is not None:
+            self.redispatches += 1
+        return slowest
+
+    def begin(self, chunk: _Chunk) -> None:
+        if chunk.running == 0:
+            chunk.started = time.monotonic()
+        chunk.running += 1
+        self.inflight[chunk.id] = chunk
+
+    def _settle(self, chunk: _Chunk) -> None:
+        chunk.running -= 1
+        if chunk.running <= 0:
+            self.inflight.pop(chunk.id, None)
+
+    # -- outcomes ------------------------------------------------------------
+    def complete(self, chunk: _Chunk, stats: list) -> bool:
+        """Record a result; False when a duplicate already landed."""
+        with self.cond:
+            self._settle(chunk)
+            if chunk.id in self.results:
+                self.duplicates += 1
+                self.cond.notify_all()
+                return False
+            self.results[chunk.id] = stats
+            self.durations.append(time.monotonic() - chunk.started)
+            self.cond.notify_all()
+            return True
+
+    def fail(self, chunk: _Chunk, exc: Exception) -> None:
+        """Re-queue a failed dispatch, or declare the sweep lost."""
+        with self.cond:
+            self._settle(chunk)
+            if chunk.id in self.results:
+                # The other copy of this straggler already answered;
+                # this failure cost nothing.
+                self.cond.notify_all()
+                return
+            chunk.attempts += 1
+            if chunk.attempts > self.max_retries:
+                if self.fatal is None:
+                    self.fatal = DistSweepError(
+                        lost=[
+                            f"{point.label} [{key}]"
+                            for point, key in zip(chunk.points, chunk.keys)
+                        ],
+                        cause=f"{type(exc).__name__}: {exc}",
+                    )
+            else:
+                self.retries += 1
+                self.pending.append(chunk)
+            self.cond.notify_all()
+
+    def retire_worker(self) -> None:
+        """A slot quarantined itself after repeated deaths.
+
+        The sweep survives as long as one slot remains; losing the last
+        one with work outstanding is fatal — naming everything still
+        unfinished — because nothing is left to re-run it on.
+        """
+        with self.cond:
+            self.active -= 1
+            self.retired += 1
+            if self.active == 0 and self.fatal is None and not self.done():
+                remaining = [
+                    f"{point.label} [{key}]"
+                    for chunk in list(self.pending)
+                    + list(self.inflight.values())
+                    if chunk.id not in self.results
+                    for point, key in zip(chunk.points, chunk.keys)
+                ]
+                self.fatal = DistSweepError(
+                    lost=remaining,
+                    cause="every worker slot died repeatedly",
+                )
+            self.cond.notify_all()
+
+
+def _worker_loop(worker_id: int, launcher, state: _State,
+                 chunk_timeout, journal, on_progress,
+                 worker_failure_limit: int) -> None:
+    consecutive_deaths = 0
+    while True:
+        with state.cond:
+            while True:
+                if state.done():
+                    return
+                chunk = state.next_chunk()
+                if chunk is not None:
+                    state.begin(chunk)
+                    break
+                # Nothing to take yet: wake on completions/failures,
+                # or on a timer so straggler checks keep happening.
+                state.cond.wait(timeout=0.05)
+        try:
+            stats = launcher.run_chunk(
+                worker_id, chunk.id, chunk.points, timeout=chunk_timeout
+            )
+        except ChunkFailed as exc:
+            # The worker is healthy; the failure belongs to the chunk.
+            consecutive_deaths = 0
+            state.fail(chunk, exc)
+            continue
+        except (WorkerDied, ChunkTimeout) as exc:
+            state.fail(chunk, exc)
+            consecutive_deaths += 1
+            if consecutive_deaths >= worker_failure_limit:
+                # This slot keeps dying (bad host, poisoned respawn):
+                # quarantine it so it stops bleeding chunk retries.
+                state.retire_worker()
+                return
+            continue
+        consecutive_deaths = 0
+        if state.complete(chunk, stats):
+            if journal is not None:
+                journal.record(chunk.id, chunk.keys, stats)
+            if on_progress is not None:
+                with state.cond:
+                    done = sum(len(v) for v in state.results.values())
+                on_progress(done)
+
+
+def run_dsweep(
+    points: list[SweepPoint],
+    launcher,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    chunk_timeout: float | None = None,
+    max_retries: int = 2,
+    worker_failure_limit: int = 2,
+    straggler_factor: float | None = 4.0,
+    journal=None,
+    resume=None,
+    telemetry_interval: int | None = None,
+    on_progress=None,
+):
+    """Run every point across ``launcher``'s workers; returns
+    ``{point.label: RunStats}`` in input order, bit-identical to
+    ``run_sweep(points)``.
+
+    ``journal`` (a path or :class:`~repro.dist.journal.ChunkJournal`)
+    persists completed chunks and replays them on a re-run of the same
+    grid.  ``resume`` is a ``{point_key: RunStats}`` mapping (e.g. from
+    :func:`~repro.dist.journal.load_results_file`) applied before
+    chunking, exactly like ``run_sweep``'s.  ``straggler_factor=None``
+    disables tail re-dispatch; ``on_progress`` (when given) receives
+    the running count of completed points.
+
+    Failure budgets compose: each chunk survives ``max_retries``
+    failed dispatches, and each worker slot survives
+    ``worker_failure_limit`` *consecutive* deaths/timeouts before it
+    is quarantined (a slot that dies on every chunk it touches would
+    otherwise drain the whole grid's retry budget by itself).  Keep
+    ``worker_failure_limit <= max_retries`` so one bad slot can never
+    exhaust a chunk alone.
+    """
+    if telemetry_interval is not None:
+        points = [
+            replace(point, config=point.config.with_(
+                telemetry_interval=telemetry_interval))
+            for point in points
+        ]
+    labels = [point.label for point in points]
+    if len(set(labels)) != len(labels):
+        raise ValueError("sweep point labels must be unique")
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
+
+    hits: dict[int, object] = {}
+    if resume:
+        for index, point in enumerate(points):
+            known = resume.get(point_key(point))
+            if known is not None:
+                hits[index] = known
+    todo = [p for i, p in enumerate(points) if i not in hits]
+
+    merged: list = [None] * len(todo)
+    if todo:
+        chunks = [
+            _Chunk(id=i, indices=indices,
+                   points=[todo[j] for j in indices])
+            for i, indices in enumerate(make_chunks(todo, chunk_size))
+        ]
+        if journal is not None and not isinstance(journal, ChunkJournal):
+            journal = ChunkJournal(journal)
+        replayed: dict[int, list] = {}
+        if journal is not None:
+            replayed = journal.open([chunk.keys for chunk in chunks])
+
+        workers = max(1, getattr(launcher, "workers", 1))
+        state = _State(
+            [c for c in chunks if c.id not in replayed],
+            max_retries=max_retries,
+            straggler_factor=straggler_factor,
+            workers=workers,
+        )
+        state.results.update(replayed)
+        threads = [
+            threading.Thread(
+                target=_worker_loop,
+                args=(worker_id, launcher, state, chunk_timeout,
+                      journal, on_progress, worker_failure_limit),
+                name=f"repro-dsweep-{worker_id}",
+                daemon=True,
+            )
+            for worker_id in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if state.fatal is not None:
+            raise state.fatal
+
+        for chunk in chunks:
+            stats = state.results.get(chunk.id)
+            if stats is None:
+                continue  # assert_merge_complete names it below
+            for position, one in zip(chunk.indices, stats):
+                merged[position] = one
+        run_dsweep.last_stats = {  # introspection for tests/benchmarks
+            "chunks": len(chunks),
+            "replayed": len(replayed),
+            "retries": state.retries,
+            "redispatches": state.redispatches,
+            "duplicates_dropped": state.duplicates,
+            "workers_retired": state.retired,
+        }
+    else:
+        run_dsweep.last_stats = {
+            "chunks": 0, "replayed": 0, "retries": 0,
+            "redispatches": 0, "duplicates_dropped": 0,
+            "workers_retired": 0,
+        }
+    assert_merge_complete(todo, merged)
+
+    fresh = iter(merged)
+    return {
+        point.label: (hits[index] if index in hits else next(fresh))
+        for index, point in enumerate(points)
+    }
+
+
+#: Stats of the most recent ``run_dsweep`` call (single-threaded use).
+run_dsweep.last_stats = {}

@@ -1,0 +1,193 @@
+"""On-disk progress records: the chunk journal and results files.
+
+Chunk journal
+-------------
+The coordinator appends one JSON line per *completed* chunk (its
+point-identity keys plus the serialized stats), headed by a line that
+fingerprints the whole sweep — the ordered chunk/key structure.  An
+interrupted sweep re-opened against the same grid replays the journal
+and only re-runs what is missing; a journal written for a *different*
+grid (or chunking) fails loudly instead of resuming into a mismatched
+merge.  Appends are single ``write`` calls of whole lines, so a crash
+mid-append leaves at most one truncated tail line, which replay
+skips — a journaled chunk is either fully trusted or ignored.
+
+Results files
+-------------
+``write_results_file`` / ``load_results_file`` persist a (possibly
+partial) ``{label: RunStats}`` mapping keyed by
+:func:`repro.core.sweep.point_key` — the same identity keys the
+journal uses — which is what ``repro sweep --resume`` and ``repro
+dsweep --resume/--results`` exchange.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.core.sweep import SweepPoint, point_key
+from repro.sim.stats import RunStats, stats_from_dict
+
+JOURNAL_KIND = "repro-dsweep-journal"
+JOURNAL_VERSION = 1
+RESULTS_KIND = "repro-sweep-results"
+RESULTS_VERSION = 1
+
+
+class JournalMismatch(RuntimeError):
+    """An existing journal belongs to a different sweep or chunking."""
+
+
+def sweep_fingerprint(chunk_keys: list[list[str]]) -> str:
+    """Identity of one (grid, chunking) pair: ordered chunk key lists."""
+    material = json.dumps(chunk_keys, sort_keys=True)
+    return hashlib.sha256(material.encode()).hexdigest()[:16]
+
+
+class ChunkJournal:
+    """Append-only record of completed chunks for one sweep."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        self._fingerprint: str | None = None
+
+    def open(self, chunk_keys: list[list[str]]) -> dict[int, list[RunStats]]:
+        """Bind the journal to a sweep; returns the replayed results.
+
+        A fresh path writes the header and returns ``{}``.  An existing
+        journal for the same fingerprint replays its completed chunks
+        as ``{chunk_id: [RunStats, ...]}``; one for a different sweep
+        raises :class:`JournalMismatch` (delete the file or pick
+        another path to start over).
+        """
+        self._fingerprint = sweep_fingerprint(chunk_keys)
+        if not self.path.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._append({
+                "kind": JOURNAL_KIND,
+                "version": JOURNAL_VERSION,
+                "sweep": self._fingerprint,
+                "chunks": len(chunk_keys),
+            })
+            return {}
+        return self._replay(chunk_keys)
+
+    def record(self, chunk_id: int, keys: list[str], stats: list) -> None:
+        """Journal one completed chunk (stats: ``RunStats`` list)."""
+        self._append({
+            "chunk": chunk_id,
+            "keys": list(keys),
+            "stats": [s.to_dict() for s in stats],
+        })
+
+    # -- internals -----------------------------------------------------------
+    def _append(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True) + "\n"
+        # O_APPEND + one write: concurrent/interrupted appends never
+        # interleave inside a line, and a crash truncates at most the
+        # tail line, which _replay skips.
+        with open(self.path, "a", encoding="utf-8") as fp:
+            fp.write(line)
+            fp.flush()
+            os.fsync(fp.fileno())
+
+    def _replay(self, chunk_keys: list[list[str]]) -> dict[int, list[RunStats]]:
+        completed: dict[int, list[RunStats]] = {}
+        header_seen = False
+        for raw in self.path.read_text(encoding="utf-8").splitlines():
+            try:
+                record = json.loads(raw)
+            except ValueError:
+                continue  # truncated tail line from an interrupt
+            if not isinstance(record, dict):
+                continue
+            if record.get("kind") == JOURNAL_KIND:
+                if record.get("sweep") != self._fingerprint:
+                    raise JournalMismatch(
+                        f"{self.path} was written for sweep "
+                        f"{record.get('sweep')!r}, this grid/chunking is "
+                        f"{self._fingerprint!r}; delete the journal or "
+                        "pass a fresh path"
+                    )
+                header_seen = True
+                continue
+            chunk_id = record.get("chunk")
+            if (
+                not header_seen
+                or not isinstance(chunk_id, int)
+                or not 0 <= chunk_id < len(chunk_keys)
+                or record.get("keys") != chunk_keys[chunk_id]
+            ):
+                continue  # corrupt or stale record: re-run that chunk
+            try:
+                stats = [stats_from_dict(d) for d in record["stats"]]
+            except Exception:
+                continue
+            if len(stats) != len(chunk_keys[chunk_id]):
+                continue
+            completed[chunk_id] = stats
+        if not header_seen:
+            raise JournalMismatch(
+                f"{self.path} exists but carries no journal header; "
+                "refusing to resume from an unrelated file"
+            )
+        return completed
+
+
+# -- results files -----------------------------------------------------------
+
+
+def write_results_file(
+    path: str | os.PathLike,
+    points: list[SweepPoint],
+    results: dict[str, RunStats],
+) -> None:
+    """Persist ``{label: RunStats}`` keyed by point identity (atomic)."""
+    payload = {
+        "kind": RESULTS_KIND,
+        "version": RESULTS_VERSION,
+        "results": {
+            point_key(point): {
+                "label": point.label,
+                "stats": results[point.label].to_dict(),
+            }
+            for point in points
+            if point.label in results
+        },
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(payload, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+def load_results_file(path: str | os.PathLike) -> dict[str, RunStats]:
+    """A results file back into ``{point_key: RunStats}``.
+
+    The mapping plugs straight into ``run_sweep(..., resume=...)`` and
+    ``run_dsweep(..., resume=...)``.  Raises ``ValueError`` for files
+    that are not results files; individual corrupt entries are dropped
+    (they simply re-run).
+    """
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise ValueError(f"{path} is not a results file: {exc}") from exc
+    if (
+        not isinstance(payload, dict)
+        or payload.get("kind") != RESULTS_KIND
+    ):
+        raise ValueError(
+            f"{path} is not a sweep results file (kind != {RESULTS_KIND!r})"
+        )
+    out: dict[str, RunStats] = {}
+    for key, entry in payload.get("results", {}).items():
+        try:
+            out[key] = stats_from_dict(entry["stats"])
+        except Exception:
+            continue
+    return out

@@ -13,6 +13,8 @@ trace construction), ``sim_s`` (the simulation proper) and
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from pathlib import Path
 
@@ -21,11 +23,64 @@ from repro.data.datasets import DatasetSize
 from repro.kernels import build_application
 from repro.sim.gpu import GPUSimulator
 
+#: Executors rewrite ``progress.json`` at most this often (the file is
+#: re-read on every job-status poll, so finer granularity buys nothing).
+PROGRESS_MIN_INTERVAL_S = 0.1
+
 
 def _stamp(timings: dict, stage: str, since: float) -> float:
     now = time.monotonic()
     timings[stage] = now - since
     return now
+
+
+def write_progress(artifact_dir, payload: dict) -> None:
+    """Atomically publish ``progress.json`` into the job's artifact dir.
+
+    Runs inside the forked executor child; the parent's
+    :meth:`~repro.service.jobs.Job.view` reads it back while the job is
+    running, which is how percent-complete reaches the job-status
+    response and ``/metrics`` without any extra IPC channel.
+    """
+    if artifact_dir is None:
+        return
+    path = Path(artifact_dir) / "progress.json"
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, path)
+    except OSError:
+        pass  # progress is best-effort; never fail the job over it
+
+
+def _telemetry_progress(artifact_dir):
+    """A ``Telemetry.progress`` hook publishing interval-counter progress.
+
+    Single runs have no known total (cycles-to-completion is the thing
+    being simulated), so ``percent`` stays ``None`` — the payload
+    reports honest monotone counters instead.
+    """
+    state = {"last": 0.0}
+
+    def hook(index: int, interval: int) -> None:
+        now = time.monotonic()
+        if now - state["last"] < PROGRESS_MIN_INTERVAL_S:
+            return
+        state["last"] = now
+        write_progress(artifact_dir, {
+            "unit": "cycles",
+            "done": (index + 1) * interval,
+            "intervals": index + 1,
+            "total": None,
+            "percent": None,
+        })
+
+    return hook
+
+
+def _attach_progress(sim: GPUSimulator, artifact_dir) -> None:
+    if artifact_dir is not None and sim.telemetry is not None:
+        sim.telemetry.progress = _telemetry_progress(artifact_dir)
 
 
 def execute_simulate(request, artifact_dir: str | None):
@@ -37,7 +92,9 @@ def execute_simulate(request, artifact_dir: str | None):
         request.benchmark, cdp=request.cdp, size=DatasetSize(request.size)
     )
     t = _stamp(timings, "trace_load_s", t)
-    stats = GPUSimulator(config).run_application(app)
+    sim = GPUSimulator(config)
+    _attach_progress(sim, artifact_dir)
+    stats = sim.run_application(app)
     t = _stamp(timings, "sim_s", t)
     payload = {
         "kind": request.KIND,
@@ -76,25 +133,53 @@ def execute_estimate(request, artifact_dir: str | None):
 def execute_sweep(request, artifact_dir: str | None):
     """The suite (or a subset) at the request's config.
 
-    Runs in-process (``jobs=0``): the job queue already bounds
-    process-level concurrency to the shared core budget, so nesting a
-    pool inside a worker child would oversubscribe the host.  The
-    in-process path still gets full trace reuse through its
+    With ``request.points`` set (a dsweep chunk), the wire-encoded
+    points are decoded and run verbatim — each carries its own full
+    config — instead of building the suite grid.
+
+    Runs in-process (``jobs=0`` semantics): the job queue already
+    bounds process-level concurrency to the shared core budget, so
+    nesting a pool inside a worker child would oversubscribe the host.
+    The in-process path still gets full trace reuse through its
     :class:`~repro.core.sweep.TraceCache` (and the persistent store
-    when ``REPRO_TRACE_STORE`` is set).
+    when ``REPRO_TRACE_STORE`` is set).  Per-point completion counts
+    are published as job progress — exact percent, which is also what
+    the distributed coordinator's straggler detection reads.
     """
-    from repro.core.sweep import run_sweep, suite_points
+    from repro.core.sweep import TraceCache, run_point, suite_points
+    from repro.sim.trace_store import TraceStore
 
     config = request.resolved_config()
     timings: dict = {}
     t = time.monotonic()
-    points = suite_points(
-        benchmarks=list(request.benchmarks) or None,
-        cdp_variants=request.cdp_variants,
-        size=DatasetSize(request.size),
-        config=config,
-    )
-    results = run_sweep(points, jobs=0)
+    if request.points:
+        from repro.dist.wire import decode_point
+
+        points = [decode_point(entry) for entry in request.points]
+    else:
+        points = suite_points(
+            benchmarks=list(request.benchmarks) or None,
+            cdp_variants=request.cdp_variants,
+            size=DatasetSize(request.size),
+            config=config,
+        )
+    labels = [point.label for point in points]
+    if len(set(labels)) != len(labels):
+        raise ValueError("sweep point labels must be unique")
+    cache = TraceCache(store=TraceStore.from_env())
+    total = len(points)
+    results = {}
+    write_progress(artifact_dir, {
+        "unit": "points", "done": 0, "total": total, "percent": 0.0,
+    })
+    for done, point in enumerate(points, start=1):
+        results[point.label] = run_point(point, cache)
+        write_progress(artifact_dir, {
+            "unit": "points",
+            "done": done,
+            "total": total,
+            "percent": round(100.0 * done / total, 2),
+        })
     t = _stamp(timings, "sim_s", t)
     payload = {
         "kind": request.KIND,
@@ -117,7 +202,9 @@ def execute_profile(request, artifact_dir: str | None):
         request.benchmark, cdp=request.cdp, size=DatasetSize(request.size)
     )
     t = _stamp(timings, "trace_load_s", t)
-    stats = GPUSimulator(config).run_application(app)
+    sim = GPUSimulator(config)
+    _attach_progress(sim, artifact_dir)
+    stats = sim.run_application(app)
     t = _stamp(timings, "sim_s", t)
     artifacts = []
     out = Path(artifact_dir) if artifact_dir else None

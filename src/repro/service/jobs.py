@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import json
 import multiprocessing
 import shutil
 import tempfile
@@ -91,6 +92,22 @@ class Job:
     def finished(self) -> bool:
         return self.state in _FINAL
 
+    def progress(self) -> dict | None:
+        """The executor child's latest ``progress.json``, if any.
+
+        Only meaningful while running (a finished job's percent is its
+        terminal state); reading the file fresh per status poll keeps
+        the parent free of any progress IPC.
+        """
+        if self.state != JobState.RUNNING or self.artifact_dir is None:
+            return None
+        try:
+            raw = (self.artifact_dir / "progress.json").read_text()
+            payload = json.loads(raw)
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
     def view(self) -> JobView:
         return JobView(
             id=self.id,
@@ -106,6 +123,7 @@ class Job:
             timings=dict(self.timings),
             error=self.error,
             artifacts=tuple(self.artifacts),
+            progress=self.progress(),
             schema_version=SCHEMA_VERSION,
         )
 
@@ -311,6 +329,20 @@ class JobQueue:
                 "workers": self.workers,
                 "slots_in_use": self._in_use,
             }
+
+    def running_progress(self) -> list:
+        """Per-running-job progress snapshots for ``/metrics``."""
+        with self._cond:
+            running = [
+                job for job in self.jobs.values()
+                if job.state == JobState.RUNNING
+            ]
+        # progress() reads each job's progress.json — do the file IO
+        # outside the queue lock.
+        return [
+            {"id": job.id, "kind": job.kind, "progress": job.progress()}
+            for job in running
+        ]
 
     # -- execution ----------------------------------------------------------
     def _job_weight(self, job: Job) -> int:

@@ -232,9 +232,45 @@ class EstimateRequest:
         }
 
 
+def _points(name: str, value) -> tuple:
+    """Validate and canonicalize explicit sweep points.
+
+    Each element must round-trip through the dsweep wire codec
+    (:mod:`repro.dist.wire`); the stored form is the canonical
+    re-encoding, so the ``key`` fields are always present and correct.
+    """
+    if not isinstance(value, (list, tuple)):
+        raise SchemaError(name, f"expected a list, got {value!r}")
+    from repro.dist.wire import decode_point, encode_point
+
+    canonical = []
+    for index, entry in enumerate(value):
+        if not isinstance(entry, dict):
+            raise SchemaError(
+                f"{name}[{index}]", f"expected an object, got {entry!r}"
+            )
+        try:
+            canonical.append(encode_point(decode_point(entry)))
+        except ValueError as exc:
+            raise SchemaError(f"{name}[{index}]", str(exc)) from exc
+    labels = [entry["label"] for entry in canonical]
+    if len(set(labels)) != len(labels):
+        raise SchemaError(name, "point labels must be unique")
+    return tuple(canonical)
+
+
 @dataclass(frozen=True)
 class SweepRequest:
-    """``POST /v1/sweep``: the suite (or a subset) at one config."""
+    """``POST /v1/sweep``: the suite (or a subset) at one config.
+
+    Alternatively, ``points`` carries an explicit list of wire-encoded
+    sweep points (each its own full config) — the mode the distributed
+    coordinator's :class:`~repro.dist.launchers.ServiceLauncher` uses
+    to run one chunk per request.  The two modes are mutually
+    exclusive: with ``points``, the grid fields
+    (``benchmarks``/``cdp_variants``/``size``/``config``) must stay at
+    their defaults.
+    """
 
     KIND = "sweep"
 
@@ -242,6 +278,7 @@ class SweepRequest:
     cdp_variants: bool = True
     size: str = DatasetSize.SMALL.value
     config: dict = field(default_factory=dict)
+    points: tuple = ()  # wire-encoded explicit points (dsweep chunks)
     priority: int = 0
     timeout_s: float | None = None
     use_cache: bool = True
@@ -252,6 +289,18 @@ class SweepRequest:
         raw = payload.get("benchmarks", [])
         if not isinstance(raw, (list, tuple)):
             raise SchemaError("benchmarks", f"expected a list, got {raw!r}")
+        points = _points("points", payload.get("points", []))
+        if points and (
+            raw
+            or payload.get("config")
+            or "cdp_variants" in payload
+            or "size" in payload
+        ):
+            raise SchemaError(
+                "points",
+                "explicit points carry their own configs; do not combine "
+                "with benchmarks/cdp_variants/size/config",
+            )
         return cls(
             benchmarks=tuple(
                 _benchmark("benchmarks", abbr) for abbr in raw
@@ -261,6 +310,7 @@ class SweepRequest:
             ),
             size=_size("size", payload.get("size", DatasetSize.SMALL.value)),
             config=_config_overrides("config", payload.get("config", {})),
+            points=points,
             priority=_int("priority", payload.get("priority", 0)),
             timeout_s=_timeout("timeout_s", payload.get("timeout_s")),
             use_cache=_bool("use_cache", payload.get("use_cache", True)),
@@ -269,12 +319,17 @@ class SweepRequest:
     def to_dict(self) -> dict:
         data = asdict(self)
         data["benchmarks"] = list(self.benchmarks)
+        data["points"] = [dict(entry) for entry in self.points]
         return data
 
     def resolved_config(self) -> GPUConfig:
         return apply_overrides(GPUConfig(), self.config)
 
     def identity(self) -> dict:
+        if self.points:
+            # Point keys already hash each point's full config, so they
+            # are the complete cache-key material for this mode.
+            return {"points": [entry["key"] for entry in self.points]}
         return {
             "benchmarks": list(self.benchmarks),
             "cdp_variants": self.cdp_variants,
@@ -362,7 +417,13 @@ def parse_request(kind: str, payload: Any):
 
 @dataclass(frozen=True)
 class JobView:
-    """The wire representation of a job's state."""
+    """The wire representation of a job's state.
+
+    ``progress`` is populated while the job runs (when its executor
+    reports any): sweep jobs count completed points, telemetry runs
+    count simulated interval rows — both carry ``percent`` when a
+    total is known.  Additive optional field; same schema version.
+    """
 
     id: str
     kind: str
@@ -377,6 +438,7 @@ class JobView:
     timings: dict
     error: str | None
     artifacts: tuple
+    progress: dict | None = None
     schema_version: int = SCHEMA_VERSION
 
     @classmethod

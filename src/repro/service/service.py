@@ -192,6 +192,7 @@ class SimulationService:
         data = self.metrics.to_dict()
         data["schema_version"] = SCHEMA_VERSION
         data["queue"] = self.queue.depth()
+        data["running"] = self.queue.running_progress()
         data["jobs_executed"] = self.queue.executed
         if self.cache is not None:
             data["result_cache"] = {

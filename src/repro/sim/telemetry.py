@@ -99,12 +99,23 @@ class Telemetry:
         self.events_dropped = 0
         self.meta: dict = {}
         self._rows: dict[int, dict] = {}
+        #: Optional live-progress hook: ``fn(index, interval)`` fired
+        #: the first time each new *highest* interval row opens (i.e.
+        #: once per ``interval`` simulated cycles).  The service layer
+        #: uses it to surface percent-complete on job status; it rides
+        #: the row-creation miss path, so the recording hot paths are
+        #: untouched and results are unaffected either way.
+        self.progress = None
+        self._progress_high = -1
 
     # -- row access --------------------------------------------------------
     def _row(self, index: int) -> dict:
         row = self._rows.get(index)
         if row is None:
             row = self._rows[index] = _new_row()
+            if self.progress is not None and index > self._progress_high:
+                self._progress_high = index
+                self.progress(index, self.interval)
         return row
 
     def _spread(self, key: str, start: int, cycles: int, sub: str | None = None):

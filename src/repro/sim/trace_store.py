@@ -67,6 +67,10 @@ from repro.sim.replay import CachedApplication, TraceCounts
 MAGIC = b"RTRX"
 VERSION = 1
 
+#: Archive format of :meth:`TraceStore.pack` / :meth:`TraceStore.unpack`.
+PACK_MAGIC = b"RPAK"
+PACK_VERSION = 1
+
 #: Seconds after which another process's lockfile is presumed dead.
 #: Per-store override: ``TraceStore(root, stale_lock_s=...)`` or the
 #: ``REPRO_TRACE_LOCK_TIMEOUT`` environment variable.  A writer that
@@ -639,3 +643,100 @@ class TraceStore:
         line = f"{path.name} pid={os.getpid()}\n".encode()
         with open(self.root / "builds.log", "ab") as log:
             log.write(line)
+
+    # -- host-to-host sync (pack / unpack) ---------------------------------
+    def entry_names(self) -> list[str]:
+        """Names of every published entry, in a stable order."""
+        try:
+            return sorted(
+                p.name for p in self.root.glob("*.trace") if p.is_file()
+            )
+        except OSError:
+            return []
+
+    def pack(self, dest: str | os.PathLike, names=None) -> int:
+        """Archive store entries into one transferable file.
+
+        The archive records the packing host's source fingerprint and a
+        per-entry CRC32, so :meth:`unpack` on the receiving host can
+        reject both a stale source tree and bytes damaged in transit.
+        ``names`` restricts the archive to those entries (default:
+        everything published).  Returns the number of entries packed.
+        """
+        selected = self.entry_names() if names is None else list(names)
+        dest = Path(dest)
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        tmp = dest.with_name(f"{dest.name}.{os.getpid()}.tmp")
+        count = 0
+        with open(tmp, "wb") as fh:
+            fh.write(PACK_MAGIC + struct.pack("<H", PACK_VERSION))
+            fingerprint = source_fingerprint().encode()
+            fh.write(struct.pack("<I", len(fingerprint)) + fingerprint)
+            fh.write(struct.pack("<I", len(selected)))
+            for name in selected:
+                data = (self.root / name).read_bytes()
+                raw = name.encode()
+                fh.write(struct.pack("<I", len(raw)) + raw)
+                fh.write(struct.pack("<QI", len(data), zlib.crc32(data)))
+                fh.write(data)
+                count += 1
+        os.replace(tmp, dest)
+        return count
+
+    def unpack(self, src: str | os.PathLike) -> int:
+        """Import a :meth:`pack` archive into this store.
+
+        Unlike :meth:`load` (which silently retires corrupt files and
+        regenerates), importing foreign bytes fails *loudly*: a wrong
+        magic/version, a fingerprint from a different source tree, a
+        per-entry CRC mismatch, or an unsafe entry name all raise
+        ``ValueError`` and nothing from the archive is kept — syncing
+        must never plant traces the local source could not have
+        produced.  Returns the number of entries written.
+        """
+        data = Path(src).read_bytes()
+        r = _Reader(data)
+        if r._take(4) != PACK_MAGIC:
+            raise ValueError(f"{src} is not a trace-store archive")
+        (version,) = struct.unpack("<H", r._take(2))
+        if version != PACK_VERSION:
+            raise ValueError(
+                f"unsupported trace archive version {version}"
+            )
+        fingerprint = r.text()
+        if fingerprint != source_fingerprint():
+            raise ValueError(
+                f"{src} was packed against a different source tree "
+                f"(fingerprint {fingerprint[:12]}..., local "
+                f"{source_fingerprint()[:12]}...); re-warm instead of "
+                "importing stale traces"
+            )
+        entries = []
+        for _ in range(r.u32()):
+            name = r.text()
+            if (
+                not name.endswith(".trace")
+                or "/" in name or "\\" in name or name.startswith(".")
+            ):
+                raise ValueError(f"unsafe entry name {name!r} in {src}")
+            size, crc = struct.unpack("<QI", r._take(12))
+            payload = r._take(size)
+            if zlib.crc32(payload) != crc:
+                raise ValueError(
+                    f"entry {name} in {src} failed its CRC check; "
+                    "archive corrupt, nothing imported"
+                )
+            entries.append((name, payload))
+        if r.pos != len(data):
+            raise ValueError(
+                f"{src} has {len(data) - r.pos} trailing byte(s) past the "
+                "last entry; archive damaged, nothing imported"
+            )
+        # All entries validated: publish each atomically.
+        self.root.mkdir(parents=True, exist_ok=True)
+        for name, payload in entries:
+            path = self.root / name
+            tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+            tmp.write_bytes(payload)
+            os.replace(tmp, path)
+        return len(entries)

@@ -228,3 +228,103 @@ class TestTelemetryOptIn:
         serial_run = run_sweep(pts, jobs=0, telemetry_interval=2_000)["NW"]
         pooled = run_sweep(pts, jobs=2, telemetry_interval=2_000)["NW"]
         assert pooled.telemetry == serial_run.telemetry
+
+
+class TestPointIdentityAndMerge:
+    """point_key / assert_merge_complete: the fan-out merge contract."""
+
+    def test_point_key_ignores_label(self, config):
+        a = sweep_point("one", "NW", config)
+        b = sweep_point("two", "NW", config)
+        from repro.core.sweep import point_key
+
+        assert point_key(a) == point_key(b)
+
+    def test_point_key_tracks_content(self, config):
+        from repro.core.sweep import point_key
+
+        base = sweep_point("NW", "NW", config)
+        assert point_key(base) != point_key(
+            sweep_point("NW", "NW", config.with_(num_sms=8))
+        )
+        assert point_key(base) != point_key(
+            sweep_point("NW", "NW", config, cdp=True)
+        )
+
+    def test_non_scalar_option_rejected(self, config):
+        from repro.core.sweep import point_key
+
+        bad = sweep_point("NW", "NW", config, shape=(3, 4))
+        with pytest.raises(TypeError, match="JSON scalar"):
+            point_key(bad)
+
+    def test_merge_complete_passes(self, config):
+        from repro.core.sweep import assert_merge_complete
+
+        pts = [sweep_point("NW", "NW", config)]
+        assert_merge_complete(pts, ["anything"])
+
+    def test_merge_missing_point_named(self, config):
+        from repro.core.sweep import (
+            SweepMergeError,
+            assert_merge_complete,
+            point_key,
+        )
+
+        pts = [sweep_point("NW", "NW", config),
+               sweep_point("SW", "SW", config)]
+        with pytest.raises(SweepMergeError) as err:
+            assert_merge_complete(pts, ["ok", None])
+        assert err.value.missing == [f"SW [{point_key(pts[1])}]"]
+
+    def test_merge_length_mismatch_rejected(self, config):
+        from repro.core.sweep import SweepMergeError, assert_merge_complete
+
+        pts = [sweep_point("NW", "NW", config)]
+        with pytest.raises(SweepMergeError):
+            assert_merge_complete(pts, [])
+
+
+class TestResume:
+    def test_resume_fills_known_points_without_running(self, config):
+        from repro.core.sweep import point_key
+
+        pts = [sweep_point("NW|a", "NW", config),
+               sweep_point("NW|b", "NW", config.with_(num_sms=8))]
+        sentinel = object()
+        cache = TraceCache()
+        results = run_sweep(
+            pts, jobs=0, cache=cache,
+            resume={point_key(pts[0]): sentinel},
+        )
+        assert results["NW|a"] is sentinel
+        assert results["NW|b"] is not sentinel
+        assert cache.misses == 1  # only the unknown point simulated
+
+    def test_resume_preserves_input_order(self, config):
+        from repro.core.sweep import point_key
+
+        pts = [sweep_point(f"NW|{i}", "NW", config.with_(num_sms=2 + i))
+               for i in range(3)]
+        full = run_sweep(pts, jobs=0)
+        resumed = run_sweep(
+            pts, jobs=0, resume={point_key(pts[1]): full["NW|1"]},
+        )
+        assert resumed == full
+        assert list(resumed) == ["NW|0", "NW|1", "NW|2"]
+
+    def test_resume_keys_match_final_config(self, config):
+        """Resume identity is computed after the telemetry override."""
+        from repro.core.sweep import point_key
+        from dataclasses import replace as dc_replace
+
+        pts = [sweep_point("NW", "NW", config)]
+        overridden = dc_replace(
+            pts[0], config=config.with_(telemetry_interval=2_000)
+        )
+        sentinel = object()
+        results = run_sweep(
+            pts, jobs=0, telemetry_interval=2_000,
+            resume={point_key(overridden): sentinel},
+        )
+        assert results["NW"] is sentinel

@@ -1,0 +1,142 @@
+"""Chunk journal and results files: resume without ever lying."""
+
+import json
+
+import pytest
+
+from repro.core.config_presets import baseline_config
+from repro.core.runner import run_benchmark
+from repro.core.sweep import point_key, sweep_point
+from repro.dist.journal import (
+    ChunkJournal,
+    JournalMismatch,
+    load_results_file,
+    sweep_fingerprint,
+    write_results_file,
+)
+
+CONFIG = baseline_config(num_sms=4)
+
+
+@pytest.fixture(scope="module")
+def stats():
+    return run_benchmark("NW", config=CONFIG)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return [
+        sweep_point(f"NW|{i}", "NW", CONFIG.with_(num_sms=2 + i))
+        for i in range(4)
+    ]
+
+
+def _chunk_keys(points):
+    return [[point_key(p) for p in points[:2]],
+            [point_key(p) for p in points[2:]]]
+
+
+class TestJournal:
+    def test_fresh_open_writes_header_and_replays_nothing(
+        self, tmp_path, points
+    ):
+        journal = ChunkJournal(tmp_path / "j.jsonl")
+        assert journal.open(_chunk_keys(points)) == {}
+        header = json.loads(
+            (tmp_path / "j.jsonl").read_text().splitlines()[0]
+        )
+        assert header["kind"] == "repro-dsweep-journal"
+        assert header["sweep"] == sweep_fingerprint(_chunk_keys(points))
+
+    def test_record_then_replay(self, tmp_path, points, stats):
+        keys = _chunk_keys(points)
+        journal = ChunkJournal(tmp_path / "j.jsonl")
+        journal.open(keys)
+        journal.record(1, keys[1], [stats, stats])
+        replayed = ChunkJournal(tmp_path / "j.jsonl").open(keys)
+        assert list(replayed) == [1]
+        assert replayed[1] == [stats, stats]
+
+    def test_truncated_tail_line_is_skipped(self, tmp_path, points, stats):
+        keys = _chunk_keys(points)
+        path = tmp_path / "j.jsonl"
+        journal = ChunkJournal(path)
+        journal.open(keys)
+        journal.record(0, keys[0], [stats, stats])
+        # Simulate a crash mid-append: chop the last record in half.
+        whole = path.read_text()
+        path.write_text(whole + whole.splitlines()[-1][: len(whole) // 4])
+        replayed = ChunkJournal(path).open(keys)
+        assert list(replayed) == [0]
+
+    def test_foreign_sweep_rejected(self, tmp_path, points):
+        keys = _chunk_keys(points)
+        journal = ChunkJournal(tmp_path / "j.jsonl")
+        journal.open(keys)
+        other = [keys[0]]  # different chunking, different fingerprint
+        with pytest.raises(JournalMismatch, match="was written for sweep"):
+            ChunkJournal(tmp_path / "j.jsonl").open(other)
+
+    def test_headerless_file_rejected(self, tmp_path, points):
+        path = tmp_path / "notes.jsonl"
+        path.write_text('{"chunk": 0}\n')
+        with pytest.raises(JournalMismatch, match="no journal header"):
+            ChunkJournal(path).open(_chunk_keys(points))
+
+    def test_stale_record_reruns_instead_of_resuming(
+        self, tmp_path, points, stats
+    ):
+        keys = _chunk_keys(points)
+        path = tmp_path / "j.jsonl"
+        journal = ChunkJournal(path)
+        journal.open(keys)
+        # Keys that belong to nothing in this grid: must be ignored.
+        journal.record(0, ["feedfacefeedface"] * 2, [stats, stats])
+        assert ChunkJournal(path).open(keys) == {}
+
+    def test_wrong_stats_count_is_skipped(self, tmp_path, points, stats):
+        keys = _chunk_keys(points)
+        path = tmp_path / "j.jsonl"
+        journal = ChunkJournal(path)
+        journal.open(keys)
+        journal.record(0, keys[0], [stats])  # chunk has 2 points
+        assert ChunkJournal(path).open(keys) == {}
+
+
+class TestResultsFiles:
+    def test_round_trip(self, tmp_path, points, stats):
+        results = {p.label: stats for p in points}
+        path = tmp_path / "results.json"
+        write_results_file(path, points, results)
+        loaded = load_results_file(path)
+        assert loaded == {point_key(p): stats for p in points}
+
+    def test_partial_results_write_partial_files(
+        self, tmp_path, points, stats
+    ):
+        path = tmp_path / "partial.json"
+        write_results_file(path, points, {points[0].label: stats})
+        assert list(load_results_file(path)) == [point_key(points[0])]
+
+    def test_non_results_file_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"kind": "something-else"}))
+        with pytest.raises(ValueError, match="not a sweep results file"):
+            load_results_file(path)
+
+    def test_unparseable_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{nope")
+        with pytest.raises(ValueError, match="not a results file"):
+            load_results_file(path)
+
+    def test_corrupt_entry_dropped_not_fatal(self, tmp_path, points, stats):
+        path = tmp_path / "results.json"
+        write_results_file(path, points, {p.label: stats for p in points})
+        payload = json.loads(path.read_text())
+        key = point_key(points[0])
+        payload["results"][key]["stats"] = {"bogus": True}
+        path.write_text(json.dumps(payload))
+        loaded = load_results_file(path)
+        assert key not in loaded
+        assert len(loaded) == len(points) - 1

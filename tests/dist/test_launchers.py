@@ -1,0 +1,133 @@
+"""The real subprocess pool: bit-identity and violent failure modes.
+
+These tests spawn actual ``python -m repro.dist.worker`` processes.
+Failure injection uses the worker's env knobs (``REPRO_DIST_DIE_AFTER``
+kills the process with no reply mid-chunk — indistinguishable from a
+SIGKILL to the parent — and ``REPRO_DIST_STALL_S`` wedges it), plus one
+genuine ``SIGKILL`` aimed at a live pid.
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro.core.config_presets import baseline_config, with_cache_sizes
+from repro.core.sweep import run_sweep, sweep_point
+from repro.dist import DistSweepError, LocalProcessLauncher, run_dsweep
+from repro.dist.launchers import ChunkTimeout, WorkerDied
+
+CONFIG = baseline_config(num_sms=4)
+
+
+@pytest.fixture(scope="module")
+def points():
+    small_l1 = with_cache_sizes(CONFIG, 32 * 1024, 512 * 1024)
+    return [
+        sweep_point(f"NW{'-cdp' if cdp else ''}|{tag}", "NW", cfg, cdp=cdp)
+        for cdp in (False, True)
+        for tag, cfg in (("base", CONFIG), ("32k", small_l1))
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial(points):
+    return run_sweep(points, jobs=0, store=None)
+
+
+def test_two_workers_bit_identical(points, serial):
+    with LocalProcessLauncher(workers=2) as launcher:
+        results = run_dsweep(points, launcher, chunk_size=1)
+    assert results == serial
+    assert list(results) == [p.label for p in points]
+
+
+def test_worker_reused_across_chunks(points, serial):
+    with LocalProcessLauncher(workers=1) as launcher:
+        assert run_dsweep(points, launcher, chunk_size=2) == serial
+        assert launcher.spawns == 1
+
+
+def test_killed_worker_mid_chunk_loses_nothing(points, serial):
+    """Worker 0 exits without replying on its first chunk, and again on
+    every respawn; the sweep must finish bit-identically off worker 1
+    after quarantining the dying slot."""
+    launcher = LocalProcessLauncher(
+        workers=2, worker_env={0: {"REPRO_DIST_DIE_AFTER": "1"}},
+    )
+    with launcher:
+        results = run_dsweep(points, launcher, chunk_size=1,
+                             max_retries=2, worker_failure_limit=2)
+    assert results == serial
+    assert run_dsweep.last_stats["retries"] >= 1
+    assert run_dsweep.last_stats["workers_retired"] == 1
+
+
+def test_sigkill_during_sweep_is_survived(points, serial):
+    """A genuine SIGKILL of a live worker: the next dispatch sees EOF,
+    the chunk is re-queued, the slot respawns."""
+    with LocalProcessLauncher(workers=2) as launcher:
+        # Pre-spawn both slots so there is a pid to murder.
+        launcher.run_chunk(0, -1, points[:1], timeout=None)
+        launcher.run_chunk(1, -1, points[:1], timeout=None)
+        victim = launcher.pids()[1]
+        os.kill(victim, signal.SIGKILL)
+        results = run_dsweep(points, launcher, chunk_size=1)
+    assert results == serial
+    assert run_dsweep.last_stats["workers_retired"] == 0
+
+
+def test_chunk_timeout_kills_and_retries_elsewhere(points, serial):
+    """Worker 0 wedges on every chunk; the deadline fires, the worker
+    is killed, and the chunk reruns on the healthy slot."""
+    launcher = LocalProcessLauncher(
+        workers=2, worker_env={0: {"REPRO_DIST_STALL_S": "60"}},
+    )
+    with launcher:
+        results = run_dsweep(points, launcher, chunk_size=2,
+                             chunk_timeout=10.0, max_retries=2,
+                             worker_failure_limit=1)
+    assert results == serial
+    assert run_dsweep.last_stats["workers_retired"] == 1
+
+
+def test_timeout_exhaustion_fails_loudly(points):
+    """Every slot wedges: retries exhaust and the error names the lost
+    points instead of hanging or returning a partial grid."""
+    launcher = LocalProcessLauncher(
+        workers=1, extra_env={"REPRO_DIST_STALL_S": "60"},
+    )
+    with launcher:
+        with pytest.raises(DistSweepError) as err:
+            run_dsweep(points[:2], launcher, chunk_size=2,
+                       chunk_timeout=1.0, max_retries=1,
+                       worker_failure_limit=5)
+    assert len(err.value.lost) == 2
+
+
+def test_direct_run_chunk_timeout_raises(points):
+    launcher = LocalProcessLauncher(
+        workers=1, extra_env={"REPRO_DIST_STALL_S": "60"},
+    )
+    with launcher:
+        with pytest.raises(ChunkTimeout):
+            launcher.run_chunk(0, 0, points[:1], timeout=1.0)
+        # The wedged worker was killed; the slot respawns clean.
+        assert launcher.pids() == {}
+
+
+def test_direct_run_chunk_worker_death_raises(points):
+    launcher = LocalProcessLauncher(
+        workers=1, extra_env={"REPRO_DIST_DIE_AFTER": "1"},
+    )
+    with launcher:
+        with pytest.raises(WorkerDied):
+            launcher.run_chunk(0, 0, points[:1], timeout=None)
+
+
+def test_close_is_idempotent(points):
+    launcher = LocalProcessLauncher(workers=1)
+    launcher.run_chunk(0, 0, points[:1], timeout=None)
+    launcher.close()
+    launcher.close()
+    assert launcher.pids() == {}

@@ -1,0 +1,117 @@
+"""Wire format: point/stats round trips and frame IO."""
+
+import io
+import json
+import struct
+
+import pytest
+
+from repro.core.config_presets import baseline_config, with_cache_sizes
+from repro.core.runner import run_benchmark
+from repro.core.sweep import point_key, sweep_point
+from repro.data.datasets import DatasetSize
+from repro.dist.launchers import WorkerDied, _try_parse
+from repro.dist.wire import (
+    MAX_FRAME_BYTES,
+    decode_point,
+    decode_stats,
+    encode_point,
+    read_frame,
+    write_frame,
+)
+
+CONFIG = baseline_config(num_sms=4)
+
+
+def _point(**kwargs):
+    defaults = dict(cdp=True, size=DatasetSize.SMALL)
+    defaults.update(kwargs)
+    return sweep_point("NW-cdp|x", "NW", CONFIG, **defaults)
+
+
+class TestPointCodec:
+    def test_round_trip_is_identity(self):
+        point = _point()
+        decoded = decode_point(encode_point(point))
+        assert decoded == point
+        assert point_key(decoded) == point_key(point)
+
+    def test_round_trip_preserves_full_config(self):
+        config = with_cache_sizes(CONFIG, 32 * 1024, 512 * 1024).with_(
+            scheduler="gto"
+        )
+        point = sweep_point("NW|32k", "NW", config)
+        assert decode_point(encode_point(point)).config == config
+
+    def test_options_survive(self):
+        point = sweep_point("NW|opt", "NW", CONFIG, foo=3, bar="x")
+        assert decode_point(encode_point(point)).options == point.options
+
+    def test_key_mismatch_rejected(self):
+        data = encode_point(_point())
+        data["cdp"] = False  # content changed, key left stale
+        with pytest.raises(ValueError, match="different identity"):
+            decode_point(data)
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            decode_point({"label": "x"})
+
+    def test_stats_round_trip_bit_exact(self):
+        stats = run_benchmark("NW", config=CONFIG)
+        assert decode_stats(stats.to_dict()) == stats
+
+
+class TestFrames:
+    def test_write_read_round_trip(self):
+        buf = io.BytesIO()
+        write_frame(buf, {"type": "chunk", "points": [1, 2]})
+        buf.seek(0)
+        assert read_frame(buf) == {"type": "chunk", "points": [1, 2]}
+
+    def test_eof_returns_none(self):
+        assert read_frame(io.BytesIO(b"")) is None
+
+    def test_mid_frame_eof_returns_none(self):
+        buf = io.BytesIO()
+        write_frame(buf, {"type": "chunk"})
+        truncated = io.BytesIO(buf.getvalue()[:-2])
+        assert read_frame(truncated) is None
+
+    def test_oversize_frame_rejected(self):
+        header = struct.pack("<I", MAX_FRAME_BYTES + 1)
+        with pytest.raises(ValueError, match="wire limit"):
+            read_frame(io.BytesIO(header))
+
+    def test_non_object_frame_rejected(self):
+        raw = json.dumps([1, 2]).encode()
+        buf = io.BytesIO(struct.pack("<I", len(raw)) + raw)
+        with pytest.raises(ValueError, match="must be an object"):
+            read_frame(buf)
+
+
+class TestBufferedParse:
+    """The launcher-side incremental parser (select-loop reads)."""
+
+    def _frame_bytes(self, payload):
+        raw = json.dumps(payload).encode()
+        return struct.pack("<I", len(raw)) + raw
+
+    def test_partial_then_complete(self):
+        data = self._frame_bytes({"type": "result"})
+        frame, rest = _try_parse(data[:3])
+        assert frame is None and rest == data[:3]
+        frame, rest = _try_parse(data)
+        assert frame == {"type": "result"} and rest == b""
+
+    def test_two_frames_parse_in_order(self):
+        data = self._frame_bytes({"n": 1}) + self._frame_bytes({"n": 2})
+        first, rest = _try_parse(data)
+        second, rest = _try_parse(rest)
+        assert (first, second, rest) == ({"n": 1}, {"n": 2}, b"")
+
+    def test_garbage_raises_worker_died(self):
+        raw = b"not json"
+        data = struct.pack("<I", len(raw)) + raw
+        with pytest.raises(WorkerDied, match="undecodable"):
+            _try_parse(data)

@@ -1,0 +1,136 @@
+"""Job progress: executor-side publication and service-side reads."""
+
+import json
+import time
+
+import pytest
+
+from repro.service.execute import execute_sweep, write_progress
+from repro.service.schemas import JobView, parse_request
+from repro.service.service import SimulationService
+from repro.sim.config import GPUConfig
+from repro.sim.gpu import GPUSimulator
+
+pytestmark = pytest.mark.service
+
+
+class TestWriteProgress:
+    def test_atomic_write_and_read_back(self, tmp_path):
+        write_progress(tmp_path, {"unit": "points", "done": 1})
+        payload = json.loads((tmp_path / "progress.json").read_text())
+        assert payload == {"unit": "points", "done": 1}
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_none_artifact_dir_is_a_no_op(self):
+        write_progress(None, {"unit": "points"})  # must not raise
+
+    def test_unwritable_dir_swallowed(self, tmp_path):
+        write_progress(tmp_path / "missing" / "deep", {"done": 0})
+
+
+class TestSweepProgress:
+    def test_sweep_executor_publishes_exact_percent(self, tmp_path):
+        request = parse_request("sweep", {
+            "benchmarks": ["NW", "CLUSTER"], "cdp_variants": False,
+            "config": {"num_sms": 4},
+        })
+        execute_sweep(request, str(tmp_path))
+        payload = json.loads((tmp_path / "progress.json").read_text())
+        assert payload == {
+            "unit": "points", "done": 2, "total": 2, "percent": 100.0,
+        }
+
+
+class TestTelemetryProgressHook:
+    def test_hook_fires_on_new_intervals_monotonically(self):
+        from repro.kernels import build_application
+
+        seen = []
+        sim = GPUSimulator(GPUConfig(num_sms=4, telemetry_interval=1000))
+        sim.telemetry.progress = (
+            lambda index, interval: seen.append((index, interval))
+        )
+        sim.run_application(build_application("NW"))
+        assert seen, "no intervals reported"
+        indexes = [index for index, _ in seen]
+        assert indexes == sorted(set(indexes)), "indexes must be monotone"
+        assert all(interval == 1000 for _, interval in seen)
+
+    def test_hook_absent_costs_nothing(self):
+        from repro.kernels import build_application
+
+        sim = GPUSimulator(GPUConfig(num_sms=4, telemetry_interval=1000))
+        assert sim.telemetry.progress is None
+        sim.run_application(build_application("NW"))  # must not raise
+
+
+class TestJobViewProgress:
+    def test_view_round_trips_progress(self):
+        view = JobView(
+            id="j1", kind="sweep", state="running", priority=0,
+            cached=False, coalesced=False, request_id=None,
+            submitted_at=0.0, started_at=None, finished_at=None,
+            timings={}, error=None, artifacts=(),
+            progress={"unit": "points", "done": 1, "total": 4,
+                      "percent": 25.0},
+        )
+        back = JobView.from_dict(json.loads(json.dumps(view.to_dict())))
+        assert back.progress == view.progress
+
+    def test_progress_defaults_to_none(self):
+        payload = JobView(
+            id="j1", kind="simulate", state="queued", priority=0,
+            cached=False, coalesced=False, request_id=None,
+            submitted_at=0.0, started_at=None, finished_at=None,
+            timings={}, error=None, artifacts=(),
+        ).to_dict()
+        assert payload["progress"] is None
+
+
+class TestServiceProgress:
+    def test_running_job_reports_progress_in_view_and_metrics(
+        self, tmp_path
+    ):
+        service = SimulationService(
+            artifact_root=tmp_path, workers=1, use_processes=True,
+        )
+        try:
+            job = service.submit("sweep", {
+                "benchmarks": ["NW", "SW", "STAR", "GG"],
+                "cdp_variants": True,
+            })
+            deadline = time.monotonic() + 60
+            seen = None
+            while time.monotonic() < deadline:
+                view = service.job(job.id).view()
+                if view.state in ("done", "failed"):
+                    break
+                if view.progress is not None:
+                    seen = view.progress
+                    running = service.metrics_dict()["running"]
+                    assert any(
+                        row["id"] == job.id and row["progress"]
+                        for row in running
+                    )
+                    break
+                time.sleep(0.01)
+            assert seen is not None, "job finished before progress showed"
+            assert seen["unit"] == "points"
+            assert seen["total"] == 8
+            service.wait(job.id, timeout=120)
+        finally:
+            service.shutdown()
+
+    def test_finished_job_reports_no_progress(self, tmp_path):
+        service = SimulationService(
+            artifact_root=tmp_path, workers=1, use_processes=False,
+        )
+        try:
+            job = service.submit("simulate", {
+                "benchmark": "NW", "config": {"num_sms": 4},
+            })
+            service.wait(job.id, timeout=120)
+            assert service.job(job.id).view().progress is None
+            assert service.metrics_dict()["running"] == []
+        finally:
+            service.shutdown()

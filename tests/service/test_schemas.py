@@ -200,3 +200,58 @@ class TestRequestClasses:
             "request_id": "rid",
             "field": "cdp",
         }
+
+
+class TestSweepPointsMode:
+    """Explicit wire-encoded points (the dsweep ServiceLauncher path)."""
+
+    def _points(self):
+        from repro.core.sweep import sweep_point
+        from repro.dist.wire import encode_point
+        from repro.sim.config import GPUConfig
+
+        config = GPUConfig(num_sms=4)
+        return [
+            encode_point(sweep_point("NW|a", "NW", config)),
+            encode_point(sweep_point("NW|b", "NW", config, cdp=True)),
+        ]
+
+    def test_points_round_trip_canonically(self):
+        encoded = self._points()
+        request = parse_request("sweep", {"points": encoded})
+        assert list(request.to_dict()["points"]) == encoded
+        assert len(request.points) == 2
+
+    def test_identity_is_the_point_keys(self):
+        encoded = self._points()
+        request = parse_request("sweep", {"points": encoded})
+        assert request.identity() == {
+            "points": [entry["key"] for entry in encoded]
+        }
+
+    def test_points_exclude_grid_fields(self):
+        encoded = self._points()
+        for extra in (
+            {"benchmarks": ["NW"]},
+            {"cdp_variants": False},
+            {"size": "small"},
+            {"config": {"num_sms": 8}},
+        ):
+            with pytest.raises(SchemaError, match="do not combine"):
+                parse_request("sweep", {"points": encoded, **extra})
+
+    def test_corrupt_point_rejected_with_index(self):
+        encoded = self._points()
+        encoded[1]["cdp"] = False  # stale identity key
+        with pytest.raises(SchemaError) as err:
+            parse_request("sweep", {"points": encoded})
+        assert err.value.field == "points[1]"
+
+    def test_non_object_point_rejected(self):
+        with pytest.raises(SchemaError, match="expected an object"):
+            parse_request("sweep", {"points": ["NW"]})
+
+    def test_duplicate_labels_rejected(self):
+        entry = self._points()[0]
+        with pytest.raises(SchemaError, match="unique"):
+            parse_request("sweep", {"points": [entry, dict(entry)]})

@@ -372,3 +372,129 @@ def test_trace_cache_counts_store_hits(tmp_path):
     assert fresh.store_hits == 1  # new process: served from disk
     assert fresh.get(_point()) is not None
     assert fresh.store_hits == 1  # second access: in-memory
+
+
+# -- pack / unpack (host-to-host sync) --------------------------------------
+
+def _populated_store(root):
+    store = TraceStore(root)
+    point = _point()
+    store.save(app_key(point), _cached())
+    return store
+
+
+def test_pack_unpack_round_trip(tmp_path):
+    src = _populated_store(tmp_path / "src")
+    archive = tmp_path / "traces.rpak"
+    assert src.pack(archive) == 1
+    dst = TraceStore(tmp_path / "dst")
+    assert dst.unpack(archive) == 1
+    assert dst.entry_names() == src.entry_names()
+    loaded = dst.load(app_key(_point()))
+    assert loaded is not None
+    assert _stats(loaded) == _stats(_cached())
+
+
+def test_pack_subset_by_name(tmp_path):
+    store = _populated_store(tmp_path / "src")
+    store.save(app_key(_point(cdp=True)), _cached(cdp=True))
+    names = store.entry_names()
+    assert len(names) == 2
+    archive = tmp_path / "one.rpak"
+    assert store.pack(archive, names=names[:1]) == 1
+    dst = TraceStore(tmp_path / "dst")
+    assert dst.unpack(archive) == 1
+    assert dst.entry_names() == names[:1]
+
+
+def test_unpack_rejects_wrong_magic(tmp_path):
+    archive = tmp_path / "bogus.rpak"
+    archive.write_bytes(b"NOPE" + b"\x00" * 32)
+    with pytest.raises(ValueError, match="not a trace-store archive"):
+        TraceStore(tmp_path / "dst").unpack(archive)
+
+
+def test_unpack_rejects_foreign_fingerprint(tmp_path, monkeypatch):
+    import repro.sim.trace_store as ts
+
+    src = _populated_store(tmp_path / "src")
+    archive = tmp_path / "traces.rpak"
+    src.pack(archive)
+    monkeypatch.setattr(ts, "source_fingerprint", lambda: "f" * 64)
+    dst = TraceStore(tmp_path / "dst")
+    with pytest.raises(ValueError, match="different source tree"):
+        dst.unpack(archive)
+    assert dst.entry_names() == []
+
+
+def test_unpack_rejects_crc_corruption_and_keeps_nothing(tmp_path):
+    src = _populated_store(tmp_path / "src")
+    archive = tmp_path / "traces.rpak"
+    src.pack(archive)
+    data = bytearray(archive.read_bytes())
+    data[-1] ^= 0xFF  # damage the last entry's payload in transit
+    archive.write_bytes(bytes(data))
+    dst = TraceStore(tmp_path / "dst")
+    with pytest.raises(ValueError, match="CRC"):
+        dst.unpack(archive)
+    assert dst.entry_names() == []
+
+
+def test_unpack_rejects_unsafe_entry_names(tmp_path):
+    import struct as _struct
+    import zlib as _zlib
+
+    from repro.sim.trace_store import (
+        PACK_MAGIC,
+        PACK_VERSION,
+        source_fingerprint,
+    )
+
+    archive = tmp_path / "evil.rpak"
+    payload = b"whatever"
+    name = b"../evil.trace"
+    fingerprint = source_fingerprint().encode()
+    archive.write_bytes(
+        PACK_MAGIC + _struct.pack("<H", PACK_VERSION)
+        + _struct.pack("<I", len(fingerprint)) + fingerprint
+        + _struct.pack("<I", 1)
+        + _struct.pack("<I", len(name)) + name
+        + _struct.pack("<QI", len(payload), _zlib.crc32(payload))
+        + payload
+    )
+    dst = TraceStore(tmp_path / "dst")
+    with pytest.raises(ValueError, match="unsafe entry name"):
+        dst.unpack(archive)
+    assert dst.entry_names() == []
+
+
+def test_unpack_rejects_future_version(tmp_path):
+    import struct as _struct
+
+    archive = tmp_path / "future.rpak"
+    archive.write_bytes(b"RPAK" + _struct.pack("<H", 99) + b"\x00" * 8)
+    with pytest.raises(ValueError, match="version 99"):
+        TraceStore(tmp_path / "dst").unpack(archive)
+
+
+def test_unpack_rejects_truncated_archive(tmp_path):
+    src = _populated_store(tmp_path / "src")
+    archive = tmp_path / "traces.rpak"
+    src.pack(archive)
+    data = archive.read_bytes()
+    archive.write_bytes(data[: len(data) // 2])
+    with pytest.raises(ValueError):
+        TraceStore(tmp_path / "dst").unpack(archive)
+
+
+def test_unpack_rejects_trailing_garbage(tmp_path):
+    """Bytes past the last entry mean the file was mangled somewhere;
+    refuse the whole archive rather than import what happens to parse."""
+    src = _populated_store(tmp_path / "src")
+    archive = tmp_path / "traces.rpak"
+    src.pack(archive)
+    archive.write_bytes(archive.read_bytes() + b"corrupt")
+    dst = TraceStore(tmp_path / "dst")
+    with pytest.raises(ValueError, match="trailing"):
+        dst.unpack(archive)
+    assert dst.entry_names() == []
